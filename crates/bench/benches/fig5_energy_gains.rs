@@ -1,0 +1,34 @@
+//! Criterion bench for the Figure 5 cells: closed-loop episodes under
+//! offloading and model gating, filtered and unfiltered.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seo_core::config::{ControlMode, SeoConfig};
+use seo_core::model::ModelSet;
+use seo_core::optimizer::OptimizerKind;
+use seo_core::runtime::RuntimeLoop;
+use seo_sim::scenario::ScenarioConfig;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_energy_gains");
+    group.sample_size(10);
+    let world = ScenarioConfig::new(2).with_seed(1).generate();
+    for optimizer in [OptimizerKind::Offloading, OptimizerKind::ModelGating] {
+        for control in [ControlMode::Unfiltered, ControlMode::Filtered] {
+            let config = SeoConfig::paper_defaults().with_control_mode(control);
+            let models = ModelSet::paper_setup(config.tau).expect("paper setup");
+            let runtime = RuntimeLoop::new(config, models, optimizer).expect("valid runtime");
+            group.bench_with_input(
+                BenchmarkId::new(optimizer.to_string(), control.to_string()),
+                &world,
+                |b, world| {
+                    b.iter(|| black_box(runtime.run_episode(world.clone(), 7)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Runs every paper experiment in sequence and emits both the printable
+//! tables and a machine-readable JSON dump (`seo_experiments.json` in the
+//! current directory) for downstream analysis.
+
+use seo_bench::report::runs_from_env;
+use seo_bench::{fig1_rows, fig5_rows, fig6_rows, table1_rows, table2_rows, table3_rows};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Dump {
+    runs: usize,
+    fig1: Vec<seo_bench::Fig1Row>,
+    fig5: Vec<seo_bench::Fig5Row>,
+    fig6: Vec<seo_bench::Fig6Row>,
+    table1: Vec<seo_bench::Table1Row>,
+    table2: Vec<seo_bench::Table2Row>,
+    table3: Vec<seo_bench::Table3Row>,
+}
+
+fn main() {
+    let runs = runs_from_env();
+    println!("Running all SEO experiments with {runs} successful runs per cell...\n");
+    let result = (|| -> Result<Dump, Box<dyn std::error::Error>> {
+        println!("[1/6] Figure 1 (motivational gating example)");
+        let fig1 = fig1_rows(runs)?;
+        println!("[2/6] Figure 5 (detector gains, tau = 20 ms)");
+        let fig5 = fig5_rows(runs)?;
+        println!("[3/6] Table I (tau = 25 ms)");
+        let table1 = table1_rows(runs)?;
+        println!("[4/6] Figure 6 (delta_max histograms)");
+        let fig6 = fig6_rows(runs)?;
+        println!("[5/6] Table II (obstacle sweep)");
+        let table2 = table2_rows(runs)?;
+        println!("[6/6] Table III (sensor gating)");
+        let table3 = table3_rows(runs)?;
+        Ok(Dump { runs, fig1, fig5, fig6, table1, table2, table3 })
+    })();
+    match result {
+        Ok(dump) => {
+            let json = serde_json::to_string_pretty(&dump).expect("rows serialize");
+            std::fs::write("seo_experiments.json", &json).expect("write results file");
+            println!("\nall experiments complete -> seo_experiments.json ({} bytes)", json.len());
+        }
+        Err(e) => {
+            eprintln!("experiment suite failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

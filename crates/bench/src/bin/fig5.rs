@@ -1,0 +1,36 @@
+//! Regenerates **Figure 5**: energy gains relative to local execution for
+//! the two ResNet-152 detectors (p = τ, p = 2τ) under offloading and model
+//! gating, filtered and unfiltered, at τ = 20 ms.
+//!
+//! Paper reference values: offloading filtered 65.9 % / 20.3 %, unfiltered
+//! 24.1 % / 9.5 %; gating filtered 37.2 % / 8 %, unfiltered 22.7 % / ~0 %.
+//! The shapes to check: p = τ > p = 2τ, filtered > unfiltered, offloading >
+//! gating.
+
+use seo_bench::fig5_rows;
+use seo_bench::report::{pct, runs_from_env, Table};
+
+fn main() {
+    let runs = runs_from_env();
+    println!("Figure 5 — detector energy gains at tau = 20 ms ({runs} successful runs/cell)\n");
+    match fig5_rows(runs) {
+        Ok(rows) => {
+            let mut table =
+                Table::new(vec!["optimizer", "control", "p=tau gain", "p=2tau gain"]);
+            for r in &rows {
+                table.push_row(vec![
+                    r.optimizer.to_string(),
+                    r.control.to_string(),
+                    pct(r.gain_p1),
+                    pct(r.gain_p2),
+                ]);
+            }
+            println!("{table}");
+            println!("paper: offload 24.1/9.5 (unf) 65.9/20.3 (filt); gating 22.7/~0 (unf) 37.2/8.0 (filt)");
+        }
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Parameter sweeps beyond the paper's reported cells: channel quality,
+//! offload payload size, and deadline conservatism. Each sweep prints one
+//! series suitable for sensitivity analysis.
+//!
+//! ```sh
+//! SEO_RUNS=5 cargo run --release -p seo-bench --bin sweep
+//! ```
+
+use seo_bench::report::{pct, runs_from_env, Table};
+use seo_core::prelude::*;
+use seo_platform::units::Bits;
+use seo_wireless::channel::RayleighChannel;
+use seo_wireless::link::WirelessLink;
+use seo_platform::units::BitsPerSecond;
+use seo_core::runtime::RuntimeLoop;
+use seo_sim::scenario::ScenarioConfig;
+
+fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau)?;
+    let runtime =
+        RuntimeLoop::new(config, models, OptimizerKind::Offloading)?.with_link(link);
+    let mut optimized = seo_platform::energy::EnergyLedger::new();
+    let mut baseline = seo_platform::energy::EnergyLedger::new();
+    let mut collected = 0usize;
+    let mut seed = 0u64;
+    while collected < runs && seed < 200 {
+        let world = ScenarioConfig::new(2).with_seed(seed).generate();
+        let report = runtime.run_episode(world, seed);
+        if report.is_success() {
+            for m in &report.models {
+                optimized.merge(&m.optimized);
+                baseline.merge(&m.baseline);
+            }
+            collected += 1;
+        }
+        seed += 1;
+    }
+    Ok(optimized.gain_over(&baseline)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let runs = runs_from_env().min(10);
+    println!("sensitivity sweeps ({runs} successful runs per point)\n");
+
+    // 1. Channel-scale sweep: how gracefully do offloading gains degrade as
+    //    the Rayleigh scale shrinks below the paper's 20 Mbps?
+    let mut table = Table::new(vec!["rayleigh scale", "offloading gain"]);
+    for mbps in [5.0, 10.0, 20.0, 40.0] {
+        let link = WirelessLink::new(
+            RayleighChannel::new(BitsPerSecond::from_mbps(mbps))?,
+            Bits::from_kilobytes(25.0),
+            seo_platform::units::Watts::new(1.3),
+            seo_platform::units::Seconds::from_millis(1.0),
+        )?;
+        table.push_row(vec![format!("{mbps:.0} Mbps"), pct(gains_with_link(link, runs)?)]);
+    }
+    println!("{table}");
+
+    // 2. Payload sweep: bigger offload payloads eat the radio budget and
+    //    miss more deadlines.
+    let mut table = Table::new(vec!["payload", "offloading gain"]);
+    for kb in [10.0, 25.0, 50.0, 100.0] {
+        let link = WirelessLink::paper_default()?.with_payload(Bits::from_kilobytes(kb))?;
+        table.push_row(vec![format!("{kb:.0} kB"), pct(gains_with_link(link, runs)?)]);
+    }
+    println!("{table}");
+
+    // 3. Gating-level sweep (the Fig. 1 knob).
+    let mut table = Table::new(vec!["gating level", "gating gain"]);
+    for level in [0.0, 0.25, 0.5, 0.75] {
+        let result = ExperimentConfig::paper_defaults()
+            .with_optimizer(OptimizerKind::ModelGating)
+            .with_gating_level(level)
+            .with_runs(runs)
+            .run()?;
+        table.push_row(vec![
+            format!("{:.0}%", level * 100.0),
+            pct(result.summary.combined_gain),
+        ]);
+    }
+    println!("{table}");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table I**: offloading and gating energy gains over local
+//! execution at τ = 25 ms (a more limited hardware setting).
+//!
+//! Paper reference: offload unfiltered 15.3/7.5 (avg 11.8), filtered
+//! 27.1/14.1 (avg 21.1); gating unfiltered 13.4/0 (avg 6.6), filtered
+//! 23.8/4.3 (avg 14.5). Shape: gains shrink relative to τ = 20 ms but stay
+//! positive; orderings are preserved.
+
+use seo_bench::report::{pct, runs_from_env, Table};
+use seo_bench::table1_rows;
+
+fn main() {
+    let runs = runs_from_env();
+    println!("Table I — gains at tau = 25 ms ({runs} successful runs/cell)\n");
+    match table1_rows(runs) {
+        Ok(rows) => {
+            let mut table = Table::new(vec![
+                "mode",
+                "control",
+                "(p=tau) gains",
+                "(p=2tau) gains",
+                "average gains",
+            ]);
+            for r in &rows {
+                table.push_row(vec![
+                    r.optimizer.to_string(),
+                    r.control.to_string(),
+                    pct(r.gain_p1),
+                    pct(r.gain_p2),
+                    pct(r.average),
+                ]);
+            }
+            println!("{table}");
+            println!("paper: offload 15.3/7.5|27.1/14.1; gating 13.4/0|23.8/4.3 (unf|filt)");
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

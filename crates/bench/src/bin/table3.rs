@@ -1,0 +1,43 @@
+//! Regenerates **Table III**: sensor gating at τ = 20 ms for the filtered
+//! control case across three industry sensors.
+//!
+//! Paper reference (avg gains / 4τ gains): ZED camera 37.5 %/75 % (p=τ) and
+//! 8.2 %/50 % (p=2τ); Navtech radar 34.84 %/68.93 % and 7.57 %/45.53 %;
+//! Velodyne LiDAR 32.72 %/64.82 % and 6.9 %/41.91 %. Shape: camera > radar
+//! > LiDAR per-period, because P_mech is dead weight under gating.
+
+use seo_bench::report::{pct, runs_from_env, Table};
+use seo_bench::table3_rows;
+
+fn main() {
+    let runs = runs_from_env();
+    println!("Table III — sensor gating, filtered, tau = 20 ms ({runs} runs/sensor)\n");
+    match table3_rows(runs) {
+        Ok(rows) => {
+            let mut table = Table::new(vec![
+                "sensor",
+                "P_meas",
+                "P_mech",
+                "period",
+                "avg gains",
+                "4tau gains",
+            ]);
+            for r in &rows {
+                table.push_row(vec![
+                    r.sensor.clone(),
+                    format!("{:.1} W", r.p_meas),
+                    format!("{:.1} W", r.p_mech),
+                    format!("p={}tau", r.p_multiple),
+                    pct(r.avg_gain),
+                    pct(r.four_tau_gain),
+                ]);
+            }
+            println!("{table}");
+            println!("paper 4tau gains: ZED 75/50, Navtech 68.93/45.53, Velodyne 64.82/41.91");
+        }
+        Err(e) => {
+            eprintln!("table3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

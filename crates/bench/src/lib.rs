@@ -1,0 +1,21 @@
+//! # seo-bench
+//!
+//! Experiment-cell runners that regenerate **every table and figure** of the
+//! SEO paper (DAC 2023, arXiv:2302.12493), shared between the printable
+//! harness binaries (`fig1`, `fig5`, `fig6`, `table1`, `table2`, `table3`,
+//! `all_experiments`) and the Criterion benches.
+//!
+//! Run counts default to the paper's 25 successful runs per cell; set
+//! `SEO_RUNS` to trade fidelity for speed (the binaries honor it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod report;
+
+pub use cells::{
+    fig1_rows, fig5_rows, fig6_rows, table1_rows, table2_rows, table3_rows, Fig1Row, Fig5Row,
+    Fig6Row, Table1Row, Table2Row, Table3Row,
+};
+pub use report::{runs_from_env, Table};

@@ -1,0 +1,172 @@
+//! Discretization onto the unified timing axis — eqs. (4) and (5).
+//!
+//! To unify the time scale across heterogeneous sensors, SEO defines a base
+//! window τ and expresses every model period and every safety deadline as a
+//! multiple of it:
+//!
+//! * eq. (4): `δᵢ = pᵢ/τ` when τ divides pᵢ, otherwise `⌊pᵢ/τ⌋ + 1` — a
+//!   model can never be scheduled *more* often than its sensor samples, so
+//!   non-divisible periods round **up**.
+//! * eq. (5): `δmax = ⌊Δmax/τ⌋` — a deadline rounds **down**, because
+//!   over-approximating the safe interval would be unsound.
+
+use seo_platform::units::Seconds;
+
+/// Relative tolerance used to decide "τ divides pᵢ" under floating point.
+const DIVISIBILITY_EPS: f64 = 1e-9;
+
+/// eq. (4): discretizes a model/sensor period `p` to base periods of `tau`.
+///
+/// # Panics
+///
+/// Panics if `tau` or `p` is non-positive or non-finite (configuration
+/// bugs, validated at [`SeoConfig`](crate::config::SeoConfig) construction).
+///
+/// # Examples
+///
+/// ```
+/// use seo_core::discretize::discretize_period;
+/// use seo_platform::units::Seconds;
+///
+/// let tau = Seconds::from_millis(20.0);
+/// // p = tau -> 1; p = 2 tau -> 2 (the paper's two detectors).
+/// assert_eq!(discretize_period(Seconds::from_millis(20.0), tau), 1);
+/// assert_eq!(discretize_period(Seconds::from_millis(40.0), tau), 2);
+/// // Non-divisible periods round up: 25 ms at tau = 20 ms occupies 2 slots.
+/// assert_eq!(discretize_period(Seconds::from_millis(25.0), tau), 2);
+/// ```
+#[must_use]
+pub fn discretize_period(p: Seconds, tau: Seconds) -> u32 {
+    assert!(
+        tau.as_secs().is_finite() && tau.as_secs() > 0.0,
+        "base period must be finite and positive"
+    );
+    assert!(
+        p.as_secs().is_finite() && p.as_secs() > 0.0,
+        "model period must be finite and positive"
+    );
+    let ratio = p.as_secs() / tau.as_secs();
+    let rounded = ratio.round();
+    if (ratio - rounded).abs() <= DIVISIBILITY_EPS * ratio.max(1.0) && rounded >= 1.0 {
+        rounded as u32
+    } else {
+        (ratio.floor() as u32) + 1
+    }
+}
+
+/// eq. (5): discretizes a safe interval `Δmax` to base periods of `tau`
+/// (floor — never over-approximate safety).
+///
+/// Negative inputs clamp to 0; an infinite Δmax (no obstacle anywhere)
+/// saturates to `u32::MAX` and should be capped by the caller's horizon.
+///
+/// # Panics
+///
+/// Panics if `tau` is non-positive or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use seo_core::discretize::discretize_deadline;
+/// use seo_platform::units::Seconds;
+///
+/// let tau = Seconds::from_millis(20.0);
+/// assert_eq!(discretize_deadline(Seconds::from_millis(79.0), tau), 3);
+/// assert_eq!(discretize_deadline(Seconds::from_millis(80.0), tau), 4);
+/// assert_eq!(discretize_deadline(Seconds::from_millis(19.9), tau), 0);
+/// ```
+#[must_use]
+pub fn discretize_deadline(delta_max: Seconds, tau: Seconds) -> u32 {
+    assert!(
+        tau.as_secs().is_finite() && tau.as_secs() > 0.0,
+        "base period must be finite and positive"
+    );
+    let ratio = delta_max.as_secs() / tau.as_secs();
+    if !ratio.is_finite() {
+        return if ratio > 0.0 { u32::MAX } else { 0 };
+    }
+    if ratio <= 0.0 {
+        return 0;
+    }
+    // Guard against floating-point sitting epsilon below an exact multiple
+    // (e.g. 80 ms / 20 ms landing on 3.9999999999): such values are exact
+    // multiples in intent.
+    let nearest = ratio.round();
+    if (ratio - nearest).abs() <= DIVISIBILITY_EPS * ratio.max(1.0) {
+        nearest as u32
+    } else {
+        ratio.floor() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAU: Seconds = Seconds::new(0.02);
+
+    #[test]
+    fn divisible_periods_map_exactly() {
+        assert_eq!(discretize_period(Seconds::new(0.02), TAU), 1);
+        assert_eq!(discretize_period(Seconds::new(0.04), TAU), 2);
+        assert_eq!(discretize_period(Seconds::new(0.10), TAU), 5);
+    }
+
+    #[test]
+    fn non_divisible_periods_round_up() {
+        assert_eq!(discretize_period(Seconds::new(0.021), TAU), 2);
+        assert_eq!(discretize_period(Seconds::new(0.039), TAU), 2);
+        assert_eq!(discretize_period(Seconds::new(0.041), TAU), 3);
+        // Sub-tau sensors still occupy one full base window.
+        assert_eq!(discretize_period(Seconds::new(0.005), TAU), 1);
+    }
+
+    #[test]
+    fn tau_25ms_case_from_table_i() {
+        // Table I uses tau = 25 ms with the same 20/40 ms sensors:
+        // p = 20 ms -> 1 slot, p = 40 ms -> 2 slots.
+        let tau = Seconds::new(0.025);
+        assert_eq!(discretize_period(Seconds::new(0.020), tau), 1);
+        assert_eq!(discretize_period(Seconds::new(0.040), tau), 2);
+    }
+
+    #[test]
+    fn float_noise_on_divisibility_is_tolerated() {
+        // 0.06 / 0.02 is 2.9999999999999996 in f64; eq. (4) must yield 3.
+        assert_eq!(discretize_period(Seconds::new(0.06), TAU), 3);
+        let p = Seconds::new(0.02 * 7.0);
+        assert_eq!(discretize_period(p, TAU), 7);
+    }
+
+    #[test]
+    fn deadline_floors() {
+        assert_eq!(discretize_deadline(Seconds::new(0.079), TAU), 3);
+        assert_eq!(discretize_deadline(Seconds::new(0.080), TAU), 4);
+        assert_eq!(discretize_deadline(Seconds::new(0.0), TAU), 0);
+        assert_eq!(discretize_deadline(Seconds::new(0.019), TAU), 0);
+    }
+
+    #[test]
+    fn deadline_clamps_and_saturates() {
+        assert_eq!(discretize_deadline(Seconds::new(-1.0), TAU), 0);
+        assert_eq!(discretize_deadline(Seconds::new(f64::INFINITY), TAU), u32::MAX);
+    }
+
+    #[test]
+    fn deadline_handles_float_noise_at_multiples() {
+        let almost_four = Seconds::new(0.02 * 4.0 - 1e-15);
+        assert_eq!(discretize_deadline(almost_four, TAU), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "base period")]
+    fn zero_tau_panics() {
+        let _ = discretize_period(Seconds::new(0.02), Seconds::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "model period")]
+    fn zero_model_period_panics() {
+        let _ = discretize_period(Seconds::ZERO, TAU);
+    }
+}

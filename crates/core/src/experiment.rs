@@ -1,0 +1,417 @@
+//! Paper-experiment harness.
+//!
+//! Wraps [`RuntimeLoop`] with the paper's evaluation protocol: run seeded
+//! scenarios until the requested number of **successful** episodes (route
+//! completed, no collision) has been collected — the paper averages over 25
+//! such runs — then aggregate energy gains and δmax statistics.
+
+use crate::config::{ControlMode, EnergyAccounting, SeoConfig};
+use crate::error::SeoError;
+use crate::metrics::{EpisodeReport, ExperimentSummary};
+use crate::model::ModelSet;
+use crate::optimizer::OptimizerKind;
+use crate::runtime::RuntimeLoop;
+use crate::controller::Controller;
+use seo_platform::units::Seconds;
+use seo_sim::scenario::ScenarioConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Complete description of one experiment cell (one bar/row of a paper
+/// figure or table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Framework knobs (τ, gating level, control mode, accounting).
+    pub seo: SeoConfig,
+    /// Ω instantiation.
+    pub optimizer: OptimizerKind,
+    /// Obstacles on the route (the paper sweeps {0, 2, 4}).
+    pub n_obstacles: usize,
+    /// Successful runs to collect (the paper uses 25).
+    pub runs: usize,
+    /// Base RNG seed; run `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Episode attempts allowed before giving up on collecting `runs`
+    /// successes.
+    pub max_attempts: usize,
+    /// The Λ model partition (defaults to the paper's VAE + two detectors).
+    pub models: ModelSet,
+    /// The driving controller.
+    pub controller: Controller,
+}
+
+impl ExperimentConfig {
+    /// The paper's default cell: τ = 20 ms, offloading, filtered control,
+    /// 2 obstacles, 25 successful runs.
+    ///
+    /// The controller is a deliberately *tight-margin* tuning of the
+    /// potential-field agent (10 m influence radius, 11 m/s cruise): like
+    /// the paper's RL agent, it passes obstacles closer than the shield
+    /// would, so the filtered case measurably increases distances — and
+    /// thus sampled δmax — over the unfiltered case (the paper's second
+    /// key observation on Fig. 5).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the paper defaults are statically valid.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        let seo = SeoConfig::paper_defaults();
+        let models = ModelSet::paper_setup(seo.tau).expect("paper defaults are valid");
+        Self {
+            seo,
+            optimizer: OptimizerKind::Offloading,
+            n_obstacles: 2,
+            runs: 25,
+            base_seed: 2023,
+            max_attempts: 200,
+            models,
+            controller: Controller::tight_margin_potential_field(),
+        }
+    }
+
+    /// Sets the optimizer (builder style).
+    #[must_use]
+    pub fn with_optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the obstacle count (builder style).
+    #[must_use]
+    pub fn with_obstacles(mut self, n: usize) -> Self {
+        self.n_obstacles = n;
+        self
+    }
+
+    /// Sets the number of successful runs to collect (builder style).
+    #[must_use]
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the base seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the control mode (builder style).
+    #[must_use]
+    pub fn with_control_mode(mut self, mode: ControlMode) -> Self {
+        self.seo = self.seo.with_control_mode(mode);
+        self
+    }
+
+    /// Sets τ, rebuilding the paper model set on the new base period
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is non-positive (validated again at run time).
+    #[must_use]
+    pub fn with_tau(mut self, tau: Seconds) -> Self {
+        self.seo = self.seo.with_tau(tau);
+        self
+    }
+
+    /// Sets the accounting scope (builder style).
+    #[must_use]
+    pub fn with_accounting(mut self, accounting: EnergyAccounting) -> Self {
+        self.seo = self.seo.with_accounting(accounting);
+        self
+    }
+
+    /// Replaces the model set (builder style).
+    #[must_use]
+    pub fn with_models(mut self, models: ModelSet) -> Self {
+        self.models = models;
+        self
+    }
+
+    /// Sets the gating level (builder style).
+    #[must_use]
+    pub fn with_gating_level(mut self, level: f64) -> Self {
+        self.seo = self.seo.with_gating_level(level);
+        self
+    }
+
+    /// Runs the experiment: collects `runs` successful episodes and
+    /// aggregates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeoError::InsufficientSuccessfulRuns`] when `max_attempts`
+    /// episodes do not produce enough successes, or any configuration
+    /// error from [`RuntimeLoop::new`].
+    pub fn run(&self) -> Result<ExperimentResult, SeoError> {
+        let runtime = RuntimeLoop::new(self.seo, self.models.clone(), self.optimizer)?
+            .with_controller(self.controller.clone());
+        let mut successes: Vec<EpisodeReport> = Vec::with_capacity(self.runs);
+        let mut attempts = 0usize;
+        let mut failures = 0usize;
+        while successes.len() < self.runs && attempts < self.max_attempts {
+            let seed = self.base_seed.wrapping_add(attempts as u64);
+            let world = ScenarioConfig::new(self.n_obstacles).with_seed(seed).generate();
+            let report = runtime.run_episode(world, seed);
+            if report.is_success() {
+                successes.push(report);
+            } else {
+                failures += 1;
+            }
+            attempts += 1;
+        }
+        if successes.len() < self.runs {
+            return Err(SeoError::InsufficientSuccessfulRuns {
+                collected: successes.len(),
+                requested: self.runs,
+                attempts,
+            });
+        }
+        let summary = ExperimentSummary::from_reports(&successes)?;
+        Ok(ExperimentResult { config: self.clone(), reports: successes, summary, failures })
+    }
+
+    /// Parallel variant of [`Self::run`]: fans episode attempts out over
+    /// `threads` workers with `crossbeam::scope`. Episodes are independent
+    /// (seeded per attempt) and collected in seed order, so the selected
+    /// successful-run set — and therefore the summary — is **identical** to
+    /// the sequential protocol's.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_parallel(&self, threads: usize) -> Result<ExperimentResult, SeoError> {
+        let threads = threads.max(1);
+        let runtime = RuntimeLoop::new(self.seo, self.models.clone(), self.optimizer)?
+            .with_controller(self.controller.clone());
+        // Pre-plan the full attempt budget; take the first `runs` successes
+        // in seed order — exactly what the sequential loop selects.
+        let attempts: Vec<u64> =
+            (0..self.max_attempts as u64).map(|k| self.base_seed.wrapping_add(k)).collect();
+        let mut reports: Vec<(u64, EpisodeReport)> = Vec::with_capacity(attempts.len());
+        crossbeam::thread::scope(|scope| {
+            let chunk = attempts.len().div_ceil(threads).max(1);
+            let mut handles = Vec::new();
+            for block in attempts.chunks(chunk) {
+                let runtime = &runtime;
+                let n_obstacles = self.n_obstacles;
+                handles.push(scope.spawn(move |_| {
+                    block
+                        .iter()
+                        .map(|&seed| {
+                            let world =
+                                ScenarioConfig::new(n_obstacles).with_seed(seed).generate();
+                            (seed, runtime.run_episode(world, seed))
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                reports.extend(handle.join().expect("episode worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        reports.sort_by_key(|(seed, _)| *seed);
+
+        let mut successes = Vec::with_capacity(self.runs);
+        let mut failures = 0usize;
+        let mut attempts_used = 0usize;
+        for (_, report) in reports {
+            if successes.len() >= self.runs {
+                break;
+            }
+            attempts_used += 1;
+            if report.is_success() {
+                successes.push(report);
+            } else {
+                failures += 1;
+            }
+        }
+        if successes.len() < self.runs {
+            return Err(SeoError::InsufficientSuccessfulRuns {
+                collected: successes.len(),
+                requested: self.runs,
+                attempts: attempts_used,
+            });
+        }
+        let summary = ExperimentSummary::from_reports(&successes)?;
+        Ok(ExperimentResult { config: self.clone(), reports: successes, summary, failures })
+    }
+}
+
+impl fmt::Display for ExperimentConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} obstacles | {} runs | {}",
+            self.optimizer, self.n_obstacles, self.runs, self.seo
+        )
+    }
+}
+
+/// Outcome of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced this result.
+    pub config: ExperimentConfig,
+    /// The successful episode reports, in collection order.
+    pub reports: Vec<EpisodeReport>,
+    /// Aggregated statistics over the successful runs.
+    pub summary: ExperimentSummary,
+    /// Unsuccessful episodes encountered while collecting.
+    pub failures: usize,
+}
+
+impl ExperimentResult {
+    /// Energy gain of Λ′ model `index` (registration order), aggregated
+    /// over runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeoError::InvalidConfig`] for an out-of-range index.
+    pub fn gain_for_model(&self, index: usize) -> Result<f64, SeoError> {
+        self.summary.model_gains.get(index).copied().ok_or(SeoError::InvalidConfig {
+            field: "model index",
+            constraint: "address a registered Λ' model",
+        })
+    }
+
+    /// Mean combined gain over all models (energy-weighted).
+    ///
+    /// # Errors
+    ///
+    /// Kept fallible for API symmetry; the value is precomputed.
+    pub fn mean_gain_over_models(&self) -> Result<f64, SeoError> {
+        Ok(self.summary.combined_gain)
+    }
+
+    /// Average of the per-model gains (the paper's "Average gains" column
+    /// in Table I, which averages the two detectors' percentages).
+    #[must_use]
+    pub fn unweighted_mean_model_gain(&self) -> f64 {
+        if self.summary.model_gains.is_empty() {
+            return 0.0;
+        }
+        self.summary.model_gains.iter().sum::<f64>() / self.summary.model_gains.len() as f64
+    }
+
+    /// Mean sampled δmax over runs.
+    #[must_use]
+    pub fn mean_delta_max(&self) -> f64 {
+        self.summary.mean_delta_max
+    }
+
+    /// Whether every successful run preserved the safety state throughout
+    /// (`S = 1` on every step).
+    #[must_use]
+    pub fn all_runs_safe(&self) -> bool {
+        self.reports.iter().all(|r| r.unsafe_steps == 0)
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.config, self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(optimizer: OptimizerKind, obstacles: usize, mode: ControlMode) -> ExperimentConfig {
+        ExperimentConfig::paper_defaults()
+            .with_optimizer(optimizer)
+            .with_obstacles(obstacles)
+            .with_control_mode(mode)
+            .with_runs(3)
+    }
+
+    #[test]
+    fn collects_requested_successful_runs() {
+        let result = quick(OptimizerKind::ModelGating, 2, ControlMode::Filtered)
+            .run()
+            .expect("experiment runs");
+        assert_eq!(result.reports.len(), 3);
+        assert_eq!(result.summary.runs, 3);
+        assert!(result.reports.iter().all(EpisodeReport::is_success));
+    }
+
+    #[test]
+    fn gains_positive_and_ordered_by_model_rate() {
+        let result = quick(OptimizerKind::Offloading, 2, ControlMode::Filtered)
+            .run()
+            .expect("experiment runs");
+        let g1 = result.gain_for_model(0).expect("model 0");
+        let g2 = result.gain_for_model(1).expect("model 1");
+        assert!(g1 > 0.0 && g2 >= 0.0, "gains should be non-negative: {g1}, {g2}");
+        assert!(g1 > g2, "p=tau should beat p=2tau: {g1} vs {g2}");
+        assert!(result.gain_for_model(5).is_err());
+    }
+
+    #[test]
+    fn impossible_run_budget_errors() {
+        let mut config = quick(OptimizerKind::ModelGating, 2, ControlMode::Filtered);
+        config.max_attempts = 1;
+        config.runs = 10;
+        match config.run() {
+            Err(SeoError::InsufficientSuccessfulRuns { collected, requested, attempts }) => {
+                assert!(collected <= 1);
+                assert_eq!(requested, 10);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected InsufficientSuccessfulRuns, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_runs_is_trivially_empty_error() {
+        let mut config = quick(OptimizerKind::ModelGating, 0, ControlMode::Filtered);
+        config.runs = 0;
+        // Zero successful runs requested: summary over zero reports fails.
+        assert!(config.run().is_err());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let config = quick(OptimizerKind::Offloading, 2, ControlMode::Filtered);
+        let seq = config.run().expect("sequential runs");
+        let par = config.run_parallel(4).expect("parallel runs");
+        assert_eq!(seq.summary, par.summary, "parallel must reproduce the protocol");
+        assert_eq!(seq.failures, par.failures);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let config = quick(OptimizerKind::Offloading, 2, ControlMode::Filtered);
+        let a = config.run().expect("runs");
+        let b = config.run().expect("runs");
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn safety_preserved_in_filtered_runs() {
+        let result = quick(OptimizerKind::Offloading, 4, ControlMode::Filtered)
+            .run()
+            .expect("experiment runs");
+        assert!(result.all_runs_safe(), "filtered runs must never violate the barrier");
+    }
+
+    #[test]
+    fn display_includes_key_facts() {
+        let config = quick(OptimizerKind::ModelGating, 2, ControlMode::Filtered);
+        assert!(config.to_string().contains("model-gating"));
+        assert!(config.to_string().contains("2 obstacles"));
+    }
+
+    #[test]
+    fn serde_roundtrip_config() {
+        let config = quick(OptimizerKind::SensorGating, 4, ControlMode::Unfiltered);
+        let json = serde_json::to_string(&config).expect("serialize");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, config);
+    }
+}

@@ -1,0 +1,80 @@
+//! # seo-core
+//!
+//! **SEO: Safety-Aware Energy Optimization Framework for Multi-Sensor Neural
+//! Controllers at the Edge** — a full Rust reproduction of the DAC 2023
+//! paper (arXiv:2302.12493).
+//!
+//! SEO divides an autonomous system's sensory processing models into a
+//! critical subset Λ″ (feeding precise state estimates to a formally-derived
+//! safety filter) and a normal subset Λ′ (eligible for runtime energy
+//! optimization). The safety state is characterized as a **dynamic
+//! processing deadline**: the safe time interval Δmax a frozen control can
+//! be tolerated, discretized to δmax base periods. Each Λ′ model with
+//! discretized period δᵢ runs its energy-optimized version Ω on the early
+//! slots of the interval and is re-invoked at full capacity at slot
+//! δmax − δᵢ, so a fresh result is guaranteed by the safety deadline
+//! (eq. 6 / Algorithm 1).
+//!
+//! Module map:
+//!
+//! * [`config`] — framework configuration (base period τ, control mode,
+//!   energy accounting).
+//! * [`model`] — pipeline model descriptors and the Λ′/Λ″ partition.
+//! * [`discretize`] — eqs. (4) and (5): periods and deadlines in τ units.
+//! * [`scheduler`] — Algorithm 1 as a pure, steppable state machine.
+//! * [`optimizer`] — the two Ω instantiations (task offloading, gating)
+//!   plus the always-local baseline.
+//! * [`runtime`] — the closed control loop tying simulator, controller,
+//!   safety filter, deadline table, scheduler, and energy accounting
+//!   together.
+//! * [`metrics`] — per-episode and per-experiment reports (energy gains,
+//!   δmax histograms, safety evidence).
+//! * [`experiment`] — paper-experiment harness: builds the exact setups of
+//!   Figures 1/5/6 and Tables I/II/III.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seo_core::prelude::*;
+//!
+//! // Two ResNet-152 detectors at p = tau and p = 2 tau, offloading enabled,
+//! // safety filter active, over one 2-obstacle scenario.
+//! let config = ExperimentConfig::paper_defaults()
+//!     .with_optimizer(OptimizerKind::Offloading)
+//!     .with_obstacles(2)
+//!     .with_runs(1);
+//! let result = config.run()?;
+//! let gains = result.mean_gain_over_models()?;
+//! assert!(gains > 0.0, "offloading should save energy");
+//! # Ok::<(), seo_core::SeoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod controller;
+pub mod discretize;
+pub mod error;
+pub mod experiment;
+pub mod metrics;
+pub mod model;
+pub mod optimizer;
+pub mod runtime;
+pub mod scheduler;
+
+pub use error::SeoError;
+
+/// Convenient re-exports of the most used framework types.
+pub mod prelude {
+    pub use crate::config::{ControlMode, EnergyAccounting, OffloadFallback, SeoConfig};
+    pub use crate::controller::Controller;
+    pub use crate::discretize::{discretize_deadline, discretize_period};
+    pub use crate::error::SeoError;
+    pub use crate::experiment::{ExperimentConfig, ExperimentResult};
+    pub use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
+    pub use crate::model::{Criticality, ModelId, ModelSet, PipelineModel};
+    pub use crate::optimizer::OptimizerKind;
+    pub use crate::runtime::RuntimeLoop;
+    pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
+}

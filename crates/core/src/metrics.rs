@@ -1,0 +1,410 @@
+//! Per-episode and per-experiment reporting.
+//!
+//! Experiments report (i) **energy gains** of the optimized schedule over
+//! the always-local baseline per Λ′ model, (ii) the **δmax histogram** (the
+//! paper's Fig. 6), and (iii) **safety evidence** (violations, corrections,
+//! minimum barrier).
+
+use crate::error::SeoError;
+use seo_platform::energy::EnergyLedger;
+use seo_sim::episode::EpisodeStatus;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Histogram of sampled δmax values over one or more runs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeltaMaxHistogram {
+    counts: BTreeMap<u32, usize>,
+}
+
+impl DeltaMaxHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sampled δmax.
+    pub fn record(&mut self, delta_max: u32) {
+        *self.counts.entry(delta_max).or_insert(0) += 1;
+    }
+
+    /// Total samples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Count for one δmax value.
+    #[must_use]
+    pub fn count(&self, delta_max: u32) -> usize {
+        self.counts.get(&delta_max).copied().unwrap_or(0)
+    }
+
+    /// Occurrence frequency of one δmax value in `[0, 1]` (0 when empty).
+    #[must_use]
+    pub fn frequency(&self, delta_max: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(delta_max) as f64 / total as f64
+        }
+    }
+
+    /// Mean sampled δmax (the paper's Table II "δmax" column); 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.iter().map(|(&v, &c)| f64::from(v) * c as f64).sum::<f64>() / total as f64
+    }
+
+    /// Iterates `(delta_max, count)` in increasing δmax order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (v, c) in other.iter() {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+    }
+}
+
+impl fmt::Display for DeltaMaxHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "delta_max histogram [")?;
+        let mut first = true;
+        for (v, c) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}: {c}")?;
+            first = false;
+        }
+        write!(f, "] mean {:.2}", self.mean())
+    }
+}
+
+/// Energy outcome of one Λ′ model over one episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEnergyReport {
+    /// Model name.
+    pub name: String,
+    /// Discretized period δᵢ.
+    pub delta_i: u32,
+    /// Energy consumed under the SEO schedule.
+    pub optimized: EnergyLedger,
+    /// Energy the always-local baseline would have consumed over the same
+    /// episode.
+    pub baseline: EnergyLedger,
+    /// Full local inferences executed.
+    pub full_invocations: usize,
+    /// Optimized (Ω) slots executed.
+    pub optimized_slots: usize,
+    /// Offloads issued (0 for gating).
+    pub offloads_issued: usize,
+    /// Offloads whose response arrived in time.
+    pub offload_successes: usize,
+    /// Offloads that required the local fallback.
+    pub offload_fallbacks: usize,
+}
+
+impl ModelEnergyReport {
+    /// Fractional energy gain over the baseline (the paper's headline
+    /// metric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeoError::Platform`] when the baseline consumed no energy.
+    pub fn gain(&self) -> Result<f64, SeoError> {
+        Ok(self.optimized.gain_over(&self.baseline)?)
+    }
+
+    /// Normalized energy (`optimized / baseline`, Fig. 1's vertical axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeoError::Platform`] when the baseline consumed no energy.
+    pub fn normalized_energy(&self) -> Result<f64, SeoError> {
+        Ok(self.optimized.normalized_against(&self.baseline)?)
+    }
+}
+
+impl fmt::Display for ModelEnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gain = self.gain().map(|g| format!("{:.1}%", g * 100.0)).unwrap_or_else(|_| "n/a".into());
+        write!(
+            f,
+            "{} (delta_i={}): gain {gain}, {} full / {} optimized slots",
+            self.name, self.delta_i, self.full_invocations, self.optimized_slots
+        )
+    }
+}
+
+/// Complete record of one closed-loop episode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeReport {
+    /// How the episode ended.
+    pub status: EpisodeStatus,
+    /// Base periods simulated.
+    pub steps: usize,
+    /// Per-Λ′-model energy outcomes, in registration order.
+    pub models: Vec<ModelEnergyReport>,
+    /// Histogram of the δmax values sampled at interval starts.
+    pub histogram: DeltaMaxHistogram,
+    /// Steps on which the safety state was violated (`h < 0`).
+    pub unsafe_steps: usize,
+    /// Steps on which the safety filter corrected the control.
+    pub corrections: usize,
+    /// Minimum observed barrier value.
+    pub min_barrier: f64,
+    /// Minimum observed obstacle distance.
+    pub min_distance: f64,
+}
+
+impl EpisodeReport {
+    /// Whether the run counts toward the paper's "successful test runs"
+    /// (route completed without collision).
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.status.is_success()
+    }
+
+    /// Combined gain over all Λ′ models (total optimized vs total baseline
+    /// energy — the paper's "average energy gains ... for two combined
+    /// models", Table II).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeoError::Platform`] when the combined baseline is zero.
+    pub fn combined_gain(&self) -> Result<f64, SeoError> {
+        let optimized: EnergyLedger = self.models.iter().map(|m| m.optimized).sum();
+        let baseline: EnergyLedger = self.models.iter().map(|m| m.baseline).sum();
+        Ok(optimized.gain_over(&baseline)?)
+    }
+}
+
+impl fmt::Display for EpisodeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "episode {} in {} steps; {} models; {}",
+            self.status, self.steps, self.models.len(), self.histogram
+        )
+    }
+}
+
+/// Aggregation over the successful runs of one experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSummary {
+    /// Per-model mean gain across runs (energy-weighted: total optimized vs
+    /// total baseline), indexed like the per-episode model lists.
+    pub model_gains: Vec<f64>,
+    /// Mean combined gain across models.
+    pub combined_gain: f64,
+    /// Mean sampled δmax.
+    pub mean_delta_max: f64,
+    /// Merged δmax histogram.
+    pub histogram: DeltaMaxHistogram,
+    /// Successful runs aggregated.
+    pub runs: usize,
+}
+
+impl ExperimentSummary {
+    /// Builds the summary from successful episode reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeoError::InsufficientSuccessfulRuns`] when `reports` is
+    /// empty and [`SeoError::Platform`] on zero baselines.
+    pub fn from_reports(reports: &[EpisodeReport]) -> Result<Self, SeoError> {
+        if reports.is_empty() {
+            return Err(SeoError::InsufficientSuccessfulRuns {
+                collected: 0,
+                requested: 1,
+                attempts: 0,
+            });
+        }
+        let n_models = reports[0].models.len();
+        let mut model_gains = Vec::with_capacity(n_models);
+        for i in 0..n_models {
+            let optimized: EnergyLedger = reports.iter().map(|r| r.models[i].optimized).sum();
+            let baseline: EnergyLedger = reports.iter().map(|r| r.models[i].baseline).sum();
+            model_gains.push(optimized.gain_over(&baseline)?);
+        }
+        let optimized: EnergyLedger =
+            reports.iter().flat_map(|r| r.models.iter().map(|m| m.optimized)).sum();
+        let baseline: EnergyLedger =
+            reports.iter().flat_map(|r| r.models.iter().map(|m| m.baseline)).sum();
+        let combined_gain = optimized.gain_over(&baseline)?;
+        let mut histogram = DeltaMaxHistogram::new();
+        for r in reports {
+            histogram.merge(&r.histogram);
+        }
+        Ok(Self {
+            model_gains,
+            combined_gain,
+            mean_delta_max: histogram.mean(),
+            histogram,
+            runs: reports.len(),
+        })
+    }
+}
+
+impl fmt::Display for ExperimentSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs: combined gain {:.1}%, mean delta_max {:.2}",
+            self.runs,
+            self.combined_gain * 100.0,
+            self.mean_delta_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seo_platform::energy::EnergyCategory;
+    use seo_platform::units::Joules;
+
+    fn ledger(j: f64) -> EnergyLedger {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::Compute, Joules::new(j));
+        l
+    }
+
+    fn model_report(name: &str, optimized: f64, baseline: f64) -> ModelEnergyReport {
+        ModelEnergyReport {
+            name: name.into(),
+            delta_i: 1,
+            optimized: ledger(optimized),
+            baseline: ledger(baseline),
+            full_invocations: 1,
+            optimized_slots: 3,
+            offloads_issued: 0,
+            offload_successes: 0,
+            offload_fallbacks: 0,
+        }
+    }
+
+    fn episode(optimized: f64, baseline: f64, deltas: &[u32]) -> EpisodeReport {
+        let mut histogram = DeltaMaxHistogram::new();
+        for &d in deltas {
+            histogram.record(d);
+        }
+        EpisodeReport {
+            status: EpisodeStatus::Completed,
+            steps: 100,
+            models: vec![model_report("a", optimized, baseline)],
+            histogram,
+            unsafe_steps: 0,
+            corrections: 0,
+            min_barrier: 1.0,
+            min_distance: 10.0,
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_frequencies() {
+        let mut h = DeltaMaxHistogram::new();
+        for d in [4, 4, 4, 2, 1, 1] {
+            h.record(d);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(4), 3);
+        assert_eq!(h.count(3), 0);
+        assert!((h.frequency(4) - 0.5).abs() < 1e-12);
+        assert!((h.mean() - (4.0 * 3.0 + 2.0 + 2.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = DeltaMaxHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.frequency(4), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = DeltaMaxHistogram::new();
+        a.record(4);
+        let mut b = DeltaMaxHistogram::new();
+        b.record(4);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(4), 2);
+        assert_eq!(a.count(2), 1);
+    }
+
+    #[test]
+    fn model_gain_and_normalized_energy() {
+        let r = model_report("m", 0.25, 1.0);
+        assert!((r.gain().expect("nonzero baseline") - 0.75).abs() < 1e-12);
+        assert!((r.normalized_energy().expect("ok") - 0.25).abs() < 1e-12);
+        let zero = model_report("z", 0.0, 0.0);
+        assert!(zero.gain().is_err());
+    }
+
+    #[test]
+    fn combined_gain_weights_by_energy() {
+        let mut ep = episode(0.0, 0.0, &[4]);
+        ep.models = vec![model_report("a", 1.0, 2.0), model_report("b", 1.0, 4.0)];
+        // Combined: (1 + 1) / (2 + 4) = 1/3 -> gain 2/3.
+        assert!((ep.combined_gain().expect("ok") - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates_runs() {
+        let reports = vec![episode(1.0, 4.0, &[4, 4]), episode(3.0, 4.0, &[2])];
+        let s = ExperimentSummary::from_reports(&reports).expect("nonempty");
+        assert_eq!(s.runs, 2);
+        // Energy-weighted: (1 + 3) / (4 + 4) = 0.5 -> gain 0.5.
+        assert!((s.combined_gain - 0.5).abs() < 1e-12);
+        assert!((s.mean_delta_max - (4.0 + 4.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert_eq!(s.histogram.total(), 3);
+        assert_eq!(s.model_gains.len(), 1);
+    }
+
+    #[test]
+    fn summary_of_empty_reports_is_error() {
+        assert!(matches!(
+            ExperimentSummary::from_reports(&[]),
+            Err(SeoError::InsufficientSuccessfulRuns { .. })
+        ));
+    }
+
+    #[test]
+    fn episode_success_tracks_status() {
+        let mut ep = episode(1.0, 2.0, &[4]);
+        assert!(ep.is_success());
+        ep.status = EpisodeStatus::Collided;
+        assert!(!ep.is_success());
+    }
+
+    #[test]
+    fn displays() {
+        let ep = episode(1.0, 2.0, &[4]);
+        assert!(ep.to_string().contains("completed"));
+        let s = ExperimentSummary::from_reports(&[ep]).expect("ok");
+        assert!(s.to_string().contains("combined gain"));
+        let r = model_report("m", 1.0, 2.0);
+        assert!(r.to_string().contains("50.0%"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ep = episode(1.0, 2.0, &[4, 2]);
+        let json = serde_json::to_string(&ep).expect("serialize");
+        let back: EpisodeReport = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, ep);
+    }
+}

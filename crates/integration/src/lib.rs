@@ -1,0 +1,2 @@
+//! Integration-test host crate: the actual tests live in the workspace-level `tests/` directory.
+#![forbid(unsafe_code)]

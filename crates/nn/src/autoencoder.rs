@@ -1,0 +1,209 @@
+//! Ray-scan autoencoder: the Λ″ feature extractor.
+//!
+//! The paper reuses ShieldNN's variational autoencoder as the critical-subset
+//! model that digests raw sensing into compact features for the controller.
+//! This module provides the same component over `seo-sim` ray scans: an
+//! encoder/decoder MLP pair trained by reconstruction, whose latent code
+//! serves as the Θ″ features in the SEO runtime.
+
+use crate::error::NnError;
+use crate::layer::Activation;
+use crate::mlp::Mlp;
+use crate::train::sgd_epoch;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An encoder/decoder pair over normalized range scans.
+///
+/// # Example
+///
+/// ```
+/// use seo_nn::autoencoder::Autoencoder;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let ae = Autoencoder::new(16, 4, &mut rng)?;
+/// let scan = vec![1.0; 16];
+/// assert_eq!(ae.encode(&scan).len(), 4);
+/// assert_eq!(ae.reconstruct(&scan).len(), 16);
+/// # Ok::<(), seo_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Autoencoder {
+    encoder: Mlp,
+    decoder: Mlp,
+    input_dim: usize,
+    latent_dim: usize,
+}
+
+impl Autoencoder {
+    /// Builds an autoencoder for `input_dim`-ray scans with a
+    /// `latent_dim`-dimensional code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when either dimension is zero.
+    pub fn new<R: Rng>(input_dim: usize, latent_dim: usize, rng: &mut R) -> Result<Self, NnError> {
+        let hidden = (input_dim * 2).max(8);
+        let encoder = Mlp::new(
+            &[input_dim, hidden, latent_dim],
+            Activation::Tanh,
+            Activation::Tanh,
+            rng,
+        )?;
+        let decoder = Mlp::new(
+            &[latent_dim, hidden, input_dim],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            rng,
+        )?;
+        Ok(Self { encoder, decoder, input_dim, latent_dim })
+    }
+
+    /// Scan dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Latent code dimension.
+    #[must_use]
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Encodes a normalized scan into its latent features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan.len() != input_dim()`.
+    #[must_use]
+    pub fn encode(&self, scan: &[f64]) -> Vec<f64> {
+        self.encoder.forward(scan)
+    }
+
+    /// Decodes a latent code back into scan space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code.len() != latent_dim()`.
+    #[must_use]
+    pub fn decode(&self, code: &[f64]) -> Vec<f64> {
+        self.decoder.forward(code)
+    }
+
+    /// Encode-then-decode round trip.
+    #[must_use]
+    pub fn reconstruct(&self, scan: &[f64]) -> Vec<f64> {
+        self.decode(&self.encode(scan))
+    }
+
+    /// Mean squared reconstruction error on one scan.
+    #[must_use]
+    pub fn reconstruction_error(&self, scan: &[f64]) -> f64 {
+        crate::tensor::mse(&self.reconstruct(scan), scan)
+    }
+
+    /// One epoch of end-to-end reconstruction SGD over `scans`; returns the
+    /// mean loss before each step.
+    ///
+    /// Gradients flow through the decoder into the encoder via
+    /// [`Mlp::backprop_step`], so both halves train jointly.
+    pub fn train_epoch(&mut self, scans: &[Vec<f64>], lr: f64) -> f64 {
+        let samples: Vec<(Vec<f64>, Vec<f64>)> =
+            scans.iter().map(|s| (s.clone(), s.clone())).collect();
+        let encoder = &mut self.encoder;
+        let decoder = &mut self.decoder;
+        sgd_epoch(&samples, |x, t| {
+            let mut loss = 0.0;
+            let n = t.len() as f64;
+            encoder.backprop_step(x, lr, |code| {
+                decoder.backprop_step(code, lr, |recon| {
+                    loss = recon.iter().zip(t).map(|(&y, &tv)| (y - tv).powi(2)).sum::<f64>() / n;
+                    recon.iter().zip(t).map(|(&y, &tv)| 2.0 * (y - tv) / n).collect()
+                })
+            });
+            loss
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seo_sim::prelude::*;
+    use seo_sim::sensing::RangeScanner;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let ae = Autoencoder::new(32, 8, &mut rng()).expect("valid dims");
+        assert_eq!(ae.input_dim(), 32);
+        assert_eq!(ae.latent_dim(), 8);
+        let scan = vec![0.5; 32];
+        assert_eq!(ae.encode(&scan).len(), 8);
+        assert_eq!(ae.reconstruct(&scan).len(), 32);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(Autoencoder::new(0, 4, &mut rng()).is_err());
+        assert!(Autoencoder::new(8, 0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn outputs_bounded_by_sigmoid_head() {
+        let ae = Autoencoder::new(16, 4, &mut rng()).expect("valid dims");
+        let recon = ae.reconstruct(&vec![0.9; 16]);
+        assert!(recon.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let mut ae = Autoencoder::new(8, 4, &mut rng()).expect("valid dims");
+        // Two distinct prototypical scans (free road vs obstacle ahead),
+        // kept away from the sigmoid asymptotes.
+        let scans = vec![
+            vec![0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9, 0.9],
+            vec![0.9, 0.9, 0.3, 0.2, 0.2, 0.3, 0.9, 0.9],
+        ];
+        let before: f64 = scans.iter().map(|s| ae.reconstruction_error(s)).sum();
+        for _ in 0..500 {
+            ae.train_epoch(&scans, 0.2);
+        }
+        let after: f64 = scans.iter().map(|s| ae.reconstruction_error(s)).sum();
+        assert!(after < before, "reconstruction should improve: {before} -> {after}");
+        assert!(after < 0.05, "reconstruction should become good: {after}");
+    }
+
+    #[test]
+    fn encodes_real_scans_from_simulator() {
+        let world = ScenarioConfig::new(3).with_seed(5).generate();
+        let scanner = RangeScanner::new(16, 120.0_f64.to_radians(), 40.0);
+        let scan = scanner.scan_normalized(&world, &VehicleState::new(70.0, 0.0, 0.0, 8.0));
+        let ae = Autoencoder::new(16, 4, &mut rng()).expect("valid dims");
+        let code = ae.encode(&scan);
+        assert_eq!(code.len(), 4);
+        assert!(code.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn different_scans_produce_different_codes() {
+        let ae = Autoencoder::new(8, 3, &mut rng()).expect("valid dims");
+        let a = ae.encode(&vec![1.0; 8]);
+        let b = ae.encode(&vec![0.1; 8]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn train_epoch_on_empty_dataset_is_zero() {
+        let mut ae = Autoencoder::new(4, 2, &mut rng()).expect("valid dims");
+        assert_eq!(ae.train_epoch(&[], 0.1), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Simulated object detectors: the Λ′ models.
+//!
+//! The paper deploys two pretrained ResNet-152 detectors whose *costs* are
+//! what SEO schedules; their *outputs* feed the controller's aggregate
+//! feature set Θ′. This module simulates the functional role: a detector
+//! converts a range scan into obstacle estimates, and when SEO gates or
+//! offloads the model its published output becomes **stale** — exactly the
+//! accuracy/energy trade the paper's deadline machinery manages.
+
+use seo_sim::sensing::RangeScanner;
+use seo_sim::vehicle::VehicleState;
+use seo_sim::world::World;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One detected obstacle estimate in vehicle-relative polar coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Estimated distance to the obstacle surface, meters.
+    pub distance: f64,
+    /// Estimated bearing relative to the heading, radians.
+    pub bearing: f64,
+}
+
+/// Output of one detector invocation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DetectionSet {
+    /// Detected obstacles, nearest first.
+    pub detections: Vec<Detection>,
+    /// Age of this output in base periods (0 = fresh this period).
+    pub age: u32,
+}
+
+impl DetectionSet {
+    /// Nearest detection, if any.
+    #[must_use]
+    pub fn nearest(&self) -> Option<Detection> {
+        self.detections.first().copied()
+    }
+
+    /// Whether this output was produced in the current period.
+    #[must_use]
+    pub fn is_fresh(&self) -> bool {
+        self.age == 0
+    }
+}
+
+impl fmt::Display for DetectionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} detection(s), age {}", self.detections.len(), self.age)
+    }
+}
+
+/// A simulated object detector bound to a forward scanner.
+///
+/// # Example
+///
+/// ```
+/// use seo_nn::detector::ObjectDetector;
+/// use seo_sim::prelude::*;
+///
+/// let world = World::new(Road::default(), vec![Obstacle::new(20.0, 0.0, 1.5)]);
+/// let mut detector = ObjectDetector::with_default_scanner("front-50hz");
+/// let out = detector.run(&world, &VehicleState::route_start());
+/// assert!(out.nearest().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectDetector {
+    name: String,
+    scanner: RangeScanner,
+    /// Last published output (persists while the model is gated).
+    last_output: DetectionSet,
+}
+
+impl ObjectDetector {
+    /// Creates a detector with an explicit scanner.
+    #[must_use]
+    pub fn new(name: impl Into<String>, scanner: RangeScanner) -> Self {
+        Self { name: name.into(), scanner, last_output: DetectionSet::default() }
+    }
+
+    /// Creates a detector with a 32-ray, 120-degree, 40 m scanner.
+    #[must_use]
+    pub fn with_default_scanner(name: impl Into<String>) -> Self {
+        Self::new(name, RangeScanner::new(32, 120.0_f64.to_radians(), 40.0))
+    }
+
+    /// Detector name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs a full inference: scans the world, clusters contiguous hit rays
+    /// into obstacle estimates, publishes a fresh output, and returns it.
+    pub fn run(&mut self, world: &World, vehicle: &VehicleState) -> DetectionSet {
+        let scan = self.scanner.scan(world, vehicle);
+        let max_range = self.scanner.max_range();
+        let n = scan.len();
+        let fov = 120.0_f64.to_radians();
+        let mut detections: Vec<Detection> = Vec::new();
+        let mut cluster: Vec<(usize, f64)> = Vec::new();
+        let flush = |cluster: &mut Vec<(usize, f64)>, detections: &mut Vec<Detection>| {
+            if cluster.is_empty() {
+                return;
+            }
+            let (min_idx, min_d) = cluster
+                .iter()
+                .copied()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("cluster nonempty");
+            let frac = if n == 1 { 0.5 } else { min_idx as f64 / (n - 1) as f64 };
+            detections.push(Detection { distance: min_d, bearing: (frac - 0.5) * fov });
+            cluster.clear();
+        };
+        for (i, &d) in scan.iter().enumerate() {
+            if d < max_range * 0.999 {
+                cluster.push((i, d));
+            } else {
+                flush(&mut cluster, &mut detections);
+            }
+        }
+        flush(&mut cluster, &mut detections);
+        detections.sort_by(|a, b| {
+            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.last_output = DetectionSet { detections, age: 0 };
+        self.last_output.clone()
+    }
+
+    /// Marks one base period passing **without** an inference (the model was
+    /// gated or its offload is in flight): the published output ages.
+    pub fn skip_period(&mut self) -> DetectionSet {
+        self.last_output.age = self.last_output.age.saturating_add(1);
+        self.last_output.clone()
+    }
+
+    /// The most recently published output (possibly stale).
+    #[must_use]
+    pub fn last_output(&self) -> &DetectionSet {
+        &self.last_output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seo_sim::world::{Obstacle, Road};
+
+    fn one_obstacle_world() -> World {
+        World::new(Road::default(), vec![Obstacle::new(25.0, 0.0, 1.5)])
+    }
+
+    #[test]
+    fn detects_head_on_obstacle() {
+        let mut det = ObjectDetector::with_default_scanner("d");
+        let out = det.run(&one_obstacle_world(), &VehicleState::route_start());
+        let nearest = out.nearest().expect("should see the obstacle");
+        assert!((nearest.distance - 23.5).abs() < 1.0, "distance {}", nearest.distance);
+        assert!(nearest.bearing.abs() < 0.15, "bearing {}", nearest.bearing);
+        assert!(out.is_fresh());
+    }
+
+    #[test]
+    fn empty_world_yields_no_detections() {
+        let mut det = ObjectDetector::with_default_scanner("d");
+        let out = det.run(&World::empty(), &VehicleState::route_start());
+        assert!(out.detections.is_empty());
+        assert!(out.nearest().is_none());
+    }
+
+    #[test]
+    fn two_separated_obstacles_yield_two_clusters() {
+        let world = World::new(
+            Road::default(),
+            vec![Obstacle::new(20.0, -3.0, 1.0), Obstacle::new(20.0, 3.0, 1.0)],
+        );
+        let mut det = ObjectDetector::with_default_scanner("d");
+        let out = det.run(&world, &VehicleState::route_start());
+        assert_eq!(out.detections.len(), 2, "{out}");
+        // Detections are sorted nearest-first.
+        assert!(out.detections[0].distance <= out.detections[1].distance);
+    }
+
+    #[test]
+    fn skip_period_ages_output() {
+        let mut det = ObjectDetector::with_default_scanner("d");
+        det.run(&one_obstacle_world(), &VehicleState::route_start());
+        assert_eq!(det.last_output().age, 0);
+        let aged = det.skip_period();
+        assert_eq!(aged.age, 1);
+        assert!(!aged.is_fresh());
+        det.skip_period();
+        assert_eq!(det.last_output().age, 2);
+        // Detections persist while stale.
+        assert_eq!(det.last_output().detections.len(), 1);
+    }
+
+    #[test]
+    fn fresh_run_resets_age() {
+        let mut det = ObjectDetector::with_default_scanner("d");
+        det.run(&one_obstacle_world(), &VehicleState::route_start());
+        det.skip_period();
+        det.skip_period();
+        let out = det.run(&one_obstacle_world(), &VehicleState::route_start());
+        assert_eq!(out.age, 0);
+    }
+
+    #[test]
+    fn detector_tracks_moving_vehicle() {
+        let world = one_obstacle_world();
+        let mut det = ObjectDetector::with_default_scanner("d");
+        let far = det.run(&world, &VehicleState::new(0.0, 0.0, 0.0, 5.0));
+        let near = det.run(&world, &VehicleState::new(15.0, 0.0, 0.0, 5.0));
+        let (df, dn) = (
+            far.nearest().expect("visible").distance,
+            near.nearest().expect("visible").distance,
+        );
+        assert!(dn < df, "approaching should shrink distance: {df} -> {dn}");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let set = DetectionSet { detections: vec![], age: 3 };
+        assert_eq!(set.to_string(), "0 detection(s), age 3");
+    }
+}

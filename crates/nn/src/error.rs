@@ -1,0 +1,55 @@
+//! Error type for the neural network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or training networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer or network was given inconsistent dimensions.
+    ShapeMismatch {
+        /// What was being constructed or applied.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// A network topology had fewer than two layer sizes.
+    TopologyTooSmall,
+    /// Training was configured with an empty population or zero elites.
+    InvalidTraining {
+        /// Description of the broken knob.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { context, expected, actual } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            }
+            Self::TopologyTooSmall => {
+                write!(f, "network topology needs at least an input and an output size")
+            }
+            Self::InvalidTraining { reason } => write!(f, "invalid training config: {reason}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NnError::ShapeMismatch { context: "forward", expected: 4, actual: 3 };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(NnError::TopologyTooSmall.to_string().contains("topology"));
+        assert!(NnError::InvalidTraining { reason: "x" }.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Dense layers and activations with manual backprop.
+
+use crate::error::NnError;
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Pointwise nonlinearity applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+    /// `f(x) = 1 / (1 + e^-x)`.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[must_use]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Self::Identity => x,
+            Self::Relu => x.max(0.0),
+            Self::Tanh => x.tanh(),
+            Self::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)` (all four
+    /// activations admit this form, which is what backprop caches).
+    #[must_use]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Self::Identity => 1.0,
+            Self::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::Tanh => 1.0 - y * y,
+            Self::Sigmoid => y * (1.0 - y),
+        }
+    }
+}
+
+/// A fully-connected layer `y = f(Wx + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+/// Cached forward pass of one layer, consumed by [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct LayerCache {
+    /// The layer input.
+    pub input: Vec<f64>,
+    /// The post-activation output.
+    pub output: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier/Glorot-uniform initialized weights and
+    /// zero biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if either dimension is zero.
+    pub fn new<R: Rng>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Result<Self, NnError> {
+        if input_dim == 0 {
+            return Err(NnError::ShapeMismatch { context: "dense input", expected: 1, actual: 0 });
+        }
+        if output_dim == 0 {
+            return Err(NnError::ShapeMismatch { context: "dense output", expected: 1, actual: 0 });
+        }
+        let limit = (6.0 / (input_dim + output_dim) as f64).sqrt();
+        let mut weights = Matrix::zeros(output_dim, input_dim);
+        for w in weights.as_mut_slice() {
+            *w = rng.gen_range(-limit..=limit);
+        }
+        Ok(Self { weights, biases: vec![0.0; output_dim], activation })
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The layer's activation.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.biases.len()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim` (callers validate at the
+    /// network boundary).
+    #[must_use]
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = self.weights.matvec(input);
+        for (o, b) in out.iter_mut().zip(&self.biases) {
+            *o = self.activation.apply(*o + b);
+        }
+        out
+    }
+
+    /// Forward pass that also returns the cache needed for backprop.
+    #[must_use]
+    pub fn forward_cached(&self, input: &[f64]) -> LayerCache {
+        LayerCache { input: input.to_vec(), output: self.forward(input) }
+    }
+
+    /// Backward pass: given `d_loss/d_output`, updates weights and biases by
+    /// one SGD step of size `lr` and returns `d_loss/d_input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch between `grad_output` and the layer.
+    pub fn backward(&mut self, cache: &LayerCache, grad_output: &[f64], lr: f64) -> Vec<f64> {
+        assert_eq!(grad_output.len(), self.output_dim(), "grad dimension mismatch");
+        // delta = dL/dy * f'(y)
+        let delta: Vec<f64> = grad_output
+            .iter()
+            .zip(&cache.output)
+            .map(|(&g, &y)| g * self.activation.derivative_from_output(y))
+            .collect();
+        let grad_input = self.weights.matvec_transposed(&delta);
+        // SGD update: W -= lr * delta xᵀ, b -= lr * delta.
+        self.weights.add_outer(&delta, &cache.input, -lr);
+        for (b, &d) in self.biases.iter_mut().zip(&delta) {
+            *b -= lr * d;
+        }
+        grad_input
+    }
+
+    /// Copies all parameters (weights row-major, then biases) into `out`,
+    /// returning how many values were written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than [`Self::param_count`].
+    pub fn write_params(&self, out: &mut [f64]) -> usize {
+        let n = self.param_count();
+        let w = self.weights.as_slice();
+        out[..w.len()].copy_from_slice(w);
+        out[w.len()..n].copy_from_slice(&self.biases);
+        n
+    }
+
+    /// Loads parameters from a flat slice (inverse of [`Self::write_params`]),
+    /// returning how many values were read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is shorter than [`Self::param_count`].
+    pub fn read_params(&mut self, params: &[f64]) -> usize {
+        let n = self.param_count();
+        let w_len = self.weights.rows() * self.weights.cols();
+        self.weights.as_mut_slice().copy_from_slice(&params[..w_len]);
+        self.biases.copy_from_slice(&params[w_len..n]);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn activations_match_definitions() {
+        assert_eq!(Activation::Identity.apply(-2.0), -2.0);
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-12);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_from_output() {
+        // tanh'(x) = 1 - tanh(x)^2
+        let y = Activation::Tanh.apply(0.7);
+        assert!((Activation::Tanh.derivative_from_output(y) - (1.0 - y * y)).abs() < 1e-12);
+        // sigmoid'(x) = s(1-s)
+        let s = Activation::Sigmoid.apply(0.3);
+        assert!((Activation::Sigmoid.derivative_from_output(s) - s * (1.0 - s)).abs() < 1e-12);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::Relu.derivative_from_output(1.0), 1.0);
+        assert_eq!(Activation::Identity.derivative_from_output(123.0), 1.0);
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let layer = Dense::new(3, 5, Activation::Relu, &mut rng()).expect("valid dims");
+        let out = layer.forward(&[0.1, 0.2, 0.3]);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out, layer.forward(&[0.1, 0.2, 0.3]));
+        assert!(out.iter().all(|&v| v >= 0.0), "relu output is non-negative");
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(Dense::new(0, 5, Activation::Relu, &mut rng()).is_err());
+        assert!(Dense::new(5, 0, Activation::Relu, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut shared_rng = rng();
+        let layer = Dense::new(4, 3, Activation::Tanh, &mut shared_rng).expect("valid dims");
+        let mut buf = vec![0.0; layer.param_count()];
+        assert_eq!(layer.write_params(&mut buf), 15);
+        let mut other = Dense::new(4, 3, Activation::Tanh, &mut shared_rng).expect("valid dims");
+        assert_ne!(other.forward(&[1.0; 4]), layer.forward(&[1.0; 4]));
+        other.read_params(&buf);
+        assert_eq!(other.forward(&[1.0; 4]), layer.forward(&[1.0; 4]));
+    }
+
+    #[test]
+    fn backward_reduces_loss_on_linear_target() {
+        // Learn y = 2x with a single identity layer.
+        let mut layer = Dense::new(1, 1, Activation::Identity, &mut rng()).expect("valid dims");
+        let mut last_loss = f64::INFINITY;
+        for _ in 0..200 {
+            let mut loss = 0.0;
+            for x in [-1.0, -0.5, 0.5, 1.0] {
+                let cache = layer.forward_cached(&[x]);
+                let target = 2.0 * x;
+                let err = cache.output[0] - target;
+                loss += err * err;
+                layer.backward(&cache, &[2.0 * err], 0.05);
+            }
+            last_loss = loss;
+        }
+        assert!(last_loss < 1e-6, "loss should converge, got {last_loss}");
+        assert!((layer.forward(&[3.0])[0] - 6.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_difference() {
+        let layer = Dense::new(2, 2, Activation::Tanh, &mut rng()).expect("valid dims");
+        let x = [0.3, -0.7];
+        let cache = layer.forward_cached(&x);
+        // Loss = sum(outputs); dL/dy = 1.
+        let grad_in = layer.clone().backward(&cache, &[1.0, 1.0], 0.0);
+        let eps = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fp: f64 = layer.forward(&xp).iter().sum();
+            let fm: f64 = layer.forward(&xm).iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad_in[i] - numeric).abs() < 1e-6,
+                "analytic {} vs numeric {numeric}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let layer = Dense::new(2, 2, Activation::Sigmoid, &mut rng()).expect("valid dims");
+        let json = serde_json::to_string(&layer).expect("serialize");
+        let back: Dense = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, layer);
+    }
+}

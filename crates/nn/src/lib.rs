@@ -1,0 +1,60 @@
+//! # seo-nn
+//!
+//! From-scratch neural network substrate for the SEO reproduction
+//! (DAC 2023, arXiv:2302.12493).
+//!
+//! The paper's evaluation uses three learned components:
+//!
+//! 1. an **RL agent** (steering + throttle controller) trained for 2000
+//!    episodes on a CARLA route;
+//! 2. a **variational autoencoder** (from ShieldNN) in the critical subset
+//!    Λ″;
+//! 3. two **ResNet-152 object detectors** in the optimizable subset Λ′.
+//!
+//! None of these require GPU-scale networks to reproduce the *scheduling*
+//! behaviour SEO studies — they require components with the same roles. This
+//! crate provides them, built on a small dependency-free NN stack:
+//!
+//! * [`tensor`] — dense matrices/vectors with the handful of BLAS-like ops
+//!   an MLP needs.
+//! * [`layer`] / [`mlp`] — fully-connected layers with activations, forward
+//!   inference, manual backprop, and flat parameter (de)serialization.
+//! * [`train`] — gradient-descent (for the autoencoder) and Cross-Entropy
+//!   Method (for the policy) trainers.
+//! * [`policy`] — the driving policy: observation featurization, action
+//!   decoding, and CEM training against `seo-sim` episodes.
+//! * [`autoencoder`] — a ray-scan autoencoder standing in for the ShieldNN
+//!   VAE in Λ″.
+//! * [`detector`] — simulated object detectors for Λ′, with output staleness
+//!   when the model is gated.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_nn::mlp::Mlp;
+//! use seo_nn::layer::Activation;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let net = Mlp::new(&[4, 8, 2], Activation::Tanh, Activation::Identity, &mut rng)?;
+//! let out = net.forward(&[0.1, -0.2, 0.3, 0.4]);
+//! assert_eq!(out.len(), 2);
+//! # Ok::<(), seo_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoencoder;
+pub mod detector;
+pub mod error;
+pub mod layer;
+pub mod mlp;
+pub mod policy;
+pub mod tensor;
+pub mod train;
+
+pub use error::NnError;
+pub use mlp::Mlp;
+pub use policy::DrivingPolicy;

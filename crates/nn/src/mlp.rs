@@ -1,0 +1,286 @@
+//! Multi-layer perceptrons: stacked [`Dense`] layers with a shared API for
+//! inference, backprop training, and flat-parameter access (used by the
+//! Cross-Entropy Method trainer).
+
+use crate::error::NnError;
+use crate::layer::{Activation, Dense, LayerCache};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A feed-forward network of dense layers.
+///
+/// All hidden layers share one activation; the output layer has its own
+/// (typically [`Activation::Identity`] for regression heads or
+/// [`Activation::Tanh`] for bounded control heads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `&[8, 16, 16, 2]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::TopologyTooSmall`] for fewer than two sizes and
+    /// [`NnError::ShapeMismatch`] if any size is zero.
+    pub fn new<R: Rng>(
+        sizes: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut R,
+    ) -> Result<Self, NnError> {
+        if sizes.len() < 2 {
+            return Err(NnError::TopologyTooSmall);
+        }
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (i, pair) in sizes.windows(2).enumerate() {
+            let activation = if i + 2 == sizes.len() { output } else { hidden };
+            layers.push(Dense::new(pair[0], pair[1], activation, rng)?);
+        }
+        Ok(Self { layers })
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("mlp has layers").output_dim()
+    }
+
+    /// Total trainable parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim()`.
+    #[must_use]
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim(), "mlp input dimension mismatch");
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// One SGD step on the squared error against `target`; returns the MSE
+    /// *before* the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`/`target` dimensions do not match the network.
+    pub fn train_step(&mut self, input: &[f64], target: &[f64], lr: f64) -> f64 {
+        assert_eq!(target.len(), self.output_dim(), "mlp target dimension mismatch");
+        let mut loss = 0.0;
+        let n = target.len() as f64;
+        self.backprop_step(input, lr, |output| {
+            loss = output.iter().zip(target).map(|(&y, &t)| (y - t).powi(2)).sum::<f64>() / n;
+            output.iter().zip(target).map(|(&y, &t)| 2.0 * (y - t) / n).collect()
+        });
+        loss
+    }
+
+    /// Generic backprop step: runs a cached forward pass, asks `grad_of` for
+    /// the loss gradient at the output, applies one SGD update of size `lr`,
+    /// and returns the loss gradient with respect to the **input** — which
+    /// lets callers chain networks (e.g. decoder into encoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or the gradient produced by `grad_of` has the wrong
+    /// dimension.
+    pub fn backprop_step<F>(&mut self, input: &[f64], lr: f64, grad_of: F) -> Vec<f64>
+    where
+        F: FnOnce(&[f64]) -> Vec<f64>,
+    {
+        assert_eq!(input.len(), self.input_dim(), "mlp input dimension mismatch");
+        let mut caches: Vec<LayerCache> = Vec::with_capacity(self.layers.len());
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            let cache = layer.forward_cached(&x);
+            x = cache.output.clone();
+            caches.push(cache);
+        }
+        let mut grad = grad_of(&x);
+        assert_eq!(grad.len(), self.output_dim(), "mlp output gradient dimension mismatch");
+        for (layer, cache) in self.layers.iter_mut().zip(&caches).rev() {
+            grad = layer.backward(cache, &grad, lr);
+        }
+        grad
+    }
+
+    /// Copies all parameters into a fresh flat vector
+    /// (layer order, weights row-major then biases).
+    #[must_use]
+    pub fn to_params(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.param_count()];
+        let mut offset = 0;
+        for layer in &self.layers {
+            offset += layer.write_params(&mut out[offset..]);
+        }
+        out
+    }
+
+    /// Loads parameters from a flat vector (inverse of [`Self::to_params`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `params.len()` differs from
+    /// [`Self::param_count`].
+    pub fn set_params(&mut self, params: &[f64]) -> Result<(), NnError> {
+        if params.len() != self.param_count() {
+            return Err(NnError::ShapeMismatch {
+                context: "set_params",
+                expected: self.param_count(),
+                actual: params.len(),
+            });
+        }
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            offset += layer.read_params(&params[offset..]);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mlp {}->{} ({} layers, {} params)",
+            self.input_dim(),
+            self.output_dim(),
+            self.layer_count(),
+            self.param_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn topology_and_counts() {
+        let net = Mlp::new(&[4, 8, 2], Activation::Tanh, Activation::Identity, &mut rng())
+            .expect("valid");
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.layer_count(), 2);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn too_small_topology_rejected() {
+        assert_eq!(
+            Mlp::new(&[4], Activation::Tanh, Activation::Identity, &mut rng()).unwrap_err(),
+            NnError::TopologyTooSmall
+        );
+        assert!(Mlp::new(&[], Activation::Tanh, Activation::Identity, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn zero_layer_size_rejected() {
+        assert!(Mlp::new(&[4, 0, 2], Activation::Tanh, Activation::Identity, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_bounded_with_tanh_head() {
+        let net =
+            Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Tanh, &mut rng()).expect("valid");
+        let out = net.forward(&[0.5, -1.0, 2.0]);
+        assert_eq!(out, net.forward(&[0.5, -1.0, 2.0]));
+        assert!(out.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn param_roundtrip_preserves_function() {
+        let net = Mlp::new(&[5, 7, 3], Activation::Tanh, Activation::Identity, &mut rng())
+            .expect("valid");
+        let params = net.to_params();
+        let mut other = Mlp::new(&[5, 7, 3], Activation::Tanh, Activation::Identity, &mut rng())
+            .expect("valid");
+        other.set_params(&params).expect("matching count");
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(net.forward(&x), other.forward(&x));
+    }
+
+    #[test]
+    fn set_params_rejects_wrong_length() {
+        let mut net = Mlp::new(&[2, 2], Activation::Tanh, Activation::Identity, &mut rng())
+            .expect("valid");
+        let err = net.set_params(&[0.0; 3]).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { context: "set_params", .. }));
+    }
+
+    #[test]
+    fn sgd_learns_xor() {
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut rng())
+            .expect("valid");
+        let data = [
+            ([0.0, 0.0], [0.0]),
+            ([0.0, 1.0], [1.0]),
+            ([1.0, 0.0], [1.0]),
+            ([1.0, 1.0], [0.0]),
+        ];
+        for _ in 0..3000 {
+            for (x, t) in &data {
+                net.train_step(x, t, 0.5);
+            }
+        }
+        for (x, t) in &data {
+            let y = net.forward(x)[0];
+            assert!(
+                (y - t[0]).abs() < 0.2,
+                "xor({x:?}) = {y}, expected {}",
+                t[0]
+            );
+        }
+    }
+
+    #[test]
+    fn train_step_returns_decreasing_loss() {
+        let mut net = Mlp::new(&[1, 4, 1], Activation::Tanh, Activation::Identity, &mut rng())
+            .expect("valid");
+        let first = net.train_step(&[0.5], &[0.3], 0.1);
+        let mut last = first;
+        for _ in 0..100 {
+            last = net.train_step(&[0.5], &[0.3], 0.1);
+        }
+        assert!(last < first, "loss should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn display_and_serde() {
+        let net =
+            Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Identity, &mut rng()).expect("ok");
+        assert!(net.to_string().contains("2->1"));
+        let json = serde_json::to_string(&net).expect("serialize");
+        let back: Mlp = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, net);
+    }
+}

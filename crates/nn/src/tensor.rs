@@ -1,0 +1,302 @@
+//! Minimal dense linear algebra for MLP workloads.
+//!
+//! A deliberately small surface: row-major [`Matrix`] with matrix–vector
+//! products, outer products, and elementwise helpers — exactly what forward
+//! inference and backprop over dense layers need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use seo_nn::tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from explicit row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the flat row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Matrix–vector product `M * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `Mᵀ * y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows`.
+    #[must_use]
+    pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (row, &yi) in self.data.chunks_exact(self.cols).zip(y) {
+            for (o, &m) in out.iter_mut().zip(row) {
+                *o += m * yi;
+            }
+        }
+        out
+    }
+
+    /// Accumulates the outer product `alpha * y xᵀ` into the matrix
+    /// (the weight-gradient update of a dense layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, y: &[f64], x: &[f64], alpha: f64) {
+        assert_eq!(y.len(), self.rows, "outer product row mismatch");
+        assert_eq!(x.len(), self.cols, "outer product col mismatch");
+        for (row, &yi) in self.data.chunks_exact_mut(self.cols).zip(y) {
+            for (m, &xj) in row.iter_mut().zip(x) {
+                *m += alpha * yi * xj;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} matrix", self.rows, self.cols)
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `a += alpha * b`.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn axpy(a: &mut [f64], b: &[f64], alpha: f64) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics on length mismatch or empty slices.
+#[must_use]
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse length mismatch");
+    assert!(!a.is_empty(), "mse of empty slices");
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(m.matvec(&[3.0, 4.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn transposed_matvec_matches_manual() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let out = m.matvec_transposed(&[1.0, 0.0, 1.0]);
+        assert_eq!(out, vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0], 0.5);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(0, 2), -0.5);
+        assert_eq!(m.get(1, 0), 1.0);
+        m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0], 0.5);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 0, 7.0);
+        assert_eq!(m.get(1, 0), 7.0);
+        assert_eq!(m.as_slice()[2], 7.0);
+        m.as_mut_slice()[3] = 9.0;
+        assert_eq!(m.get(1, 1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let _ = Matrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_wrong_len_panics() {
+        let _ = Matrix::zeros(2, 3).matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let m = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn frobenius() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helper_functions() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, &[2.0, 4.0], 0.5);
+        assert_eq!(a, vec![2.0, 3.0]);
+        assert!((mse(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_and_serde() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.to_string(), "2x3 matrix");
+        let json = serde_json::to_string(&m).expect("serialize");
+        let back: Matrix = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, m);
+    }
+}

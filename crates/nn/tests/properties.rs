@@ -1,0 +1,120 @@
+//! Property-based tests for the neural network substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seo_nn::layer::Activation;
+use seo_nn::mlp::Mlp;
+use seo_nn::policy::{DrivingPolicy, PolicyFeatures};
+use seo_nn::tensor::{dot, Matrix};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-3.0..3.0f64, len)
+}
+
+proptest! {
+    #[test]
+    fn matvec_is_linear(
+        a in small_vec(6),
+        b in small_vec(6),
+        alpha in -2.0..2.0f64,
+    ) {
+        // M(alpha a + b) == alpha M a + M b for a fixed matrix.
+        let m = Matrix::from_flat(3, 6, (0..18).map(|i| (i as f64) * 0.1 - 0.9).collect());
+        let combined: Vec<f64> =
+            a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
+        let left = m.matvec(&combined);
+        let ma = m.matvec(&a);
+        let mb = m.matvec(&b);
+        for i in 0..3 {
+            let right = alpha * ma[i] + mb[i];
+            prop_assert!((left[i] - right).abs() < 1e-9, "{} vs {right}", left[i]);
+        }
+    }
+
+    #[test]
+    fn matvec_transposed_is_adjoint(x in small_vec(4), y in small_vec(3)) {
+        // <Mx, y> == <x, M^T y>.
+        let m = Matrix::from_flat(3, 4, (0..12).map(|i| ((i * 7) % 5) as f64 - 2.0).collect());
+        let lhs = dot(&m.matvec(&x), &y);
+        let rhs = dot(&x, &m.matvec_transposed(&y));
+        prop_assert!((lhs - rhs).abs() < 1e-9, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn activations_are_monotone(x in -10.0..10.0f64, dx in 0.0..5.0f64) {
+        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            prop_assert!(act.apply(x + dx) >= act.apply(x) - 1e-12, "{act:?} not monotone");
+        }
+    }
+
+    #[test]
+    fn activation_derivatives_are_nonnegative(x in -10.0..10.0f64) {
+        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            let y = act.apply(x);
+            prop_assert!(act.derivative_from_output(y) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mlp_params_roundtrip_exactly(seed in 0u64..1000, input in small_vec(5)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[5, 9, 3], Activation::Tanh, Activation::Identity, &mut rng)
+            .expect("valid topology");
+        let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut other = Mlp::new(&[5, 9, 3], Activation::Tanh, Activation::Identity, &mut rng2)
+            .expect("valid topology");
+        other.set_params(&net.to_params()).expect("matching shapes");
+        prop_assert_eq!(net.forward(&input), other.forward(&input));
+    }
+
+    #[test]
+    fn mlp_outputs_are_finite(seed in 0u64..200, input in small_vec(4)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[4, 8, 8, 2], Activation::Relu, Activation::Tanh, &mut rng)
+            .expect("valid topology");
+        let out = net.forward(&input);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+        prop_assert!(out.iter().all(|v| v.abs() <= 1.0), "tanh head bounds outputs");
+    }
+
+    #[test]
+    fn sgd_step_moves_toward_target(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&[2, 6, 1], Activation::Tanh, Activation::Identity, &mut rng)
+            .expect("valid topology");
+        let input = [0.4, -0.2];
+        let target = [0.7];
+        let before = (net.forward(&input)[0] - target[0]).powi(2);
+        for _ in 0..20 {
+            net.train_step(&input, &target, 0.1);
+        }
+        let after = (net.forward(&input)[0] - target[0]).powi(2);
+        prop_assert!(after <= before + 1e-12, "loss must not grow: {before} -> {after}");
+    }
+
+    #[test]
+    fn policy_actions_always_actuatable(
+        seed in 0u64..100,
+        lateral in -1.5..1.5f64,
+        heading in -1.5..1.5f64,
+        speed in 0.0..1.0f64,
+        proximity in 0.0..1.0f64,
+        bearing in -3.0..3.0f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = DrivingPolicy::new(&mut rng).expect("fixed topology");
+        let f = PolicyFeatures {
+            lateral,
+            heading,
+            speed,
+            obstacle_proximity: proximity,
+            obstacle_bearing: bearing,
+            obstacle_lateral: lateral * 0.5,
+            progress: 0.3,
+        };
+        let u = policy.act(&f);
+        prop_assert!(u.steering.abs() <= 1.0);
+        prop_assert!(u.throttle.abs() <= 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Energy accounting.
+//!
+//! SEO experiments compare an optimized schedule against an always-local
+//! baseline. The [`EnergyLedger`] attributes every joule to an
+//! [`EnergyCategory`] so experiment reports can answer both "how much energy
+//! did we save" and "where did the remaining energy go".
+
+use crate::error::PlatformError;
+use crate::units::Joules;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a quantum of energy was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum EnergyCategory {
+    /// Local neural-network inference (full or gated).
+    Compute,
+    /// Wireless transmission for task offloading.
+    Transmission,
+    /// Sensor measurement circuitry (`P_meas`).
+    SensorMeasurement,
+    /// Sensor mechanical components (`P_mech`), never gateable.
+    SensorMechanical,
+}
+
+impl EnergyCategory {
+    /// All categories, in reporting order.
+    pub const ALL: [Self; 4] =
+        [Self::Compute, Self::Transmission, Self::SensorMeasurement, Self::SensorMechanical];
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Compute => "compute",
+            Self::Transmission => "transmission",
+            Self::SensorMeasurement => "sensor-measurement",
+            Self::SensorMechanical => "sensor-mechanical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulates energy consumption by category.
+///
+/// # Example
+///
+/// ```
+/// use seo_platform::energy::{EnergyCategory, EnergyLedger};
+/// use seo_platform::units::Joules;
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.record(EnergyCategory::Compute, Joules::new(0.119));
+/// ledger.record(EnergyCategory::Transmission, Joules::new(0.013));
+/// assert!((ledger.total().as_joules() - 0.132).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    compute: Joules,
+    transmission: Joules,
+    sensor_measurement: Joules,
+    sensor_mechanical: Joules,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to `category`.
+    ///
+    /// Negative or non-finite amounts are ignored with a debug assertion —
+    /// consumed energy is monotone.
+    pub fn record(&mut self, category: EnergyCategory, amount: Joules) {
+        debug_assert!(amount.is_valid(), "recorded energy {amount} must be valid");
+        if !amount.is_valid() {
+            return;
+        }
+        *self.slot_mut(category) += amount;
+    }
+
+    /// Energy recorded under `category`.
+    #[must_use]
+    pub fn by_category(&self, category: EnergyCategory) -> Joules {
+        match category {
+            EnergyCategory::Compute => self.compute,
+            EnergyCategory::Transmission => self.transmission,
+            EnergyCategory::SensorMeasurement => self.sensor_measurement,
+            EnergyCategory::SensorMechanical => self.sensor_mechanical,
+        }
+    }
+
+    fn slot_mut(&mut self, category: EnergyCategory) -> &mut Joules {
+        match category {
+            EnergyCategory::Compute => &mut self.compute,
+            EnergyCategory::Transmission => &mut self.transmission,
+            EnergyCategory::SensorMeasurement => &mut self.sensor_measurement,
+            EnergyCategory::SensorMechanical => &mut self.sensor_mechanical,
+        }
+    }
+
+    /// Total energy across all categories.
+    #[must_use]
+    pub fn total(&self) -> Joules {
+        self.compute + self.transmission + self.sensor_measurement + self.sensor_mechanical
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.compute += other.compute;
+        self.transmission += other.transmission;
+        self.sensor_measurement += other.sensor_measurement;
+        self.sensor_mechanical += other.sensor_mechanical;
+    }
+
+    /// Fractional energy **gain** of this (optimized) ledger over a
+    /// `baseline` ledger: `1 - total / baseline_total`.
+    ///
+    /// A positive gain means this schedule consumed less energy than the
+    /// baseline; the paper reports these as percentages (e.g. 89.9 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ZeroBaseline`] if the baseline total is zero.
+    pub fn gain_over(&self, baseline: &Self) -> Result<f64, PlatformError> {
+        let base = baseline.total().as_joules();
+        if base == 0.0 {
+            return Err(PlatformError::ZeroBaseline);
+        }
+        Ok(1.0 - self.total().as_joules() / base)
+    }
+
+    /// Normalized energy of this ledger relative to a baseline
+    /// (`total / baseline_total`, the vertical axis of the paper's Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::ZeroBaseline`] if the baseline total is zero.
+    pub fn normalized_against(&self, baseline: &Self) -> Result<f64, PlatformError> {
+        Ok(1.0 - self.gain_over(baseline)?)
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.4} J (compute {:.4}, tx {:.4}, meas {:.4}, mech {:.4})",
+            self.total().as_joules(),
+            self.compute.as_joules(),
+            self.transmission.as_joules(),
+            self.sensor_measurement.as_joules(),
+            self.sensor_mechanical.as_joules()
+        )
+    }
+}
+
+impl std::iter::Sum for EnergyLedger {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for ledger in iter {
+            acc.merge(&ledger);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(compute: f64, tx: f64) -> EnergyLedger {
+        let mut l = EnergyLedger::new();
+        l.record(EnergyCategory::Compute, Joules::new(compute));
+        l.record(EnergyCategory::Transmission, Joules::new(tx));
+        l
+    }
+
+    #[test]
+    fn records_and_totals() {
+        let mut l = EnergyLedger::new();
+        for (i, cat) in EnergyCategory::ALL.iter().enumerate() {
+            l.record(*cat, Joules::new(i as f64 + 1.0));
+        }
+        assert_eq!(l.total(), Joules::new(10.0));
+        assert_eq!(l.by_category(EnergyCategory::SensorMechanical), Joules::new(4.0));
+    }
+
+    #[test]
+    fn gain_over_baseline() {
+        let optimized = ledger(0.119, 0.039);
+        let baseline = ledger(0.476, 0.0);
+        let gain = optimized.gain_over(&baseline).expect("nonzero baseline");
+        assert!((gain - (1.0 - 0.158 / 0.476)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_is_one_minus_gain() {
+        let optimized = ledger(0.5, 0.0);
+        let baseline = ledger(1.0, 0.0);
+        assert!((optimized.normalized_against(&baseline).expect("ok") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_is_error() {
+        let l = ledger(1.0, 0.0);
+        assert_eq!(l.gain_over(&EnergyLedger::new()).unwrap_err(), PlatformError::ZeroBaseline);
+    }
+
+    #[test]
+    fn merge_and_sum() {
+        let a = ledger(1.0, 2.0);
+        let b = ledger(3.0, 4.0);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.total(), Joules::new(10.0));
+        let s: EnergyLedger = [a, b].into_iter().sum();
+        assert_eq!(s, m);
+    }
+
+    #[test]
+    fn identical_ledgers_have_zero_gain() {
+        let l = ledger(2.0, 1.0);
+        assert!((l.gain_over(&l).expect("ok")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_record_is_ignored_in_release() {
+        // debug_assert fires in tests, so use a catch to verify behaviour in
+        // the release path is "ignore".
+        let result = std::panic::catch_unwind(|| {
+            let mut l = EnergyLedger::new();
+            l.record(EnergyCategory::Compute, Joules::new(-1.0));
+            l
+        });
+        if let Ok(l) = result {
+            assert_eq!(l.total(), Joules::ZERO);
+        }
+    }
+
+    #[test]
+    fn display_lists_all_categories() {
+        let text = ledger(1.0, 2.0).to_string();
+        assert!(text.contains("compute"));
+        assert!(text.contains("tx"));
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(EnergyCategory::Compute.to_string(), "compute");
+        assert_eq!(EnergyCategory::SensorMechanical.to_string(), "sensor-mechanical");
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for platform characterization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or using platform characterizations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// A physical quantity was non-finite or negative.
+    InvalidQuantity {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The raw offending value.
+        value: f64,
+    },
+    /// A ledger gain computation was requested against a zero-energy baseline.
+    ZeroBaseline,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidQuantity { field, value } => {
+                write!(f, "invalid value {value} for {field}: must be finite and non-negative")
+            }
+            Self::ZeroBaseline => write!(f, "baseline energy is zero, gains are undefined"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PlatformError::InvalidQuantity { field: "latency", value: -1.0 };
+        assert!(e.to_string().contains("latency"));
+        assert!(PlatformError::ZeroBaseline.to_string().contains("baseline"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlatformError>();
+    }
+}

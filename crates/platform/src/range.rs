@@ -1,0 +1,238 @@
+//! Driving-range impact of the compute platform.
+//!
+//! The paper's introduction motivates energy management with the
+//! observation that "a power-hungry computing platform can worsen the
+//! performance of other broader system functionalities, as in how an ADS
+//! can cause reductions in a vehicle's driving range by a factor reaching
+//! 12 %" (Lin et al., ASPLOS'18). This module closes the loop: given the
+//! vehicle's traction energy budget and the ADS platform's average power,
+//! it converts the energy gains SEO achieves back into recovered driving
+//! range.
+
+use crate::error::PlatformError;
+use crate::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Electric-vehicle energy model for range-impact analysis.
+///
+/// # Example
+///
+/// ```
+/// use seo_platform::range::RangeModel;
+/// use seo_platform::units::Watts;
+///
+/// let ev = RangeModel::compact_ev()?;
+/// // An always-on 1 kW ADS platform costs a few percent of range.
+/// let loss = ev.range_loss_fraction(Watts::new(1000.0));
+/// assert!(loss > 0.02 && loss < 0.10, "loss was {loss}");
+/// # Ok::<(), seo_platform::PlatformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangeModel {
+    /// Usable battery energy, joules.
+    battery_energy: Joules,
+    /// Traction power draw at the nominal cruising speed, watts.
+    traction_power: Watts,
+    /// Nominal cruising speed, m/s.
+    cruise_speed: f64,
+}
+
+impl RangeModel {
+    /// Creates a range model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQuantity`] when any quantity is
+    /// non-positive or non-finite.
+    pub fn new(
+        battery_energy: Joules,
+        traction_power: Watts,
+        cruise_speed: f64,
+    ) -> Result<Self, PlatformError> {
+        if !(battery_energy.is_valid() && battery_energy.as_joules() > 0.0) {
+            return Err(PlatformError::InvalidQuantity {
+                field: "battery_energy",
+                value: battery_energy.as_joules(),
+            });
+        }
+        if !(traction_power.is_valid() && traction_power.as_watts() > 0.0) {
+            return Err(PlatformError::InvalidQuantity {
+                field: "traction_power",
+                value: traction_power.as_watts(),
+            });
+        }
+        if !(cruise_speed.is_finite() && cruise_speed > 0.0) {
+            return Err(PlatformError::InvalidQuantity {
+                field: "cruise_speed",
+                value: cruise_speed,
+            });
+        }
+        Ok(Self { battery_energy, traction_power, cruise_speed })
+    }
+
+    /// A compact EV: 40 kWh usable battery, 12 kW traction draw at a
+    /// 20 m/s (72 km/h) cruise.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for API uniformity.
+    pub fn compact_ev() -> Result<Self, PlatformError> {
+        Self::new(Joules::new(40.0 * 3.6e6), Watts::new(12_000.0), 20.0)
+    }
+
+    /// Usable battery energy.
+    #[must_use]
+    pub fn battery_energy(&self) -> Joules {
+        self.battery_energy
+    }
+
+    /// Driving range with no ADS platform running, meters.
+    #[must_use]
+    pub fn base_range_meters(&self) -> f64 {
+        let driving_time = self.battery_energy / self.traction_power;
+        driving_time.as_secs() * self.cruise_speed
+    }
+
+    /// Driving range with an ADS platform drawing `platform_power`
+    /// continuously, meters.
+    #[must_use]
+    pub fn range_with_platform_meters(&self, platform_power: Watts) -> f64 {
+        let total = self.traction_power + platform_power.max(Watts::ZERO);
+        let driving_time = self.battery_energy / total;
+        driving_time.as_secs() * self.cruise_speed
+    }
+
+    /// Fraction of range lost to the platform (the paper's "up to 12 %"
+    /// motivates heavy multi-GPU platforms).
+    #[must_use]
+    pub fn range_loss_fraction(&self, platform_power: Watts) -> f64 {
+        1.0 - self.range_with_platform_meters(platform_power) / self.base_range_meters()
+    }
+
+    /// Range recovered by reducing the platform's average power from
+    /// `before` to `after` (e.g. by SEO's energy gains), meters.
+    #[must_use]
+    pub fn range_recovered_meters(&self, before: Watts, after: Watts) -> f64 {
+        self.range_with_platform_meters(after) - self.range_with_platform_meters(before)
+    }
+
+    /// Converts an episode's measured energy pair into average platform
+    /// powers and reports the recovered range fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError::InvalidQuantity`] when `duration` is
+    /// non-positive.
+    pub fn recovered_range_fraction(
+        &self,
+        baseline_energy: Joules,
+        optimized_energy: Joules,
+        duration: Seconds,
+    ) -> Result<f64, PlatformError> {
+        if !(duration.is_valid() && duration.as_secs() > 0.0) {
+            return Err(PlatformError::InvalidQuantity {
+                field: "duration",
+                value: duration.as_secs(),
+            });
+        }
+        let before = baseline_energy / duration;
+        let after = optimized_energy / duration;
+        Ok(self.range_recovered_meters(before, after) / self.base_range_meters())
+    }
+}
+
+impl fmt::Display for RangeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EV: {:.0} kWh battery, {:.1} kW traction @ {:.0} m/s ({:.0} km base range)",
+            self.battery_energy.as_joules() / 3.6e6,
+            self.traction_power.as_watts() / 1e3,
+            self.cruise_speed,
+            self.base_range_meters() / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_ev_base_range_is_plausible() {
+        let ev = RangeModel::compact_ev().expect("valid");
+        let km = ev.base_range_meters() / 1e3;
+        assert!((200.0..300.0).contains(&km), "base range {km} km");
+    }
+
+    #[test]
+    fn heavy_platform_approaches_paper_figure() {
+        // The ASPLOS'18 figure: multi-GPU ADS platforms (kWs of draw) can
+        // cost up to ~12 % of range.
+        let ev = RangeModel::compact_ev().expect("valid");
+        let loss = ev.range_loss_fraction(Watts::new(1_600.0));
+        assert!(
+            (0.10..0.14).contains(&loss),
+            "a 1.6 kW platform should cost ~12 %, got {loss}"
+        );
+    }
+
+    #[test]
+    fn zero_platform_power_costs_nothing() {
+        let ev = RangeModel::compact_ev().expect("valid");
+        assert!((ev.range_loss_fraction(Watts::ZERO)).abs() < 1e-12);
+        assert_eq!(ev.range_with_platform_meters(Watts::ZERO), ev.base_range_meters());
+    }
+
+    #[test]
+    fn range_loss_is_monotone_in_power() {
+        let ev = RangeModel::compact_ev().expect("valid");
+        let mut last = -1.0;
+        for p in [0.0, 100.0, 500.0, 1_000.0, 5_000.0] {
+            let loss = ev.range_loss_fraction(Watts::new(p));
+            assert!(loss > last, "loss must grow with power");
+            last = loss;
+        }
+    }
+
+    #[test]
+    fn recovered_range_from_energy_gain() {
+        let ev = RangeModel::compact_ev().expect("valid");
+        // 14 W baseline platform (two detectors at full blast) reduced by
+        // 60 % over a 15 s episode.
+        let duration = Seconds::new(15.0);
+        let baseline = Watts::new(14.0) * duration;
+        let optimized = baseline * 0.4;
+        let recovered = ev
+            .recovered_range_fraction(baseline, optimized, duration)
+            .expect("positive duration");
+        assert!(recovered > 0.0);
+        assert!(recovered < 0.01, "a 14 W platform is a small range factor");
+    }
+
+    #[test]
+    fn recovery_is_zero_when_nothing_changes() {
+        let ev = RangeModel::compact_ev().expect("valid");
+        let e = Joules::new(100.0);
+        let r = ev.recovered_range_fraction(e, e, Seconds::new(10.0)).expect("ok");
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(RangeModel::new(Joules::ZERO, Watts::new(1.0), 1.0).is_err());
+        assert!(RangeModel::new(Joules::new(1.0), Watts::ZERO, 1.0).is_err());
+        assert!(RangeModel::new(Joules::new(1.0), Watts::new(1.0), 0.0).is_err());
+        let ev = RangeModel::compact_ev().expect("valid");
+        assert!(ev
+            .recovered_range_fraction(Joules::new(1.0), Joules::new(1.0), Seconds::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn display_shows_km() {
+        let ev = RangeModel::compact_ev().expect("valid");
+        assert!(ev.to_string().contains("km base range"));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the safety substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building safety components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SafetyError {
+    /// A configuration field was out of range.
+    InvalidConfig {
+        /// Offending field.
+        field: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+    /// A lookup table was built with an empty axis.
+    EmptyTableAxis {
+        /// Which axis was empty.
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, constraint } => {
+                write!(f, "invalid safety config: {field} must {constraint}")
+            }
+            Self::EmptyTableAxis { axis } => {
+                write!(f, "deadline table axis {axis} must have at least two grid points")
+            }
+        }
+    }
+}
+
+impl Error for SafetyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SafetyError::InvalidConfig { field: "alpha", constraint: "be positive" };
+        assert!(e.to_string().contains("alpha"));
+        assert!(SafetyError::EmptyTableAxis { axis: "distance" }.to_string().contains("distance"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Time-to-collision (TTC) deadline — an ablation alternative to the
+//! barrier-crossing φ.
+//!
+//! Section III-B's practical example suggests computing Δmax "as the
+//! time-to-collision through numerical evaluations of φ". A common cheaper
+//! approximation skips the dynamics rollout entirely: `TTC = d / closing
+//! speed`. The ablation bench compares this closed form against the full
+//! barrier-based evaluator; tests verify it is always **at least as
+//! optimistic** (TTC ignores the safety margin, so using it raw would be
+//! unsound — which is exactly why the paper insists on the formal φ).
+
+use crate::barrier::DistanceBarrier;
+use seo_platform::units::Seconds;
+use seo_sim::sensing::RelativeObservation;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form time-to-collision deadline estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TtcEstimator {
+    /// Cap on returned times (mirror of the φ horizon).
+    pub horizon: Seconds,
+    /// Conservatism divisor (mirror of the φ evaluator's κ).
+    pub conservatism: f64,
+}
+
+impl Default for TtcEstimator {
+    /// 80 ms horizon, κ = 10 — matching
+    /// [`SafeIntervalEvaluator::default`](crate::interval::SafeIntervalEvaluator).
+    fn default() -> Self {
+        Self { horizon: Seconds::from_millis(80.0), conservatism: 10.0 }
+    }
+}
+
+impl TtcEstimator {
+    /// `TTC = d / (v · cos θ)`, capped at the horizon, divided by κ.
+    ///
+    /// Returns the horizon when no obstacle exists or the vehicle is not
+    /// closing on it (`cos θ <= 0` or `v = 0`).
+    #[must_use]
+    pub fn deadline(&self, observation: &RelativeObservation) -> Seconds {
+        if !observation.distance.is_finite() {
+            return self.horizon;
+        }
+        let closing_speed = observation.speed * observation.bearing.cos();
+        if closing_speed <= 1e-9 {
+            return self.horizon;
+        }
+        let raw = observation.distance / closing_speed;
+        Seconds::new(raw / self.conservatism).min(self.horizon)
+    }
+
+    /// TTC deadline reduced by the barrier's margin: `d` is replaced by the
+    /// *barrier slack* `h(x)`, yielding a sound-but-cheap deadline that the
+    /// ablation compares against the rollout-based φ.
+    #[must_use]
+    pub fn margin_aware_deadline(
+        &self,
+        observation: &RelativeObservation,
+        barrier: &DistanceBarrier,
+    ) -> Seconds {
+        let h = barrier.value(observation);
+        if !h.is_finite() {
+            return self.horizon;
+        }
+        if h <= 0.0 {
+            return Seconds::ZERO;
+        }
+        let closing_speed = observation.speed * observation.bearing.cos();
+        if closing_speed <= 1e-9 {
+            return self.horizon;
+        }
+        Seconds::new(h / closing_speed / self.conservatism).min(self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::SafeIntervalEvaluator;
+    use seo_sim::vehicle::Control;
+
+    fn obs(distance: f64, bearing: f64, speed: f64) -> RelativeObservation {
+        RelativeObservation { distance, bearing, speed }
+    }
+
+    #[test]
+    fn no_obstacle_or_no_closing_returns_horizon() {
+        let ttc = TtcEstimator::default();
+        assert_eq!(ttc.deadline(&obs(f64::INFINITY, 0.0, 10.0)), ttc.horizon);
+        assert_eq!(ttc.deadline(&obs(20.0, std::f64::consts::PI, 10.0)), ttc.horizon);
+        assert_eq!(ttc.deadline(&obs(20.0, 0.0, 0.0)), ttc.horizon);
+    }
+
+    #[test]
+    fn head_on_ttc_is_distance_over_speed() {
+        let ttc = TtcEstimator { horizon: Seconds::new(100.0), conservatism: 1.0 };
+        let d = ttc.deadline(&obs(30.0, 0.0, 10.0));
+        assert!((d.as_secs() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_ttc_is_more_optimistic_than_phi() {
+        // TTC ignores the barrier margin, so it must never be shorter than
+        // the barrier-based safe interval under the same kappa.
+        let evaluator = SafeIntervalEvaluator::default();
+        let ttc = TtcEstimator::default();
+        for (d, v) in [(10.0, 8.0), (20.0, 12.0), (35.0, 10.0), (6.0, 5.0)] {
+            let o = obs(d, 0.0, v);
+            let phi = evaluator.safe_interval_relative(&o, Control::new(0.0, 0.5));
+            let t = ttc.deadline(&o);
+            assert!(
+                t >= phi,
+                "TTC {t} shorter than phi {phi} at d={d}, v={v} — it should be optimistic"
+            );
+        }
+    }
+
+    #[test]
+    fn margin_aware_ttc_is_conservative_wrt_raw() {
+        let ttc = TtcEstimator::default();
+        let barrier = DistanceBarrier::default();
+        for (d, v) in [(10.0, 8.0), (20.0, 12.0), (35.0, 10.0)] {
+            let o = obs(d, 0.0, v);
+            assert!(ttc.margin_aware_deadline(&o, &barrier) <= ttc.deadline(&o));
+        }
+    }
+
+    #[test]
+    fn unsafe_state_yields_zero_margin_deadline() {
+        let ttc = TtcEstimator::default();
+        let barrier = DistanceBarrier::default();
+        let o = obs(0.5, 0.0, 10.0);
+        assert_eq!(ttc.margin_aware_deadline(&o, &barrier), Seconds::ZERO);
+    }
+
+    #[test]
+    fn deadline_monotone_in_distance() {
+        let ttc = TtcEstimator::default();
+        let near = ttc.deadline(&obs(8.0, 0.0, 10.0));
+        let far = ttc.deadline(&obs(30.0, 0.0, 10.0));
+        assert!(far >= near);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the safety-layer invariants.
+
+use proptest::prelude::*;
+use seo_platform::units::Seconds;
+use seo_safety::barrier::DistanceBarrier;
+use seo_safety::filter::SafetyFilter;
+use seo_safety::interval::SafeIntervalEvaluator;
+use seo_safety::lookup::{Axis, DeadlineTable};
+use seo_safety::ttc::TtcEstimator;
+use seo_sim::sensing::RelativeObservation;
+use seo_sim::vehicle::{Control, VehicleState};
+use seo_sim::world::{Obstacle, Road, World};
+
+fn observation_strategy() -> impl Strategy<Value = RelativeObservation> {
+    (0.1..80.0f64, -3.1..3.1f64, 0.0..15.0f64)
+        .prop_map(|(distance, bearing, speed)| RelativeObservation { distance, bearing, speed })
+}
+
+proptest! {
+    #[test]
+    fn barrier_is_monotone_in_distance(obs in observation_strategy(), gap in 0.1..20.0f64) {
+        let b = DistanceBarrier::default();
+        let farther = RelativeObservation { distance: obs.distance + gap, ..obs };
+        prop_assert!(b.value(&farther) >= b.value(&obs));
+    }
+
+    #[test]
+    fn barrier_is_antitone_in_speed_head_on(d in 1.0..50.0f64, v in 0.0..14.0f64, dv in 0.1..5.0f64) {
+        let b = DistanceBarrier::default();
+        let slow = RelativeObservation { distance: d, bearing: 0.0, speed: v };
+        let fast = RelativeObservation { distance: d, bearing: 0.0, speed: v + dv };
+        prop_assert!(b.value(&fast) <= b.value(&slow));
+    }
+
+    #[test]
+    fn filter_output_is_always_actuatable(
+        x in 0.0..100.0f64,
+        y in -4.0..4.0f64,
+        v in 0.0..15.0f64,
+        steer in -1.0..1.0f64,
+        throttle in -1.0..1.0f64,
+        obstacle_x in 0.0..100.0f64,
+    ) {
+        let filter = SafetyFilter::default();
+        let world = World::new(Road::default(), vec![Obstacle::new(obstacle_x, 0.0, 1.0)]);
+        let state = VehicleState::new(x, y, 0.0, v);
+        let (u, _) = filter.filter(&world, &state, Control::new(steer, throttle));
+        prop_assert!(u.steering.abs() <= 1.0);
+        prop_assert!(u.throttle.abs() <= 1.0);
+    }
+
+    #[test]
+    fn filter_never_worsens_worst_case_barrier(
+        v in 4.0..14.0f64,
+        obstacle_x in 10.0..60.0f64,
+        steer in -1.0..1.0f64,
+    ) {
+        let filter = SafetyFilter::default();
+        let world = World::new(Road::new(1000.0, 100.0), vec![Obstacle::new(obstacle_x, 0.0, 1.0)]);
+        let state = VehicleState::new(0.0, 0.0, 0.0, v);
+        let raw = Control::new(steer, 1.0);
+        let (u, decision) = filter.filter(&world, &state, raw);
+        if decision.is_correction() {
+            let before = filter.worst_case_barrier(&world, &state, raw);
+            let after = filter.worst_case_barrier(&world, &state, u);
+            prop_assert!(
+                after >= before - 1e-9,
+                "correction worsened the barrier: {before} -> {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn safe_interval_is_never_negative_and_capped(obs in observation_strategy()) {
+        let eval = SafeIntervalEvaluator::default();
+        let t = eval.safe_interval_relative(&obs, Control::new(0.0, 0.5));
+        prop_assert!(t >= Seconds::ZERO);
+        prop_assert!(t <= eval.horizon());
+    }
+
+    #[test]
+    fn higher_conservatism_never_extends_deadlines(
+        obs in observation_strategy(),
+        kappa in 1.0..20.0f64,
+    ) {
+        let base = SafeIntervalEvaluator::default().with_conservatism(kappa);
+        let stricter = SafeIntervalEvaluator::default().with_conservatism(kappa * 2.0);
+        let control = Control::new(0.0, 0.5);
+        prop_assert!(
+            stricter.safe_interval_relative(&obs, control)
+                <= base.safe_interval_relative(&obs, control)
+        );
+    }
+
+    #[test]
+    fn table_query_is_always_in_range(obs in observation_strategy()) {
+        let eval = SafeIntervalEvaluator::default();
+        let table = DeadlineTable::build(
+            &eval,
+            Axis::new(0.0, 60.0, 9).expect("valid"),
+            Axis::new(-3.2, 3.2, 5).expect("valid"),
+            Axis::new(0.0, 15.0, 4).expect("valid"),
+            Control::new(0.0, 0.5),
+        );
+        let t = table.query(&obs);
+        prop_assert!(t >= Seconds::ZERO);
+        prop_assert!(t <= table.horizon());
+    }
+
+    #[test]
+    fn ttc_is_at_least_as_optimistic_as_phi(
+        d in 2.0..60.0f64,
+        v in 1.0..14.0f64,
+    ) {
+        let eval = SafeIntervalEvaluator::default();
+        let ttc = TtcEstimator::default();
+        let obs = RelativeObservation { distance: d, bearing: 0.0, speed: v };
+        prop_assert!(
+            ttc.deadline(&obs) >= eval.safe_interval_relative(&obs, Control::new(0.0, 0.5))
+        );
+    }
+
+    #[test]
+    fn critical_distance_is_exact_zero_contour(v in 0.0..15.0f64) {
+        let b = DistanceBarrier::default();
+        let d = b.critical_distance(v);
+        let at = RelativeObservation { distance: d, bearing: 0.0, speed: v };
+        prop_assert!(b.value(&at).abs() < 1e-9);
+    }
+}

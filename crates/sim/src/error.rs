@@ -1,0 +1,40 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or running the simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration field was out of its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, constraint } => {
+                write!(f, "invalid simulator config: {field} must {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field() {
+        let e = SimError::InvalidConfig { field: "wheelbase", constraint: "be positive" };
+        assert!(e.to_string().contains("wheelbase"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the simulator invariants.
+
+use proptest::prelude::*;
+use seo_platform::units::Seconds;
+use seo_sim::prelude::*;
+use seo_sim::sensing::RelativeObservation;
+use seo_sim::vehicle::wrap_angle;
+
+fn control_strategy() -> impl Strategy<Value = Control> {
+    (-1.0..1.0f64, -1.0..1.0f64).prop_map(|(s, t)| Control::new(s, t))
+}
+
+fn state_strategy() -> impl Strategy<Value = VehicleState> {
+    (0.0..100.0f64, -4.0..4.0f64, -3.0..3.0f64, 0.0..15.0f64)
+        .prop_map(|(x, y, h, v)| VehicleState::new(x, y, h, v))
+}
+
+proptest! {
+    #[test]
+    fn speed_stays_in_physical_bounds(
+        state in state_strategy(),
+        controls in proptest::collection::vec(control_strategy(), 1..50),
+    ) {
+        let model = BicycleModel::default();
+        let mut s = state;
+        for c in controls {
+            s = model.step(s, c, Seconds::from_millis(20.0));
+            prop_assert!(s.speed >= 0.0);
+            prop_assert!(s.speed <= model.max_speed + 1e-9);
+            prop_assert!(s.heading > -std::f64::consts::PI - 1e-9);
+            prop_assert!(s.heading <= std::f64::consts::PI + 1e-9);
+        }
+    }
+
+    #[test]
+    fn displacement_bounded_by_speed(state in state_strategy(), c in control_strategy()) {
+        let model = BicycleModel::default();
+        let dt = Seconds::from_millis(20.0);
+        let next = model.step(state, c, dt);
+        let moved = state.distance_to(next.x, next.y);
+        // Displacement cannot exceed max achievable speed times dt.
+        let bound = model.max_speed * dt.as_secs() + 1e-9;
+        prop_assert!(moved <= bound, "moved {moved} > bound {bound}");
+    }
+
+    #[test]
+    fn wrap_angle_idempotent_and_in_range(theta in -100.0..100.0f64) {
+        let w = wrap_angle(theta);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w <= std::f64::consts::PI + 1e-12);
+        prop_assert!((wrap_angle(w) - w).abs() < 1e-12);
+        // Same point on the unit circle.
+        prop_assert!((w.sin() - theta.sin()).abs() < 1e-6);
+        prop_assert!((w.cos() - theta.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scan_is_saturated_and_nonnegative(
+        n in 1usize..5,
+        seed in 0u64..50,
+        state in state_strategy(),
+    ) {
+        let world = ScenarioConfig::new(n).with_seed(seed).generate();
+        let scanner = RangeScanner::new(16, 120.0_f64.to_radians(), 40.0);
+        for d in scanner.scan(&world, &state) {
+            prop_assert!(d >= 0.0);
+            prop_assert!(d <= 40.0);
+        }
+    }
+
+    #[test]
+    fn observation_distance_matches_world_query(
+        n in 0usize..5,
+        seed in 0u64..50,
+        state in state_strategy(),
+    ) {
+        let world = ScenarioConfig::new(n).with_seed(seed).generate();
+        let obs = RelativeObservation::observe(&world, &state);
+        let d = world.nearest_obstacle_distance(&state);
+        if d.is_finite() {
+            prop_assert!((obs.distance - d).abs() < 1e-9);
+        } else {
+            prop_assert!(!obs.has_obstacle());
+        }
+    }
+
+    #[test]
+    fn episodes_always_terminate(
+        n in 0usize..5,
+        seed in 0u64..20,
+        c in control_strategy(),
+    ) {
+        let world = ScenarioConfig::new(n).with_seed(seed).generate();
+        let mut ep = Episode::new(world, EpisodeConfig::default().with_max_steps(500));
+        let mut guard = 0usize;
+        while ep.status() == EpisodeStatus::Running {
+            ep.step(c);
+            guard += 1;
+            prop_assert!(guard <= 501, "episode failed to terminate");
+        }
+        prop_assert!(ep.status().is_terminal());
+    }
+}

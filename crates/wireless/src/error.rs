@@ -1,0 +1,40 @@
+//! Error type for the wireless substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring the wireless models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WirelessError {
+    /// A configuration field was out of range.
+    InvalidConfig {
+        /// Offending field.
+        field: &'static str,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for WirelessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { field, constraint } => {
+                write!(f, "invalid wireless config: {field} must {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for WirelessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_field() {
+        let e = WirelessError::InvalidConfig { field: "scale", constraint: "be positive" };
+        assert!(e.to_string().contains("scale"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Adaptive deadlines in action: drive a risky route and print how the
+//! sampled safety deadline δmax and the per-interval schedule react to the
+//! perceived risk (the distance to the nearest obstacle).
+//!
+//! ```sh
+//! cargo run -p seo-core --example adaptive_deadline_drive
+//! ```
+
+use seo_core::discretize::discretize_deadline;
+use seo_core::model::ModelId;
+use seo_core::prelude::*;
+use seo_nn::policy::{PolicyFeatures, PotentialFieldController};
+use seo_safety::filter::SafetyFilter;
+use seo_safety::interval::SafeIntervalEvaluator;
+use seo_safety::lookup::DeadlineTable;
+use seo_sim::episode::{Episode, EpisodeConfig, EpisodeStatus};
+use seo_sim::scenario::ScenarioConfig;
+use seo_sim::sensing::RelativeObservation;
+
+fn main() -> Result<(), SeoError> {
+    let config = SeoConfig::paper_defaults();
+    let evaluator = SafeIntervalEvaluator::default().with_horizon(config.delta_cap);
+    let table = DeadlineTable::build_default(&evaluator);
+    let filter = SafetyFilter::default();
+    let controller = PotentialFieldController::default();
+    let mut scheduler =
+        SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
+
+    let world = ScenarioConfig::new(4).with_seed(7).generate();
+    let road = world.road();
+    println!("driving {world} with dynamic safety deadlines\n");
+    println!("{:>6} {:>8} {:>9} {:>6}  schedule (N0 | N1)", "t [s]", "x [m]", "dist [m]", "dmax");
+
+    let mut episode = Episode::new(world, EpisodeConfig::default().with_dt(config.tau));
+    let mut last_delta = u32::MAX;
+    while episode.status() == EpisodeStatus::Running {
+        let state = episode.state();
+        let observation = RelativeObservation::observe(episode.world(), &state);
+        let ahead = RelativeObservation::observe_ahead(episode.world(), &state);
+        let features = PolicyFeatures::from_observation(&state, &ahead, road.length, road.width);
+        let (control, _) = filter.filter(episode.world(), &state, controller.act(&features));
+
+        let plan = scheduler.plan_step(|| {
+            discretize_deadline(table.query(&observation), config.tau).min(config.delta_max_cap())
+        });
+        if plan.interval_started && plan.delta_max != last_delta {
+            last_delta = plan.delta_max;
+            let slot = |id: usize| {
+                plan.slots
+                    .iter()
+                    .find(|(m, _)| m.0 == id)
+                    .map_or_else(|| "-".to_owned(), |(_, k)| k.to_string())
+            };
+            println!(
+                "{:>6.2} {:>8.1} {:>9.1} {:>6}  {} | {}",
+                episode.elapsed().as_secs(),
+                state.x,
+                observation.distance.min(999.0),
+                plan.delta_max,
+                slot(0),
+                slot(1),
+            );
+        }
+        episode.step(control);
+    }
+    println!("\nepisode {} after {:.1} s", episode.status(), episode.elapsed().as_secs());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Moving-obstacle extension: SEO under dynamic risk.
+//!
+//! The paper evaluates static obstacles; φ(x, x′, u) itself, however, takes
+//! the obstacle state x′. This example drives the crossing-traffic scenario
+//! (a pedestrian-like mover entering the road, an oncoming vehicle) where
+//! deadlines are sampled from the full dynamic φ instead of the static
+//! lookup table.
+//!
+//! ```sh
+//! cargo run --release -p seo-core --example dynamic_traffic
+//! ```
+
+use seo_core::prelude::*;
+use seo_core::runtime::RuntimeLoop;
+use seo_sim::dynamics::DynamicWorld;
+
+fn main() -> Result<(), SeoError> {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau)?;
+    let runtime = RuntimeLoop::new(config, models, OptimizerKind::Offloading)?;
+
+    let world = DynamicWorld::crossing_traffic_scenario();
+    println!("driving the crossing-traffic scenario ({world})\n");
+    for m in world.movers() {
+        println!("  {m}");
+    }
+
+    let report = runtime.run_dynamic_episode(world.clone(), 11);
+    println!("\nepisode {report}");
+    println!(
+        "combined gain {:.1}% | unsafe steps {} | min distance {:.2} m",
+        report.combined_gain()? * 100.0,
+        report.unsafe_steps,
+        report.min_distance
+    );
+
+    // Compare against the same obstacles parked at their t = 0 poses: the
+    // moving versions force shorter deadlines and smaller gains.
+    let parked = DynamicWorld::from_static(&world.snapshot(seo_platform::units::Seconds::ZERO));
+    let static_report = runtime.run_dynamic_episode(parked, 11);
+    println!(
+        "\nsame obstacles parked: gain {:.1}%, mean dmax {:.2} (moving: {:.2})",
+        static_report.combined_gain()? * 100.0,
+        static_report.histogram.mean(),
+        report.histogram.mean()
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Sensor-gating energy audit across an industry sensor fleet (ZED stereo
+//! camera, Navtech CTS350-X radar, Velodyne HDL-32e LiDAR) — a miniature of
+//! the paper's Table III, including the P_meas/P_mech split that makes
+//! rotating sensors worse gating citizens.
+//!
+//! ```sh
+//! cargo run -p seo-core --example sensor_gating_fleet
+//! ```
+
+use seo_core::config::EnergyAccounting;
+use seo_core::model::{Criticality, PipelineModel};
+use seo_core::prelude::*;
+use seo_platform::compute::ComputeProfile;
+use seo_platform::sensor::SensorSpec;
+use seo_platform::units::{Seconds, Watts};
+
+fn fleet_model_set(sensor: &SensorSpec, tau: Seconds) -> Result<ModelSet, SeoError> {
+    let vae = PipelineModel::new(
+        "shieldnn-vae",
+        tau,
+        ComputeProfile::new("vae-encoder", Seconds::from_millis(3.0), Watts::new(2.0))?,
+        SensorSpec::zero_power("vae-camera"),
+        Criticality::Critical,
+    )?;
+    Ok(ModelSet::new(vec![
+        vae,
+        PipelineModel::paper_detector(1, tau)?.with_sensor(sensor.clone()),
+        PipelineModel::paper_detector(2, tau)?.with_sensor(sensor.clone()),
+    ]))
+}
+
+fn main() -> Result<(), SeoError> {
+    let runs = 5;
+    println!("sensor gating audit, filtered control, {runs} successful runs per sensor\n");
+    println!(
+        "{:<26} {:>7} {:>7} {:>14} {:>14}",
+        "sensor", "P_meas", "P_mech", "p=tau gain", "p=2tau gain"
+    );
+    for sensor in
+        [SensorSpec::zed_camera(), SensorSpec::navtech_cts350x(), SensorSpec::velodyne_hdl32e()]
+    {
+        let base = ExperimentConfig::paper_defaults()
+            .with_optimizer(OptimizerKind::SensorGating)
+            .with_accounting(EnergyAccounting::WithSensor)
+            .with_runs(runs);
+        let tau = base.seo.tau;
+        let result = base.with_models(fleet_model_set(&sensor, tau)?).run()?;
+        println!(
+            "{:<26} {:>6.1}W {:>6.1}W {:>13.1}% {:>13.1}%",
+            sensor.name(),
+            sensor.measurement_power().as_watts(),
+            sensor.mechanical_power().as_watts(),
+            result.gain_for_model(0)? * 100.0,
+            result.gain_for_model(1)? * 100.0,
+        );
+    }
+    println!(
+        "\nthe camera gates best: it has no mechanical component, so a gated window\n\
+         draws nothing; the radar beats the LiDAR because its higher P_meas gives\n\
+         gating more energy to reclaim relative to the shared 2.4 W motor."
+    );
+    Ok(())
+}

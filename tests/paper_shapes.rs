@@ -1,0 +1,150 @@
+//! Reproduction-shape tests: the qualitative claims of every paper figure
+//! and table, checked with reduced run counts so CI stays fast. The full
+//! 25-run numbers come from `cargo run -p seo-bench --bin all_experiments`.
+
+use seo_core::prelude::*;
+
+const RUNS: usize = 3;
+
+fn run_cell(
+    optimizer: OptimizerKind,
+    mode: ControlMode,
+    obstacles: usize,
+) -> ExperimentResult {
+    ExperimentConfig::paper_defaults()
+        .with_optimizer(optimizer)
+        .with_control_mode(mode)
+        .with_obstacles(obstacles)
+        .with_runs(RUNS)
+        .run()
+        .expect("cell runs")
+}
+
+#[test]
+fn fig1_shape_energy_rises_with_risk() {
+    let free = run_cell(OptimizerKind::ModelGating, ControlMode::Unfiltered, 0);
+    let risky = run_cell(OptimizerKind::ModelGating, ControlMode::Unfiltered, 4);
+    // Normalized energy = 1 - gain: rises toward full operation with risk.
+    assert!(
+        1.0 - risky.summary.combined_gain > 1.0 - free.summary.combined_gain,
+        "normalized energy should rise with risk"
+    );
+}
+
+#[test]
+fn fig5_shape_faster_detector_gains_more() {
+    // Under gating the ordering is structural (the slower detector has no
+    // optimization room whenever delta_max <= 2), so it must hold strictly.
+    let gating = run_cell(OptimizerKind::ModelGating, ControlMode::Filtered, 4);
+    let g1 = gating.gain_for_model(0).expect("p=tau");
+    let g2 = gating.gain_for_model(1).expect("p=2tau");
+    assert!(g1 > g2, "gating: p=tau ({g1:.3}) should beat p=2tau ({g2:.3})");
+
+    // Under offloading the ordering holds on average but sits within noise
+    // at CI-sized run counts: allow a small tolerance.
+    let offload = run_cell(OptimizerKind::Offloading, ControlMode::Filtered, 4);
+    let g1 = offload.gain_for_model(0).expect("p=tau");
+    let g2 = offload.gain_for_model(1).expect("p=2tau");
+    assert!(
+        g1 > g2 - 0.05,
+        "offloading: p=tau ({g1:.3}) should not trail p=2tau ({g2:.3}) by much"
+    );
+}
+
+#[test]
+fn fig5_shape_offloading_beats_gating() {
+    let offload = run_cell(OptimizerKind::Offloading, ControlMode::Filtered, 2);
+    let gating = run_cell(OptimizerKind::ModelGating, ControlMode::Filtered, 2);
+    assert!(
+        offload.summary.combined_gain > gating.summary.combined_gain,
+        "offloading ({:.3}) should beat 50% gating ({:.3})",
+        offload.summary.combined_gain,
+        gating.summary.combined_gain
+    );
+}
+
+#[test]
+fn table1_shape_gains_positive_at_tau_25ms() {
+    use seo_platform::units::Seconds;
+    let result = ExperimentConfig::paper_defaults()
+        .with_optimizer(OptimizerKind::Offloading)
+        .with_tau(Seconds::from_millis(25.0))
+        .with_runs(RUNS)
+        .run()
+        .expect("tau sweep runs");
+    assert!(
+        result.summary.combined_gain > 0.0,
+        "considerable gains should remain at tau = 25 ms"
+    );
+    // eq. (4) at tau = 25 ms: the 20 ms sensor still occupies one slot.
+    assert_eq!(result.reports[0].models[0].delta_i, 1);
+    assert_eq!(result.reports[0].models[1].delta_i, 2);
+}
+
+#[test]
+fn fig6_shape_low_deadlines_dominate_under_risk() {
+    let free = run_cell(OptimizerKind::Offloading, ControlMode::Unfiltered, 0);
+    let risky = run_cell(OptimizerKind::Offloading, ControlMode::Unfiltered, 4);
+    let cap = 4u32;
+    assert!(
+        risky.summary.histogram.frequency(cap) < free.summary.histogram.frequency(cap),
+        "delta_max = 4 should become rarer with obstacles"
+    );
+    assert!(risky.mean_delta_max() < free.mean_delta_max());
+}
+
+#[test]
+fn table2_shape_gains_fall_with_obstacles_and_headline_holds() {
+    let g0 = run_cell(OptimizerKind::Offloading, ControlMode::Filtered, 0);
+    let g4 = run_cell(OptimizerKind::Offloading, ControlMode::Filtered, 4);
+    assert!(g0.summary.combined_gain > g4.summary.combined_gain);
+    // The paper's headline: gains up to 89.9 % under formal guarantees. Our
+    // substrate should land in the same region on the free road.
+    assert!(
+        g0.summary.combined_gain > 0.75,
+        "headline-region gain expected, got {:.3}",
+        g0.summary.combined_gain
+    );
+    assert!(g0.all_runs_safe());
+}
+
+#[test]
+fn table2_shape_filtered_gains_at_least_unfiltered() {
+    let filt = run_cell(OptimizerKind::Offloading, ControlMode::Filtered, 2);
+    let unf = run_cell(OptimizerKind::Offloading, ControlMode::Unfiltered, 2);
+    assert!(
+        filt.mean_delta_max() >= unf.mean_delta_max() - 0.2,
+        "the shield should not reduce sampled deadlines: {} vs {}",
+        filt.mean_delta_max(),
+        unf.mean_delta_max()
+    );
+}
+
+#[test]
+fn table3_shape_camera_beats_radar_beats_lidar() {
+    use seo_core::config::{EnergyAccounting, SeoConfig};
+    use seo_platform::sensor::SensorSpec;
+
+    // The closed-form 4-tau column (validated against the paper to <1 %):
+    // gains order camera > radar > lidar because mechanical power is dead
+    // weight under gating.
+    let config = SeoConfig::paper_defaults().with_accounting(EnergyAccounting::WithSensor);
+    let gain = |sensor: &SensorSpec| {
+        let model = seo_core::model::PipelineModel::paper_detector(1, config.tau)
+            .expect("valid")
+            .with_sensor(sensor.clone());
+        let full = seo_core::optimizer::full_slot_cost(&model, &config).total();
+        let gated = seo_core::optimizer::optimized_slot_cost(
+            OptimizerKind::SensorGating,
+            &model,
+            &config,
+        )
+        .total();
+        1.0 - (3.0 * gated.as_joules() + full.as_joules()) / (4.0 * full.as_joules())
+    };
+    let camera = gain(&SensorSpec::zed_camera());
+    let radar = gain(&SensorSpec::navtech_cts350x());
+    let lidar = gain(&SensorSpec::velodyne_hdl32e());
+    assert!(camera > radar, "camera {camera:.4} should beat radar {radar:.4}");
+    assert!(radar > lidar, "radar {radar:.4} should beat lidar {lidar:.4}");
+}
