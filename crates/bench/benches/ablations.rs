@@ -1,172 +1,118 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //!
-//! * lookup-table resolution vs direct φ integration (the table is the
-//!   paper's "low-cost proxy" — quantify the cost gap it closes);
+//! * lookup-table resolution vs direct φ integration;
 //! * deadline-table build cost at several grid resolutions;
 //! * gating-level sweep (the Fig. 1 "50 % gating" knob);
 //! * safety-filter step cost (pass-through vs corrective search);
-//! * scheduler step throughput (the pure Algorithm 1 state machine).
+//! * scheduler step throughput (the pure Algorithm 1 state machine);
+//! * eq. (7) strict vs Fig. 3 offload-fallback semantics.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seo_bench::timing::bench;
 use seo_core::config::{OffloadFallback, SeoConfig};
 use seo_core::model::{ModelId, ModelSet};
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_core::scheduler::SafeScheduler;
 use seo_safety::filter::SafetyFilter;
 use seo_safety::interval::SafeIntervalEvaluator;
 use seo_safety::lookup::{Axis, DeadlineTable};
+use seo_safety::ttc::TtcEstimator;
 use seo_sim::scenario::ScenarioConfig;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::{Control, VehicleState};
 use seo_sim::world::{Obstacle, Road, World};
 use std::hint::black_box;
 
-fn bench_lookup_vs_direct(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_lookup_vs_direct");
+fn main() {
     let evaluator = SafeIntervalEvaluator::default();
     let table = DeadlineTable::build_default(&evaluator);
-    let observation = RelativeObservation { distance: 18.0, bearing: 0.3, speed: 10.0 };
-    group.bench_function("table_query", |b| {
-        b.iter(|| black_box(table.query(black_box(&observation))));
+    let observation = RelativeObservation {
+        distance: 18.0,
+        bearing: 0.3,
+        speed: 10.0,
+    };
+    bench("ablation_lookup_vs_direct/table_query", || {
+        table.query(black_box(&observation))
     });
-    group.bench_function("direct_phi_integration", |b| {
-        b.iter(|| {
-            black_box(
-                evaluator.safe_interval_relative(black_box(&observation), Control::new(0.0, 0.5)),
-            )
-        });
+    bench("ablation_lookup_vs_direct/direct_phi_integration", || {
+        evaluator.safe_interval_relative(black_box(&observation), Control::new(0.0, 0.5))
     });
-    group.finish();
-}
 
-fn bench_table_build_resolution(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_table_build");
-    group.sample_size(10);
-    let evaluator = SafeIntervalEvaluator::default();
     for points in [9usize, 17, 25] {
-        group.bench_with_input(
-            BenchmarkId::new("distance_points", points),
-            &points,
-            |b, &points| {
-                b.iter(|| {
-                    let distance = Axis::new(0.0, 60.0, points).expect("valid");
-                    let bearing = Axis::new(-3.2, 3.2, 9).expect("valid");
-                    let speed = Axis::new(0.0, 15.0, 6).expect("valid");
-                    black_box(DeadlineTable::build(
-                        &evaluator,
-                        distance,
-                        bearing,
-                        speed,
-                        Control::new(0.0, 0.5),
-                    ))
-                });
+        bench(
+            &format!("ablation_table_build/distance_points_{points}"),
+            || {
+                let distance = Axis::new(0.0, 60.0, points).expect("valid");
+                let bearing = Axis::new(-3.2, 3.2, 9).expect("valid");
+                let speed = Axis::new(0.0, 15.0, 6).expect("valid");
+                DeadlineTable::build(&evaluator, distance, bearing, speed, Control::new(0.0, 0.5))
             },
         );
     }
-    group.finish();
-}
 
-fn bench_gating_level_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_gating_level");
-    group.sample_size(10);
     let world = ScenarioConfig::new(2).with_seed(1).generate();
     for level in [0.0f64, 0.25, 0.5, 0.75] {
         let config = SeoConfig::paper_defaults().with_gating_level(level);
         let models = ModelSet::paper_setup(config.tau).expect("paper setup");
         let runtime =
             RuntimeLoop::new(config, models, OptimizerKind::ModelGating).expect("valid runtime");
-        group.bench_with_input(
-            BenchmarkId::new("gating_episode_level_pct", (level * 100.0) as u64),
-            &world,
-            |b, world| {
-                b.iter(|| black_box(runtime.run_episode(world.clone(), 13)));
-            },
+        let mut scratch = EpisodeScratch::new();
+        bench(
+            &format!(
+                "ablation_gating_level/gating_episode_level_pct_{}",
+                (level * 100.0) as u64
+            ),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 13, &mut scratch)),
         );
     }
-    group.finish();
-}
 
-fn bench_filter_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_filter_step");
     let filter = SafetyFilter::default();
-    let world = World::new(Road::default(), vec![Obstacle::new(40.0, 0.0, 1.0)]);
+    let filter_world = World::new(Road::default(), vec![Obstacle::new(40.0, 0.0, 1.0)]);
     let far = VehicleState::new(0.0, 0.0, 0.0, 10.0);
     let near = VehicleState::new(32.0, 0.0, 0.0, 12.0);
-    group.bench_function("pass_through", |b| {
-        b.iter(|| black_box(filter.filter(&world, black_box(&far), Control::new(0.0, 0.5))));
+    bench("ablation_filter_step/pass_through", || {
+        filter.filter(&filter_world, black_box(&far), Control::new(0.0, 0.5))
     });
-    group.bench_function("corrective_search", |b| {
-        b.iter(|| black_box(filter.filter(&world, black_box(&near), Control::new(0.0, 1.0))));
+    bench("ablation_filter_step/corrective_search", || {
+        filter.filter(&filter_world, black_box(&near), Control::new(0.0, 1.0))
     });
-    group.finish();
-}
 
-fn bench_scheduler_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_scheduler_step");
-    group.bench_function("plan_step_two_models", |b| {
-        let mut scheduler = SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
-        b.iter(|| black_box(scheduler.plan_step(|| 4)));
+    let mut scheduler = SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
+    bench("ablation_scheduler_step/plan_step_two_models", || {
+        black_box(scheduler.plan_step(|| 4))
     });
-    group.bench_function("plan_step_eight_models", |b| {
-        let models: Vec<(ModelId, u32)> =
-            (0..8).map(|i| (ModelId(i), (i as u32 % 4) + 1)).collect();
-        let mut scheduler = SafeScheduler::new(models);
-        b.iter(|| black_box(scheduler.plan_step(|| 4)));
+    let models8: Vec<(ModelId, u32)> = (0..8).map(|i| (ModelId(i), (i as u32 % 4) + 1)).collect();
+    let mut scheduler8 = SafeScheduler::new(models8);
+    bench("ablation_scheduler_step/plan_step_eight_models", || {
+        black_box(scheduler8.plan_step(|| 4))
     });
-    group.finish();
-}
 
-fn bench_fallback_policy(c: &mut Criterion) {
-    // Eq. (7) strict vs Fig. 3 semantics (see DESIGN.md §Divergences):
-    // identical world, identical seeds; the episodes differ only in whether
-    // a timely response replaces the deadline-slot local inference.
-    let mut group = c.benchmark_group("ablation_offload_fallback");
-    group.sample_size(10);
-    let world = ScenarioConfig::new(2).with_seed(1).generate();
-    for fallback in [OffloadFallback::LocalOnTimeout, OffloadFallback::AlwaysLocal] {
+    // Eq. (7) strict vs Fig. 3 semantics (see DESIGN.md §Divergences).
+    for fallback in [
+        OffloadFallback::LocalOnTimeout,
+        OffloadFallback::AlwaysLocal,
+    ] {
         let config = SeoConfig::paper_defaults().with_offload_fallback(fallback);
         let models = ModelSet::paper_setup(config.tau).expect("paper setup");
         let runtime =
             RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
-        group.bench_with_input(
-            BenchmarkId::new("offload_episode", fallback.to_string()),
-            &world,
-            |b, world| {
-                b.iter(|| black_box(runtime.run_episode(world.clone(), 21)));
-            },
+        let mut scratch = EpisodeScratch::new();
+        bench(
+            &format!("ablation_offload_fallback/offload_episode_{fallback}"),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 21, &mut scratch)),
         );
     }
-    group.finish();
-}
 
-fn bench_ttc_vs_phi(c: &mut Criterion) {
-    use seo_safety::ttc::TtcEstimator;
-    let mut group = c.benchmark_group("ablation_ttc_vs_phi");
-    let evaluator = SafeIntervalEvaluator::default();
     let ttc = TtcEstimator::default();
-    let observation = RelativeObservation { distance: 18.0, bearing: 0.2, speed: 10.0 };
-    group.bench_function("ttc_closed_form", |b| {
-        b.iter(|| black_box(ttc.deadline(black_box(&observation))));
+    let obs2 = RelativeObservation {
+        distance: 18.0,
+        bearing: 0.2,
+        speed: 10.0,
+    };
+    bench("ablation_ttc_vs_phi/ttc_closed_form", || {
+        ttc.deadline(black_box(&obs2))
     });
-    group.bench_function("phi_rollout", |b| {
-        b.iter(|| {
-            black_box(
-                evaluator.safe_interval_relative(black_box(&observation), Control::new(0.0, 0.5)),
-            )
-        });
+    bench("ablation_ttc_vs_phi/phi_rollout", || {
+        evaluator.safe_interval_relative(black_box(&obs2), Control::new(0.0, 0.5))
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_lookup_vs_direct,
-    bench_table_build_resolution,
-    bench_gating_level_sweep,
-    bench_filter_step,
-    bench_scheduler_throughput,
-    bench_fallback_policy,
-    bench_ttc_vs_phi
-);
-criterion_main!(benches);

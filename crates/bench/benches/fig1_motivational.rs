@@ -1,33 +1,25 @@
-//! Criterion bench for the Figure 1 cell: one full closed-loop gating
-//! episode per risk level (the unit of work behind each Fig. 1 point).
+//! Bench for the Figure 1 cell: one full closed-loop gating episode per
+//! risk level (the unit of work behind each Fig. 1 point).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seo_bench::timing::bench;
 use seo_core::config::{ControlMode, SeoConfig};
 use seo_core::model::ModelSet;
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_sim::scenario::ScenarioConfig;
 use std::hint::black_box;
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     let config = SeoConfig::paper_defaults().with_control_mode(ControlMode::Unfiltered);
     let models = ModelSet::paper_setup(config.tau).expect("paper setup");
     let runtime =
         RuntimeLoop::new(config, models, OptimizerKind::ModelGating).expect("valid runtime");
-    let mut group = c.benchmark_group("fig1_motivational");
-    group.sample_size(10);
+    let mut scratch = EpisodeScratch::new();
     for n_obstacles in [0usize, 2, 4] {
         let world = ScenarioConfig::new(n_obstacles).with_seed(1).generate();
-        group.bench_with_input(
-            BenchmarkId::new("gating_episode", n_obstacles),
-            &world,
-            |b, world| {
-                b.iter(|| black_box(runtime.run_episode(world.clone(), 1)));
-            },
+        bench(
+            &format!("fig1_motivational/gating_episode_{n_obstacles}"),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 1, &mut scratch)),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

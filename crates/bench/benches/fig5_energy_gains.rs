@@ -1,34 +1,26 @@
-//! Criterion bench for the Figure 5 cells: closed-loop episodes under
-//! offloading and model gating, filtered and unfiltered.
+//! Bench for the Figure 5 cells: offloading vs gating episodes, filtered
+//! and unfiltered control, at τ = 20 ms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seo_bench::timing::bench;
 use seo_core::config::{ControlMode, SeoConfig};
 use seo_core::model::ModelSet;
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_sim::scenario::ScenarioConfig;
 use std::hint::black_box;
 
-fn bench_fig5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_energy_gains");
-    group.sample_size(10);
+fn main() {
     let world = ScenarioConfig::new(2).with_seed(1).generate();
     for optimizer in [OptimizerKind::Offloading, OptimizerKind::ModelGating] {
         for control in [ControlMode::Unfiltered, ControlMode::Filtered] {
             let config = SeoConfig::paper_defaults().with_control_mode(control);
             let models = ModelSet::paper_setup(config.tau).expect("paper setup");
             let runtime = RuntimeLoop::new(config, models, optimizer).expect("valid runtime");
-            group.bench_with_input(
-                BenchmarkId::new(optimizer.to_string(), control.to_string()),
-                &world,
-                |b, world| {
-                    b.iter(|| black_box(runtime.run_episode(world.clone(), 7)));
-                },
+            let mut scratch = EpisodeScratch::new();
+            bench(
+                &format!("fig5_energy_gains/{optimizer}_{control}_episode"),
+                || black_box(runtime.run_with(WorldSource::Static(&world), 7, &mut scratch)),
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

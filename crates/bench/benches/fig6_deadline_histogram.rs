@@ -1,48 +1,45 @@
-//! Criterion bench for the Figure 6 machinery: δmax sampling — the lookup
-//! table probe plus discretization that Algorithm 1 performs at every
-//! interval start — and the episode that produces one histogram.
+//! Bench for the Figure 6 machinery: δmax sampling — the lookup table probe
+//! plus discretization that Algorithm 1 performs at every interval start —
+//! and the episode that produces one histogram.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seo_bench::timing::bench;
 use seo_core::config::{ControlMode, SeoConfig};
 use seo_core::discretize::discretize_deadline;
 use seo_core::model::ModelSet;
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_safety::interval::SafeIntervalEvaluator;
 use seo_safety::lookup::DeadlineTable;
 use seo_sim::scenario::ScenarioConfig;
 use seo_sim::sensing::RelativeObservation;
 use std::hint::black_box;
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_deadline_histogram");
-    group.sample_size(10);
-
+fn main() {
     // The runtime lookup probe T(x, u) + eq. (5) — this happens once per
     // optimization interval and must be real-time cheap.
     let config = SeoConfig::paper_defaults();
     let evaluator = SafeIntervalEvaluator::default().with_horizon(config.delta_cap);
     let table = DeadlineTable::build_default(&evaluator);
-    let observation = RelativeObservation { distance: 14.0, bearing: 0.2, speed: 9.0 };
-    group.bench_function("deadline_probe", |b| {
-        b.iter(|| {
-            let delta = table.query(black_box(&observation));
-            black_box(discretize_deadline(delta, config.tau))
-        });
+    let observation = RelativeObservation {
+        distance: 14.0,
+        bearing: 0.2,
+        speed: 9.0,
+    };
+    bench("fig6_deadline_histogram/deadline_probe", || {
+        let delta = table.query(black_box(&observation));
+        black_box(discretize_deadline(delta, config.tau))
     });
 
     // One full unfiltered episode per obstacle count (one histogram).
     let cfg = SeoConfig::paper_defaults().with_control_mode(ControlMode::Unfiltered);
     let models = ModelSet::paper_setup(cfg.tau).expect("paper setup");
     let runtime = RuntimeLoop::new(cfg, models, OptimizerKind::Offloading).expect("valid");
+    let mut scratch = EpisodeScratch::new();
     for n in [0usize, 4] {
         let world = ScenarioConfig::new(n).with_seed(3).generate();
-        group.bench_with_input(BenchmarkId::new("histogram_episode", n), &world, |b, world| {
-            b.iter(|| black_box(runtime.run_episode(world.clone(), 3).histogram));
-        });
+        bench(
+            &format!("fig6_deadline_histogram/histogram_episode_{n}"),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 3, &mut scratch)),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

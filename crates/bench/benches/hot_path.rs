@@ -1,0 +1,72 @@
+//! The hot-path micro-bench: pins ns/step for the inference primitives the
+//! SEO runtime executes every control period, so future regressions in the
+//! zero-allocation path are visible as multiples rather than vibes.
+//!
+//! Pairs each scratch-based fast path against its allocating twin — the gap
+//! is the heap traffic the `InferenceScratch` rework eliminated.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seo_bench::timing::bench;
+use seo_core::prelude::*;
+use seo_nn::mlp::InferenceScratch;
+use seo_nn::policy::{DrivingPolicy, PolicyFeatures};
+use seo_sim::scenario::ScenarioConfig;
+use std::hint::black_box;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let policy = DrivingPolicy::new(&mut rng).expect("fixed topology");
+    let features = PolicyFeatures {
+        lateral: 0.2,
+        heading: 0.1,
+        speed: 0.6,
+        obstacle_proximity: 0.5,
+        obstacle_bearing: -0.3,
+        obstacle_lateral: -0.4,
+        progress: 0.5,
+    };
+
+    // Policy forward inference: allocating vs scratch.
+    let alloc = bench("hot_path/policy_forward_alloc", || {
+        policy.act(black_box(&features))
+    });
+    let mut scratch = InferenceScratch::new();
+    let fast = bench("hot_path/policy_forward_scratch", || {
+        policy.act_scratch(black_box(&features), &mut scratch)
+    });
+    println!(
+        "  -> scratch path saves {:.1} ns/step ({:.2}x)",
+        alloc.ns_per_iter - fast.ns_per_iter,
+        alloc.ns_per_iter / fast.ns_per_iter.max(1e-9)
+    );
+
+    // Scheduler planning: allocating vs reusable StepPlan.
+    let mut scheduler = SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
+    bench("hot_path/scheduler_plan_step_alloc", || {
+        black_box(scheduler.plan_step(|| 4))
+    });
+    let mut plan = StepPlan::default();
+    bench("hot_path/scheduler_plan_step_into", || {
+        scheduler.plan_step_into(&mut plan, || 4);
+        black_box(plan.delta_max)
+    });
+
+    // One full closed-loop episode step stream via the scratch entry point.
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper setup");
+    let runtime = RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid");
+    let world = ScenarioConfig::new(2).with_seed(1).generate();
+    let mut episode_scratch = EpisodeScratch::new();
+    let steps = runtime
+        .run_with(WorldSource::Static(&world), 1, &mut episode_scratch)
+        .steps;
+    let episode = bench("hot_path/offloading_episode_scratch", || {
+        black_box(runtime.run_with(WorldSource::Static(&world), 1, &mut episode_scratch))
+    });
+    println!(
+        "  -> {} steps/episode, {:.0} ns per control step end-to-end",
+        steps,
+        episode.ns_per_iter / steps.max(1) as f64
+    );
+}

@@ -1,35 +1,30 @@
-//! Criterion bench for the Table I cells: episodes on the τ = 25 ms base
-//! period (the "more limited hardware" configuration), compared against
-//! τ = 20 ms to expose the discretization overhead trade.
+//! Bench for the Table I cells: episodes on the τ = 25 ms base period (the
+//! "more limited hardware" configuration), compared against τ = 20 ms to
+//! expose the discretization overhead trade.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seo_bench::timing::bench;
 use seo_core::config::SeoConfig;
 use seo_core::model::ModelSet;
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_platform::units::Seconds;
 use seo_sim::scenario::ScenarioConfig;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_tau_sweep");
-    group.sample_size(10);
+fn main() {
     let world = ScenarioConfig::new(2).with_seed(1).generate();
     for tau_ms in [20.0f64, 25.0] {
         let config = SeoConfig::paper_defaults().with_tau(Seconds::from_millis(tau_ms));
         let models = ModelSet::paper_setup(config.tau).expect("paper setup");
         let runtime =
             RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
-        group.bench_with_input(
-            BenchmarkId::new("offloading_episode_tau_ms", tau_ms as u64),
-            &world,
-            |b, world| {
-                b.iter(|| black_box(runtime.run_episode(world.clone(), 11)));
-            },
+        let mut scratch = EpisodeScratch::new();
+        bench(
+            &format!(
+                "table1_tau_sweep/offloading_episode_tau_ms_{}",
+                tau_ms as u64
+            ),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 11, &mut scratch)),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -1,35 +1,25 @@
-//! Criterion bench for the Table II cells: filtered and unfiltered episodes
-//! across the paper's obstacle sweep {0, 2, 4}.
+//! Bench for the Table II cells: filtered offloading episodes under
+//! obstacle variation (the obstacle count is the risk knob).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use seo_core::config::{ControlMode, SeoConfig};
+use seo_bench::timing::bench;
+use seo_core::config::SeoConfig;
 use seo_core::model::ModelSet;
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_sim::scenario::ScenarioConfig;
 use std::hint::black_box;
 
-fn bench_table2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_obstacle_sweep");
-    group.sample_size(10);
-    for control in [ControlMode::Unfiltered, ControlMode::Filtered] {
-        let config = SeoConfig::paper_defaults().with_control_mode(control);
-        let models = ModelSet::paper_setup(config.tau).expect("paper setup");
-        let runtime =
-            RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
-        for n in [0usize, 2, 4] {
-            let world = ScenarioConfig::new(n).with_seed(5).generate();
-            group.bench_with_input(
-                BenchmarkId::new(control.to_string(), n),
-                &world,
-                |b, world| {
-                    b.iter(|| black_box(runtime.run_episode(world.clone(), 5)));
-                },
-            );
-        }
+fn main() {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper setup");
+    let runtime =
+        RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
+    let mut scratch = EpisodeScratch::new();
+    for n_obstacles in [0usize, 2, 4] {
+        let world = ScenarioConfig::new(n_obstacles).with_seed(5).generate();
+        bench(
+            &format!("table2_obstacle_sweep/offloading_episode_{n_obstacles}"),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 5, &mut scratch)),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table2);
-criterion_main!(benches);

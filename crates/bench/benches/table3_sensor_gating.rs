@@ -1,45 +1,41 @@
-//! Criterion bench for the Table III cells: sensor-gating episodes for each
-//! industry sensor preset, plus the closed-form 4τ gain kernel.
+//! Bench for the Table III cells: sensor-gating episodes for each industry
+//! sensor preset, plus the closed-form 4τ gain kernel.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seo_bench::cells::{four_tau_sensor_gain, sensor_model_set};
+use seo_bench::timing::bench;
 use seo_core::config::{EnergyAccounting, SeoConfig};
 use seo_core::optimizer::OptimizerKind;
-use seo_core::runtime::RuntimeLoop;
+use seo_core::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_platform::sensor::SensorSpec;
 use seo_sim::scenario::ScenarioConfig;
 use std::hint::black_box;
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_sensor_gating");
-    group.sample_size(10);
+fn main() {
     let config = SeoConfig::paper_defaults().with_accounting(EnergyAccounting::WithSensor);
-    let sensors =
-        [SensorSpec::zed_camera(), SensorSpec::navtech_cts350x(), SensorSpec::velodyne_hdl32e()];
+    let sensors = [
+        SensorSpec::zed_camera(),
+        SensorSpec::navtech_cts350x(),
+        SensorSpec::velodyne_hdl32e(),
+    ];
     let world = ScenarioConfig::new(2).with_seed(1).generate();
     for sensor in &sensors {
         let models = sensor_model_set(sensor, config.tau).expect("valid models");
         let runtime =
             RuntimeLoop::new(config, models, OptimizerKind::SensorGating).expect("valid runtime");
-        group.bench_with_input(
-            BenchmarkId::new("sensor_gating_episode", sensor.name()),
-            &world,
-            |b, world| {
-                b.iter(|| black_box(runtime.run_episode(world.clone(), 9)));
-            },
+        let mut scratch = EpisodeScratch::new();
+        bench(
+            &format!(
+                "table3_sensor_gating/sensor_gating_episode_{}",
+                sensor.name()
+            ),
+            || black_box(runtime.run_with(WorldSource::Static(&world), 9, &mut scratch)),
         );
     }
-    group.bench_function("four_tau_closed_form", |b| {
-        b.iter(|| {
-            for sensor in &sensors {
-                for m in [1u32, 2] {
-                    black_box(four_tau_sensor_gain(black_box(sensor), m, &config));
-                }
+    bench("table3_sensor_gating/four_tau_closed_form", || {
+        for sensor in &sensors {
+            for m in [1u32, 2] {
+                black_box(four_tau_sensor_gain(black_box(sensor), m, &config));
             }
-        });
+        }
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

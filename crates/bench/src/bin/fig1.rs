@@ -5,8 +5,8 @@
 //! Paper shape: both series rise from well below "Full Operation" toward it
 //! as risk increases; the 50 Hz model sits below the 25 Hz model.
 
-use seo_bench::report::{pct, runs_from_env, Table};
 use seo_bench::fig1_rows;
+use seo_bench::report::{pct, runs_from_env, Table};
 
 fn main() {
     let runs = runs_from_env();

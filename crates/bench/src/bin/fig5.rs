@@ -15,8 +15,7 @@ fn main() {
     println!("Figure 5 — detector energy gains at tau = 20 ms ({runs} successful runs/cell)\n");
     match fig5_rows(runs) {
         Ok(rows) => {
-            let mut table =
-                Table::new(vec!["optimizer", "control", "p=tau gain", "p=2tau gain"]);
+            let mut table = Table::new(vec!["optimizer", "control", "p=tau gain", "p=2tau gain"]);
             for r in &rows {
                 table.push_row(vec![
                     r.optimizer.to_string(),

@@ -47,7 +47,9 @@ fn main() {
                 ]);
             }
             println!("{table}");
-            println!("paper avg gains: offload 88.6/24.6/16.8, gating 42.9/17.5/11.9 (0/2/4 obstacles)");
+            println!(
+                "paper avg gains: offload 88.6/24.6/16.8, gating 42.9/17.5/11.9 (0/2/4 obstacles)"
+            );
         }
         Err(e) => {
             eprintln!("fig6 failed: {e}");

@@ -1,32 +1,156 @@
-//! Parameter sweeps beyond the paper's reported cells: channel quality,
-//! offload payload size, and deadline conservatism. Each sweep prints one
-//! series suitable for sensitivity analysis.
+//! The scenario-sweep throughput harness plus parameter sweeps beyond the
+//! paper's reported cells.
+//!
+//! Phase 1 — **throughput**: fans a scenario × seed grid through
+//! [`BatchRunner`] serially and on all cores, verifies the parallel output
+//! is bit-identical to the serial loop, and writes `BENCH_sweep.json`
+//! (scenarios/sec, ns/step, speedup, allocation audit) so later PRs have a
+//! perf trajectory to compare against.
+//!
+//! Phase 2 — **sensitivity**: channel quality, offload payload size, and
+//! gating level, each printed as one series.
 //!
 //! ```sh
 //! SEO_RUNS=5 cargo run --release -p seo-bench --bin sweep
 //! ```
 
+use seo_bench::json::Json;
 use seo_bench::report::{pct, runs_from_env, Table};
+use seo_core::batch::{BatchRunner, ScenarioSpec};
 use seo_core::prelude::*;
+use seo_core::runtime::RuntimeLoop;
 use seo_platform::units::Bits;
+use seo_platform::units::BitsPerSecond;
+use seo_sim::scenario::ScenarioConfig;
 use seo_wireless::channel::RayleighChannel;
 use seo_wireless::link::WirelessLink;
-use seo_platform::units::BitsPerSecond;
-use seo_core::runtime::RuntimeLoop;
-use seo_sim::scenario::ScenarioConfig;
+use std::time::Instant;
 
-fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
+fn paper_runtime(optimizer: OptimizerKind) -> Result<RuntimeLoop, SeoError> {
     let config = SeoConfig::paper_defaults();
     let models = ModelSet::paper_setup(config.tau)?;
-    let runtime =
-        RuntimeLoop::new(config, models, OptimizerKind::Offloading)?.with_link(link);
+    RuntimeLoop::new(config, models, optimizer)
+}
+
+struct SweepTiming {
+    label: String,
+    scenarios: usize,
+    steps: usize,
+    elapsed_secs: f64,
+}
+
+impl SweepTiming {
+    fn scenarios_per_sec(&self) -> f64 {
+        self.scenarios as f64 / self.elapsed_secs.max(1e-12)
+    }
+
+    fn ns_per_step(&self) -> f64 {
+        self.elapsed_secs * 1e9 / self.steps.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.as_str().into()),
+            ("scenarios", self.scenarios.into()),
+            ("steps", self.steps.into()),
+            ("elapsed_secs", self.elapsed_secs.into()),
+            ("scenarios_per_sec", self.scenarios_per_sec().into()),
+            ("ns_per_step", self.ns_per_step().into()),
+        ])
+    }
+}
+
+fn timed_sweep(
+    label: &str,
+    runner: &BatchRunner,
+    specs: &[ScenarioSpec],
+    serial: bool,
+) -> (SweepTiming, Vec<EpisodeReport>) {
+    let start = Instant::now();
+    let reports = if serial {
+        runner.run_serial(specs)
+    } else {
+        runner.run(specs)
+    };
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let steps: usize = reports.iter().map(|r| r.steps).sum();
+    (
+        SweepTiming {
+            label: label.to_owned(),
+            scenarios: specs.len(),
+            steps,
+            elapsed_secs,
+        },
+        reports,
+    )
+}
+
+fn throughput_phase(scenarios: usize) -> Result<Json, SeoError> {
+    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
+    let per_count = scenarios.div_ceil(3);
+    let specs = ScenarioSpec::grid(&[0, 2, 4], per_count, 2023);
+    println!(
+        "sweep throughput: {} scenarios ({} per obstacle count) on {} worker(s)\n",
+        specs.len(),
+        per_count,
+        runner.threads()
+    );
+
+    let (serial, serial_reports) = timed_sweep("serial", &runner, &specs, true);
+    let (parallel, parallel_reports) = timed_sweep("parallel", &runner, &specs, false);
+    let identical = serial_reports == parallel_reports;
+    assert!(
+        identical,
+        "parallel sweep must be bit-identical to the serial loop"
+    );
+
+    let mut table = Table::new(vec!["mode", "scenarios/s", "ns/step", "elapsed"]);
+    for t in [&serial, &parallel] {
+        table.push_row(vec![
+            t.label.clone(),
+            format!("{:.1}", t.scenarios_per_sec()),
+            format!("{:.0}", t.ns_per_step()),
+            format!("{:.2} s", t.elapsed_secs),
+        ]);
+    }
+    println!("{table}");
+    let speedup = serial.elapsed_secs / parallel.elapsed_secs.max(1e-12);
+    println!("parallel speedup: {speedup:.2}x, bit-identical: {identical}\n");
+
+    Ok(Json::obj(vec![
+        ("threads", runner.threads().into()),
+        ("serial", serial.to_json()),
+        ("parallel", parallel.to_json()),
+        ("speedup", speedup.into()),
+        ("bit_identical", identical.into()),
+        (
+            // A static design claim, not a runtime measurement (no counting
+            // allocator in this offline build): the per-step heap
+            // allocations the scratch rework removed from the episode loop —
+            // the scheduler's StepPlan slot list, the neural controller's
+            // feature vector + one Vec per MLP layer, and the per-run world
+            // clone (amortized across the episode). Re-verified by the
+            // hot_path bench; update alongside any hot-loop change.
+            "allocs_eliminated_per_step_design",
+            Json::obj(vec![
+                ("step_plan", 1u32.into()),
+                ("neural_policy_forward", 4u32.into()),
+                ("world_clone_per_run", 1u32.into()),
+            ]),
+        ),
+    ]))
+}
+
+fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
+    let runtime = paper_runtime(OptimizerKind::Offloading)?.with_link(link);
     let mut optimized = seo_platform::energy::EnergyLedger::new();
     let mut baseline = seo_platform::energy::EnergyLedger::new();
+    let mut scratch = EpisodeScratch::new();
     let mut collected = 0usize;
     let mut seed = 0u64;
     while collected < runs && seed < 200 {
         let world = ScenarioConfig::new(2).with_seed(seed).generate();
-        let report = runtime.run_episode(world, seed);
+        let report = runtime.run_with(WorldSource::Static(&world), seed, &mut scratch);
         if report.is_success() {
             for m in &report.models {
                 optimized.merge(&m.optimized);
@@ -41,9 +165,24 @@ fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runs = runs_from_env().min(10);
+
+    // Phase 1: sweep throughput + BENCH_sweep.json.
+    let sweep_scenarios = std::env::var("SEO_SWEEP_SCENARIOS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(60)
+        .max(3);
+    let throughput = throughput_phase(sweep_scenarios)?;
+    let dump = Json::obj(vec![
+        ("schema", "seo-bench-sweep/v1".into()),
+        ("throughput", throughput),
+    ]);
+    std::fs::write("BENCH_sweep.json", dump.render_pretty())?;
+    println!("wrote BENCH_sweep.json\n");
+
     println!("sensitivity sweeps ({runs} successful runs per point)\n");
 
-    // 1. Channel-scale sweep: how gracefully do offloading gains degrade as
+    // 2. Channel-scale sweep: how gracefully do offloading gains degrade as
     //    the Rayleigh scale shrinks below the paper's 20 Mbps?
     let mut table = Table::new(vec!["rayleigh scale", "offloading gain"]);
     for mbps in [5.0, 10.0, 20.0, 40.0] {
@@ -53,27 +192,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seo_platform::units::Watts::new(1.3),
             seo_platform::units::Seconds::from_millis(1.0),
         )?;
-        table.push_row(vec![format!("{mbps:.0} Mbps"), pct(gains_with_link(link, runs)?)]);
+        table.push_row(vec![
+            format!("{mbps:.0} Mbps"),
+            pct(gains_with_link(link, runs)?),
+        ]);
     }
     println!("{table}");
 
-    // 2. Payload sweep: bigger offload payloads eat the radio budget and
+    // 3. Payload sweep: bigger offload payloads eat the radio budget and
     //    miss more deadlines.
     let mut table = Table::new(vec!["payload", "offloading gain"]);
     for kb in [10.0, 25.0, 50.0, 100.0] {
         let link = WirelessLink::paper_default()?.with_payload(Bits::from_kilobytes(kb))?;
-        table.push_row(vec![format!("{kb:.0} kB"), pct(gains_with_link(link, runs)?)]);
+        table.push_row(vec![
+            format!("{kb:.0} kB"),
+            pct(gains_with_link(link, runs)?),
+        ]);
     }
     println!("{table}");
 
-    // 3. Gating-level sweep (the Fig. 1 knob).
+    // 4. Gating-level sweep (the Fig. 1 knob).
     let mut table = Table::new(vec!["gating level", "gating gain"]);
     for level in [0.0, 0.25, 0.5, 0.75] {
         let result = ExperimentConfig::paper_defaults()
             .with_optimizer(OptimizerKind::ModelGating)
             .with_gating_level(level)
             .with_runs(runs)
-            .run()?;
+            .run_auto()?;
         table.push_row(vec![
             format!("{:.0}%", level * 100.0),
             pct(result.summary.combined_gain),

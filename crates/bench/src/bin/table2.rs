@@ -35,7 +35,10 @@ fn main() {
                 .iter()
                 .map(|r| r.offloading_gain)
                 .fold(f64::NEG_INFINITY, f64::max);
-            println!("max offloading gain: {} (paper headline: 89.9%)", pct(headline));
+            println!(
+                "max offloading gain: {} (paper headline: 89.9%)",
+                pct(headline)
+            );
         }
         Err(e) => {
             eprintln!("table2 failed: {e}");

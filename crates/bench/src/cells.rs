@@ -9,7 +9,6 @@ use seo_core::optimizer::{full_slot_cost, optimized_slot_cost, OptimizerKind};
 use seo_platform::compute::ComputeProfile;
 use seo_platform::sensor::SensorSpec;
 use seo_platform::units::{Seconds, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Base seed for all experiment cells (runs use `seed + attempt`).
 const BASE_SEED: u64 = 2023;
@@ -30,7 +29,7 @@ fn cell(
 
 /// One series point of Fig. 1: normalized gating energy per detector at a
 /// given obstacle count (unfiltered control, 50 % gating).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1Row {
     /// Obstacles on the route.
     pub n_obstacles: usize,
@@ -49,8 +48,13 @@ pub struct Fig1Row {
 pub fn fig1_rows(runs: usize) -> Result<Vec<Fig1Row>, SeoError> {
     let mut rows = Vec::new();
     for n_obstacles in 0..=4 {
-        let result =
-            cell(OptimizerKind::ModelGating, ControlMode::Unfiltered, n_obstacles, runs).run()?;
+        let result = cell(
+            OptimizerKind::ModelGating,
+            ControlMode::Unfiltered,
+            n_obstacles,
+            runs,
+        )
+        .run_auto()?;
         rows.push(Fig1Row {
             n_obstacles,
             normalized_50hz: 1.0 - result.gain_for_model(0)?,
@@ -62,7 +66,7 @@ pub fn fig1_rows(runs: usize) -> Result<Vec<Fig1Row>, SeoError> {
 
 /// One bar group of Fig. 5: per-detector gains for one (optimizer, control)
 /// combination at τ = 20 ms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Offloading or model gating.
     pub optimizer: OptimizerKind,
@@ -85,7 +89,7 @@ pub fn fig5_rows(runs: usize) -> Result<Vec<Fig5Row>, SeoError> {
     let mut rows = Vec::new();
     for optimizer in [OptimizerKind::Offloading, OptimizerKind::ModelGating] {
         for control in [ControlMode::Unfiltered, ControlMode::Filtered] {
-            let result = cell(optimizer, control, 2, runs).run()?;
+            let result = cell(optimizer, control, 2, runs).run_auto()?;
             rows.push(Fig5Row {
                 optimizer,
                 control,
@@ -98,7 +102,7 @@ pub fn fig5_rows(runs: usize) -> Result<Vec<Fig5Row>, SeoError> {
 }
 
 /// One row of Table I: gains at τ = 25 ms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Offloading or model gating.
     pub optimizer: OptimizerKind,
@@ -122,9 +126,8 @@ pub fn table1_rows(runs: usize) -> Result<Vec<Table1Row>, SeoError> {
     let mut rows = Vec::new();
     for optimizer in [OptimizerKind::Offloading, OptimizerKind::ModelGating] {
         for control in [ControlMode::Unfiltered, ControlMode::Filtered] {
-            let config = cell(optimizer, control, 2, runs)
-                .with_tau(Seconds::from_millis(25.0));
-            let result = config.run()?;
+            let config = cell(optimizer, control, 2, runs).with_tau(Seconds::from_millis(25.0));
+            let result = config.run_auto()?;
             let gain_p1 = result.gain_for_model(0)?;
             let gain_p2 = result.gain_for_model(1)?;
             rows.push(Table1Row {
@@ -140,7 +143,7 @@ pub fn table1_rows(runs: usize) -> Result<Vec<Table1Row>, SeoError> {
 }
 
 /// One histogram panel of Fig. 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Row {
     /// Offloading or model gating.
     pub optimizer: OptimizerKind,
@@ -165,7 +168,7 @@ pub fn fig6_rows(runs: usize) -> Result<Vec<Fig6Row>, SeoError> {
     let mut rows = Vec::new();
     for optimizer in [OptimizerKind::Offloading, OptimizerKind::ModelGating] {
         for n_obstacles in [0usize, 2, 4] {
-            let result = cell(optimizer, ControlMode::Unfiltered, n_obstacles, runs).run()?;
+            let result = cell(optimizer, ControlMode::Unfiltered, n_obstacles, runs).run_auto()?;
             rows.push(Fig6Row {
                 optimizer,
                 n_obstacles,
@@ -184,7 +187,7 @@ pub fn fig6_rows(runs: usize) -> Result<Vec<Fig6Row>, SeoError> {
 }
 
 /// One row of Table II.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Filtered or unfiltered control.
     pub control: ControlMode,
@@ -208,8 +211,8 @@ pub fn table2_rows(runs: usize) -> Result<Vec<Table2Row>, SeoError> {
     let mut rows = Vec::new();
     for control in [ControlMode::Unfiltered, ControlMode::Filtered] {
         for n_obstacles in [0usize, 2, 4] {
-            let offload = cell(OptimizerKind::Offloading, control, n_obstacles, runs).run()?;
-            let gating = cell(OptimizerKind::ModelGating, control, n_obstacles, runs).run()?;
+            let offload = cell(OptimizerKind::Offloading, control, n_obstacles, runs).run_auto()?;
+            let gating = cell(OptimizerKind::ModelGating, control, n_obstacles, runs).run_auto()?;
             rows.push(Table2Row {
                 control,
                 n_obstacles,
@@ -223,7 +226,7 @@ pub fn table2_rows(runs: usize) -> Result<Vec<Table2Row>, SeoError> {
 }
 
 /// One row of Table III.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Sensor name.
     pub sensor: String,
@@ -269,8 +272,9 @@ pub fn four_tau_sensor_gain(sensor: &SensorSpec, p_multiple: u32, config: &SeoCo
         .expect("static multiple is valid")
         .with_sensor(sensor.clone());
     let full = full_slot_cost(&model, config).total().as_joules();
-    let gated =
-        optimized_slot_cost(OptimizerKind::SensorGating, &model, config).total().as_joules();
+    let gated = optimized_slot_cost(OptimizerKind::SensorGating, &model, config)
+        .total()
+        .as_joules();
     match p_multiple {
         1 => 1.0 - (3.0 * gated + full) / (4.0 * full),
         _ => 1.0 - (gated + full) / (2.0 * full),
@@ -284,15 +288,18 @@ pub fn four_tau_sensor_gain(sensor: &SensorSpec, p_multiple: u32, config: &SeoCo
 ///
 /// Propagates [`SeoError`] from the experiment harness.
 pub fn table3_rows(runs: usize) -> Result<Vec<Table3Row>, SeoError> {
-    let sensors =
-        [SensorSpec::zed_camera(), SensorSpec::navtech_cts350x(), SensorSpec::velodyne_hdl32e()];
+    let sensors = [
+        SensorSpec::zed_camera(),
+        SensorSpec::navtech_cts350x(),
+        SensorSpec::velodyne_hdl32e(),
+    ];
     let mut rows = Vec::new();
     for sensor in sensors {
         let config = cell(OptimizerKind::SensorGating, ControlMode::Filtered, 2, runs)
             .with_accounting(EnergyAccounting::WithSensor);
         let seo = config.seo;
         let config = config.with_models(sensor_model_set(&sensor, seo.tau)?);
-        let result = config.run()?;
+        let result = config.run_auto()?;
         for (index, p_multiple) in [(0usize, 1u32), (1, 2)] {
             rows.push(Table3Row {
                 sensor: sensor.name().to_owned(),
@@ -348,8 +355,10 @@ mod tests {
     fn table2_gains_fall_with_obstacles() {
         let rows = table2_rows(QUICK).expect("cells run");
         assert_eq!(rows.len(), 6);
-        let unfiltered: Vec<&Table2Row> =
-            rows.iter().filter(|r| r.control == ControlMode::Unfiltered).collect();
+        let unfiltered: Vec<&Table2Row> = rows
+            .iter()
+            .filter(|r| r.control == ControlMode::Unfiltered)
+            .collect();
         assert!(unfiltered[0].offloading_gain > unfiltered[2].offloading_gain);
         assert!(unfiltered[0].mean_delta_max > unfiltered[2].mean_delta_max);
     }

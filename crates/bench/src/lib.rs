@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod cells;
+pub mod json;
 pub mod report;
+pub mod timing;
 
 pub use cells::{
     fig1_rows, fig5_rows, fig6_rows, table1_rows, table2_rows, table3_rows, Fig1Row, Fig5Row,

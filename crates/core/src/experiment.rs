@@ -5,21 +5,21 @@
 //! completed, no collision) has been collected — the paper averages over 25
 //! such runs — then aggregate energy gains and δmax statistics.
 
+use crate::batch::{BatchRunner, ScenarioSpec};
 use crate::config::{ControlMode, EnergyAccounting, SeoConfig};
+use crate::controller::Controller;
 use crate::error::SeoError;
 use crate::metrics::{EpisodeReport, ExperimentSummary};
 use crate::model::ModelSet;
 use crate::optimizer::OptimizerKind;
-use crate::runtime::RuntimeLoop;
-use crate::controller::Controller;
+use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use seo_platform::units::Seconds;
 use seo_sim::scenario::ScenarioConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Complete description of one experiment cell (one bar/row of a paper
 /// figure or table).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Framework knobs (τ, gating level, control mode, accounting).
     pub seo: SeoConfig,
@@ -149,13 +149,16 @@ impl ExperimentConfig {
     pub fn run(&self) -> Result<ExperimentResult, SeoError> {
         let runtime = RuntimeLoop::new(self.seo, self.models.clone(), self.optimizer)?
             .with_controller(self.controller.clone());
+        let mut scratch = EpisodeScratch::new();
         let mut successes: Vec<EpisodeReport> = Vec::with_capacity(self.runs);
         let mut attempts = 0usize;
         let mut failures = 0usize;
         while successes.len() < self.runs && attempts < self.max_attempts {
             let seed = self.base_seed.wrapping_add(attempts as u64);
-            let world = ScenarioConfig::new(self.n_obstacles).with_seed(seed).generate();
-            let report = runtime.run_episode(world, seed);
+            let world = ScenarioConfig::new(self.n_obstacles)
+                .with_seed(seed)
+                .generate();
+            let report = runtime.run_with(WorldSource::Static(&world), seed, &mut scratch);
             if report.is_success() {
                 successes.push(report);
             } else {
@@ -171,64 +174,59 @@ impl ExperimentConfig {
             });
         }
         let summary = ExperimentSummary::from_reports(&successes)?;
-        Ok(ExperimentResult { config: self.clone(), reports: successes, summary, failures })
+        Ok(ExperimentResult {
+            config: self.clone(),
+            reports: successes,
+            summary,
+            failures,
+        })
     }
 
-    /// Parallel variant of [`Self::run`]: fans episode attempts out over
-    /// `threads` workers with `crossbeam::scope`. Episodes are independent
-    /// (seeded per attempt) and collected in seed order, so the selected
-    /// successful-run set — and therefore the summary — is **identical** to
-    /// the sequential protocol's.
+    /// Parallel variant of [`Self::run`]: fans episode attempts out over a
+    /// [`BatchRunner`] worker pool, in waves so a mostly-successful
+    /// configuration does not burn the whole `max_attempts` budget.
+    /// Episodes are independent (seeded per attempt) and each wave is
+    /// consumed in seed order, so the selected successful-run set — and
+    /// therefore the summary — is **identical** to the sequential
+    /// protocol's.
     ///
     /// # Errors
     ///
     /// Same as [`Self::run`].
     pub fn run_parallel(&self, threads: usize) -> Result<ExperimentResult, SeoError> {
-        let threads = threads.max(1);
         let runtime = RuntimeLoop::new(self.seo, self.models.clone(), self.optimizer)?
             .with_controller(self.controller.clone());
-        // Pre-plan the full attempt budget; take the first `runs` successes
-        // in seed order — exactly what the sequential loop selects.
-        let attempts: Vec<u64> =
-            (0..self.max_attempts as u64).map(|k| self.base_seed.wrapping_add(k)).collect();
-        let mut reports: Vec<(u64, EpisodeReport)> = Vec::with_capacity(attempts.len());
-        crossbeam::thread::scope(|scope| {
-            let chunk = attempts.len().div_ceil(threads).max(1);
-            let mut handles = Vec::new();
-            for block in attempts.chunks(chunk) {
-                let runtime = &runtime;
-                let n_obstacles = self.n_obstacles;
-                handles.push(scope.spawn(move |_| {
-                    block
-                        .iter()
-                        .map(|&seed| {
-                            let world =
-                                ScenarioConfig::new(n_obstacles).with_seed(seed).generate();
-                            (seed, runtime.run_episode(world, seed))
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for handle in handles {
-                reports.extend(handle.join().expect("episode worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
-        reports.sort_by_key(|(seed, _)| *seed);
+        let runner = BatchRunner::new(runtime).with_threads(threads);
+        // Slightly over-provision each wave for expected failures so most
+        // experiments finish in a single wave.
+        let wave = (self.runs + self.runs / 4 + runner.threads()).max(1);
 
         let mut successes = Vec::with_capacity(self.runs);
         let mut failures = 0usize;
         let mut attempts_used = 0usize;
-        for (_, report) in reports {
-            if successes.len() >= self.runs {
-                break;
+        let mut offset = 0usize;
+        while successes.len() < self.runs && offset < self.max_attempts {
+            let n = wave.min(self.max_attempts - offset);
+            let specs: Vec<ScenarioSpec> = (0..n as u64)
+                .map(|k| {
+                    ScenarioSpec::new(
+                        self.n_obstacles,
+                        self.base_seed.wrapping_add(offset as u64 + k),
+                    )
+                })
+                .collect();
+            for report in runner.run(&specs) {
+                if successes.len() >= self.runs {
+                    break;
+                }
+                attempts_used += 1;
+                if report.is_success() {
+                    successes.push(report);
+                } else {
+                    failures += 1;
+                }
             }
-            attempts_used += 1;
-            if report.is_success() {
-                successes.push(report);
-            } else {
-                failures += 1;
-            }
+            offset += n;
         }
         if successes.len() < self.runs {
             return Err(SeoError::InsufficientSuccessfulRuns {
@@ -238,7 +236,25 @@ impl ExperimentConfig {
             });
         }
         let summary = ExperimentSummary::from_reports(&successes)?;
-        Ok(ExperimentResult { config: self.clone(), reports: successes, summary, failures })
+        Ok(ExperimentResult {
+            config: self.clone(),
+            reports: successes,
+            summary,
+            failures,
+        })
+    }
+
+    /// [`Self::run_parallel`] on all available cores — what the experiment
+    /// binaries and benches call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_auto(&self) -> Result<ExperimentResult, SeoError> {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.run_parallel(threads)
     }
 }
 
@@ -253,7 +269,7 @@ impl fmt::Display for ExperimentConfig {
 }
 
 /// Outcome of one experiment cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// The configuration that produced this result.
     pub config: ExperimentConfig,
@@ -273,10 +289,14 @@ impl ExperimentResult {
     ///
     /// Returns [`SeoError::InvalidConfig`] for an out-of-range index.
     pub fn gain_for_model(&self, index: usize) -> Result<f64, SeoError> {
-        self.summary.model_gains.get(index).copied().ok_or(SeoError::InvalidConfig {
-            field: "model index",
-            constraint: "address a registered Λ' model",
-        })
+        self.summary
+            .model_gains
+            .get(index)
+            .copied()
+            .ok_or(SeoError::InvalidConfig {
+                field: "model index",
+                constraint: "address a registered Λ' model",
+            })
     }
 
     /// Mean combined gain over all models (energy-weighted).
@@ -347,7 +367,10 @@ mod tests {
             .expect("experiment runs");
         let g1 = result.gain_for_model(0).expect("model 0");
         let g2 = result.gain_for_model(1).expect("model 1");
-        assert!(g1 > 0.0 && g2 >= 0.0, "gains should be non-negative: {g1}, {g2}");
+        assert!(
+            g1 > 0.0 && g2 >= 0.0,
+            "gains should be non-negative: {g1}, {g2}"
+        );
         assert!(g1 > g2, "p=tau should beat p=2tau: {g1} vs {g2}");
         assert!(result.gain_for_model(5).is_err());
     }
@@ -358,7 +381,11 @@ mod tests {
         config.max_attempts = 1;
         config.runs = 10;
         match config.run() {
-            Err(SeoError::InsufficientSuccessfulRuns { collected, requested, attempts }) => {
+            Err(SeoError::InsufficientSuccessfulRuns {
+                collected,
+                requested,
+                attempts,
+            }) => {
                 assert!(collected <= 1);
                 assert_eq!(requested, 10);
                 assert_eq!(attempts, 1);
@@ -380,7 +407,10 @@ mod tests {
         let config = quick(OptimizerKind::Offloading, 2, ControlMode::Filtered);
         let seq = config.run().expect("sequential runs");
         let par = config.run_parallel(4).expect("parallel runs");
-        assert_eq!(seq.summary, par.summary, "parallel must reproduce the protocol");
+        assert_eq!(
+            seq.summary, par.summary,
+            "parallel must reproduce the protocol"
+        );
         assert_eq!(seq.failures, par.failures);
     }
 
@@ -397,7 +427,10 @@ mod tests {
         let result = quick(OptimizerKind::Offloading, 4, ControlMode::Filtered)
             .run()
             .expect("experiment runs");
-        assert!(result.all_runs_safe(), "filtered runs must never violate the barrier");
+        assert!(
+            result.all_runs_safe(),
+            "filtered runs must never violate the barrier"
+        );
     }
 
     #[test]
@@ -408,10 +441,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_config() {
+    fn clone_roundtrip_config() {
         let config = quick(OptimizerKind::SensorGating, 4, ControlMode::Unfiltered);
-        let json = serde_json::to_string(&config).expect("serialize");
-        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        let back = config.clone();
         assert_eq!(back, config);
     }
 }

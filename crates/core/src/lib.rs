@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod controller;
 pub mod discretize;
@@ -67,6 +68,7 @@ pub use error::SeoError;
 
 /// Convenient re-exports of the most used framework types.
 pub mod prelude {
+    pub use crate::batch::{BatchRunner, ScenarioSpec};
     pub use crate::config::{ControlMode, EnergyAccounting, OffloadFallback, SeoConfig};
     pub use crate::controller::Controller;
     pub use crate::discretize::{discretize_deadline, discretize_period};
@@ -75,6 +77,6 @@ pub mod prelude {
     pub use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
     pub use crate::model::{Criticality, ModelId, ModelSet, PipelineModel};
     pub use crate::optimizer::OptimizerKind;
-    pub use crate::runtime::RuntimeLoop;
+    pub use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
 }

@@ -8,70 +8,102 @@
 use crate::error::SeoError;
 use seo_platform::energy::EnergyLedger;
 use seo_sim::episode::EpisodeStatus;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Histogram of sampled δmax values over one or more runs.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Backed by a dense count array indexed by δmax (small and bounded by the
+/// deadline cap), so recording inside the control loop is allocation-free
+/// once the array has reached the largest observed value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DeltaMaxHistogram {
-    counts: BTreeMap<u32, usize>,
+    /// `counts[v]` = occurrences of δmax = v. Invariant: the last element,
+    /// when present, is nonzero (the vector only grows when recording its
+    /// index), which keeps derived equality meaningful.
+    counts: Vec<usize>,
+    total: usize,
 }
 
 impl DeltaMaxHistogram {
+    /// Values above this saturate into one top bucket, bounding the dense
+    /// count array. Far above any discretized deadline the framework
+    /// produces (the paper's cap is 4), but `discretize_deadline` yields
+    /// `u32::MAX` for infinite deadlines, which must not translate into a
+    /// `u32::MAX`-slot allocation.
+    pub const SATURATION: u32 = 4096;
+
     /// Creates an empty histogram.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records one sampled δmax.
+    /// Records one sampled δmax. Values above [`Self::SATURATION`] are
+    /// counted in the saturation bucket.
     pub fn record(&mut self, delta_max: u32) {
-        *self.counts.entry(delta_max).or_insert(0) += 1;
+        let idx = delta_max.min(Self::SATURATION) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
     }
 
     /// Total samples.
     #[must_use]
     pub fn total(&self) -> usize {
-        self.counts.values().sum()
+        self.total
     }
 
     /// Count for one δmax value.
     #[must_use]
     pub fn count(&self, delta_max: u32) -> usize {
-        self.counts.get(&delta_max).copied().unwrap_or(0)
+        self.counts.get(delta_max as usize).copied().unwrap_or(0)
     }
 
     /// Occurrence frequency of one δmax value in `[0, 1]` (0 when empty).
     #[must_use]
     pub fn frequency(&self, delta_max: u32) -> f64 {
-        let total = self.total();
-        if total == 0 {
+        if self.total == 0 {
             0.0
         } else {
-            self.count(delta_max) as f64 / total as f64
+            self.count(delta_max) as f64 / self.total as f64
         }
     }
 
     /// Mean sampled δmax (the paper's Table II "δmax" column); 0 when empty.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        let total = self.total();
-        if total == 0 {
+        if self.total == 0 {
             return 0.0;
         }
-        self.counts.iter().map(|(&v, &c)| f64::from(v) * c as f64).sum::<f64>() / total as f64
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum::<f64>()
+            / self.total as f64
     }
 
-    /// Iterates `(delta_max, count)` in increasing δmax order.
+    /// Iterates `(delta_max, count)` in increasing δmax order, skipping
+    /// values that never occurred.
     pub fn iter(&self) -> impl Iterator<Item = (u32, usize)> + '_ {
-        self.counts.iter().map(|(&v, &c)| (v, c))
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u32, c))
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Self) {
         for (v, c) in other.iter() {
-            *self.counts.entry(v).or_insert(0) += c;
+            let idx = v.min(Self::SATURATION) as usize;
+            if idx >= self.counts.len() {
+                self.counts.resize(idx + 1, 0);
+            }
+            self.counts[idx] += c;
+            self.total += c;
         }
     }
 }
@@ -92,7 +124,7 @@ impl fmt::Display for DeltaMaxHistogram {
 }
 
 /// Energy outcome of one Λ′ model over one episode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelEnergyReport {
     /// Model name.
     pub name: String,
@@ -138,7 +170,10 @@ impl ModelEnergyReport {
 
 impl fmt::Display for ModelEnergyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let gain = self.gain().map(|g| format!("{:.1}%", g * 100.0)).unwrap_or_else(|_| "n/a".into());
+        let gain = self
+            .gain()
+            .map(|g| format!("{:.1}%", g * 100.0))
+            .unwrap_or_else(|_| "n/a".into());
         write!(
             f,
             "{} (delta_i={}): gain {gain}, {} full / {} optimized slots",
@@ -148,7 +183,7 @@ impl fmt::Display for ModelEnergyReport {
 }
 
 /// Complete record of one closed-loop episode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeReport {
     /// How the episode ended.
     pub status: EpisodeStatus,
@@ -195,13 +230,16 @@ impl fmt::Display for EpisodeReport {
         write!(
             f,
             "episode {} in {} steps; {} models; {}",
-            self.status, self.steps, self.models.len(), self.histogram
+            self.status,
+            self.steps,
+            self.models.len(),
+            self.histogram
         )
     }
 }
 
 /// Aggregation over the successful runs of one experiment configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentSummary {
     /// Per-model mean gain across runs (energy-weighted: total optimized vs
     /// total baseline), indexed like the per-episode model lists.
@@ -238,10 +276,14 @@ impl ExperimentSummary {
             let baseline: EnergyLedger = reports.iter().map(|r| r.models[i].baseline).sum();
             model_gains.push(optimized.gain_over(&baseline)?);
         }
-        let optimized: EnergyLedger =
-            reports.iter().flat_map(|r| r.models.iter().map(|m| m.optimized)).sum();
-        let baseline: EnergyLedger =
-            reports.iter().flat_map(|r| r.models.iter().map(|m| m.baseline)).sum();
+        let optimized: EnergyLedger = reports
+            .iter()
+            .flat_map(|r| r.models.iter().map(|m| m.optimized))
+            .sum();
+        let baseline: EnergyLedger = reports
+            .iter()
+            .flat_map(|r| r.models.iter().map(|m| m.baseline))
+            .sum();
         let combined_gain = optimized.gain_over(&baseline)?;
         let mut histogram = DeltaMaxHistogram::new();
         for r in reports {
@@ -334,6 +376,21 @@ mod tests {
     }
 
     #[test]
+    fn histogram_saturates_extreme_deltas() {
+        // discretize_deadline() yields u32::MAX for infinite deadlines; the
+        // dense backing must saturate instead of allocating u32::MAX slots.
+        let mut h = DeltaMaxHistogram::new();
+        h.record(u32::MAX);
+        h.record(DeltaMaxHistogram::SATURATION + 7);
+        assert_eq!(h.count(DeltaMaxHistogram::SATURATION), 2);
+        assert_eq!(h.total(), 2);
+        let mut other = DeltaMaxHistogram::new();
+        other.record(u32::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(DeltaMaxHistogram::SATURATION), 3);
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = DeltaMaxHistogram::new();
         a.record(4);
@@ -401,10 +458,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let ep = episode(1.0, 2.0, &[4, 2]);
-        let json = serde_json::to_string(&ep).expect("serialize");
-        let back: EpisodeReport = serde_json::from_str(&json).expect("deserialize");
+        let back = ep.clone();
         assert_eq!(back, ep);
     }
 }

@@ -11,11 +11,10 @@ use crate::error::SeoError;
 use seo_platform::compute::ComputeProfile;
 use seo_platform::sensor::SensorSpec;
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque identifier of one pipeline model within a [`ModelSet`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ModelId(pub usize);
 
 impl fmt::Display for ModelId {
@@ -26,7 +25,7 @@ impl fmt::Display for ModelId {
 
 /// Whether a model belongs to the state-estimation subset Λ″ or the
 /// optimizable subset Λ′.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Criticality {
     /// Λ″: feeds the safety filter; always runs at full capacity.
     Critical,
@@ -44,7 +43,7 @@ impl fmt::Display for Criticality {
 }
 
 /// Descriptor of one sensory processing model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineModel {
     name: String,
     period: Seconds,
@@ -72,7 +71,13 @@ impl PipelineModel {
                 constraint: "be finite and positive",
             });
         }
-        Ok(Self { name: name.into(), period, compute, sensor, criticality })
+        Ok(Self {
+            name: name.into(),
+            period,
+            compute,
+            sensor,
+            criticality,
+        })
     }
 
     /// The paper's Λ′ detector: a ResNet-152 (PX2 characterization) bound to
@@ -164,7 +169,7 @@ impl fmt::Display for PipelineModel {
 /// assert_eq!(set.critical().count(), 1); // the VAE state-estimation pipeline
 /// # Ok::<(), seo_core::SeoError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSet {
     models: Vec<PipelineModel>,
 }
@@ -186,8 +191,12 @@ impl ModelSet {
         let vae = PipelineModel::new(
             "shieldnn-vae",
             tau,
-            ComputeProfile::new("vae-encoder", Seconds::from_millis(3.0), seo_platform::units::Watts::new(2.0))
-                .map_err(SeoError::from)?,
+            ComputeProfile::new(
+                "vae-encoder",
+                Seconds::from_millis(3.0),
+                seo_platform::units::Watts::new(2.0),
+            )
+            .map_err(SeoError::from)?,
             SensorSpec::zero_power("vae-camera"),
             Criticality::Critical,
         )?;
@@ -223,12 +232,14 @@ impl ModelSet {
 
     /// Iterates over the optimizable subset Λ′.
     pub fn normal(&self) -> impl Iterator<Item = (ModelId, &PipelineModel)> {
-        self.iter().filter(|(_, m)| m.criticality() == Criticality::Normal)
+        self.iter()
+            .filter(|(_, m)| m.criticality() == Criticality::Normal)
     }
 
     /// Iterates over the state-estimation subset Λ″.
     pub fn critical(&self) -> impl Iterator<Item = (ModelId, &PipelineModel)> {
-        self.iter().filter(|(_, m)| m.criticality() == Criticality::Critical)
+        self.iter()
+            .filter(|(_, m)| m.criticality() == Criticality::Critical)
     }
 
     /// Validates that the partition is usable for SEO: Λ′ non-empty.
@@ -271,8 +282,7 @@ mod tests {
         assert_eq!(set.critical().count(), 1);
         assert!(set.validate().is_ok());
         // Detector periods: tau and 2 tau.
-        let periods: Vec<f64> =
-            set.normal().map(|(_, m)| m.period().as_millis()).collect();
+        let periods: Vec<f64> = set.normal().map(|(_, m)| m.period().as_millis()).collect();
         assert_eq!(periods, vec![20.0, 40.0]);
     }
 
@@ -300,7 +310,13 @@ mod tests {
             Criticality::Normal,
         )
         .unwrap_err();
-        assert!(matches!(err, SeoError::InvalidConfig { field: "period", .. }));
+        assert!(matches!(
+            err,
+            SeoError::InvalidConfig {
+                field: "period",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -313,7 +329,10 @@ mod tests {
             Criticality::Critical,
         )
         .expect("valid")]);
-        assert_eq!(critical_only.validate().unwrap_err(), SeoError::NoOptimizableModels);
+        assert_eq!(
+            critical_only.validate().unwrap_err(),
+            SeoError::NoOptimizableModels
+        );
     }
 
     #[test]
@@ -342,10 +361,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let set = ModelSet::paper_setup(TAU).expect("valid");
-        let json = serde_json::to_string(&set).expect("serialize");
-        let back: ModelSet = serde_json::from_str(&json).expect("deserialize");
+        let back = set.clone();
         assert_eq!(back, set);
     }
 }

@@ -19,11 +19,10 @@ use crate::config::{EnergyAccounting, SeoConfig};
 use crate::model::PipelineModel;
 use seo_platform::energy::{EnergyCategory, EnergyLedger};
 use seo_platform::units::Joules;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which optimization method a Λ′ model uses for its Ω slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptimizerKind {
     /// No optimization: the full model runs at every sampling instant
     /// (the baseline every experiment compares against).
@@ -40,8 +39,12 @@ pub enum OptimizerKind {
 
 impl OptimizerKind {
     /// All optimizer kinds, in reporting order.
-    pub const ALL: [Self; 4] =
-        [Self::LocalBaseline, Self::Offloading, Self::ModelGating, Self::SensorGating];
+    pub const ALL: [Self; 4] = [
+        Self::LocalBaseline,
+        Self::Offloading,
+        Self::ModelGating,
+        Self::SensorGating,
+    ];
 }
 
 impl fmt::Display for OptimizerKind {
@@ -57,7 +60,7 @@ impl fmt::Display for OptimizerKind {
 }
 
 /// Energy cost of one slot, split by category.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SlotCost {
     /// Local NN compute energy.
     pub compute: Joules,
@@ -240,15 +243,16 @@ mod tests {
         // delta_i = 1 sensor has 3 gated + 1 full slot vs 4 full slots.
         let config = SeoConfig::paper_defaults().with_accounting(EnergyAccounting::WithSensor);
         let cases = [
-            (SensorSpec::zed_camera(), 0.75),       // paper: 75 %
+            (SensorSpec::zed_camera(), 0.75),        // paper: 75 %
             (SensorSpec::navtech_cts350x(), 0.6893), // paper: 68.93 %
             (SensorSpec::velodyne_hdl32e(), 0.6482), // paper: 64.82 %
         ];
         for (sensor, expected) in cases {
             let model = detector().with_sensor(sensor.clone());
             let full = full_slot_cost(&model, &config).total().as_joules();
-            let gated =
-                optimized_slot_cost(OptimizerKind::SensorGating, &model, &config).total().as_joules();
+            let gated = optimized_slot_cost(OptimizerKind::SensorGating, &model, &config)
+                .total()
+                .as_joules();
             let gain = 1.0 - (3.0 * gated + full) / (4.0 * full);
             assert!(
                 (gain - expected).abs() < 0.01,
@@ -263,15 +267,16 @@ mod tests {
         // p = 2 tau: one gated + one full slot vs two full slots.
         let config = SeoConfig::paper_defaults().with_accounting(EnergyAccounting::WithSensor);
         let cases = [
-            (SensorSpec::zed_camera(), 0.50),       // paper: 50 %
+            (SensorSpec::zed_camera(), 0.50),        // paper: 50 %
             (SensorSpec::navtech_cts350x(), 0.4553), // paper: 45.53 %
             (SensorSpec::velodyne_hdl32e(), 0.4191), // paper: 41.91 %
         ];
         for (sensor, expected) in cases {
             let model = detector().with_sensor(sensor.clone());
             let full = full_slot_cost(&model, &config).total().as_joules();
-            let gated =
-                optimized_slot_cost(OptimizerKind::SensorGating, &model, &config).total().as_joules();
+            let gated = optimized_slot_cost(OptimizerKind::SensorGating, &model, &config)
+                .total()
+                .as_joules();
             let gain = 1.0 - (gated + full) / (2.0 * full);
             assert!(
                 (gain - expected).abs() < 0.05,

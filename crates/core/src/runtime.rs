@@ -15,28 +15,30 @@
 //! 6. advances the vehicle with `u'` and records the safety monitor.
 
 use crate::config::{ControlMode, OffloadFallback, SeoConfig};
+use crate::controller::Controller;
 use crate::discretize::discretize_deadline;
 use crate::error::SeoError;
 use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
 use crate::model::{ModelId, ModelSet};
 use crate::optimizer::{full_slot_cost, optimized_slot_cost, OptimizerKind};
 use crate::scheduler::{SafeScheduler, SlotKind};
-use crate::controller::Controller;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use seo_nn::policy::PolicyFeatures;
+use seo_nn::InferenceScratch;
 use seo_platform::energy::{EnergyCategory, EnergyLedger};
 use seo_platform::units::Seconds;
 use seo_safety::filter::SafetyFilter;
 use seo_safety::interval::SafeIntervalEvaluator;
 use seo_safety::lookup::DeadlineTable;
 use seo_safety::monitor::SafetyMonitor;
+use seo_sim::dynamics::DynamicWorld;
 use seo_sim::episode::{Episode, EpisodeConfig, EpisodeStatus};
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::world::World;
 use seo_wireless::link::WirelessLink;
 use seo_wireless::offload::{OffloadTransaction, ResponseEstimator};
 use seo_wireless::server::EdgeServer;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Per-model offload bookkeeping.
 #[derive(Debug, Clone)]
@@ -80,10 +82,39 @@ pub struct RuntimeLoop {
 
 /// Where episode worlds come from: a fixed snapshot or a moving-obstacle
 /// timeline.
-#[derive(Debug, Clone)]
-enum WorldSource {
-    Static(World),
-    Dynamic(seo_sim::dynamics::DynamicWorld),
+///
+/// Borrowed, not owned — the runtime never clones a world per run. Batch
+/// sweeps generate each world once and fan episodes out against `&World`.
+#[derive(Debug, Clone, Copy)]
+pub enum WorldSource<'a> {
+    /// A fixed world snapshot (the paper's static-obstacle scenarios).
+    Static(&'a World),
+    /// A moving-obstacle timeline; each base period the episode's snapshot
+    /// advances in place.
+    Dynamic(&'a DynamicWorld),
+}
+
+/// Reusable per-worker workspace threaded through the episode loop so that
+/// each control step performs **zero heap allocations**:
+///
+/// * `nn` — the [`InferenceScratch`] neural controller inference runs in;
+/// * `plan` — the [`StepPlan`] the scheduler refills each base period.
+///
+/// Construct one per worker thread (or once per call site) and reuse it
+/// across episodes; buffers stay at their high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct EpisodeScratch {
+    nn: InferenceScratch,
+    plan: crate::scheduler::StepPlan,
+}
+
+impl EpisodeScratch {
+    /// Creates an empty scratch; buffers grow to their high-water mark on
+    /// first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl RuntimeLoop {
@@ -161,35 +192,50 @@ impl RuntimeLoop {
         &self.table
     }
 
-    /// Runs one closed-loop episode in `world`, seeding the stochastic
-    /// wireless channel with `seed`.
-    pub fn run_episode(&self, world: World, seed: u64) -> EpisodeReport {
-        self.run_internal(WorldSource::Static(world), seed)
+    /// Runs one closed-loop episode in `world` (borrowed — no clone),
+    /// seeding the stochastic wireless channel with `seed`.
+    ///
+    /// Allocates a fresh [`EpisodeScratch`] per call; sweep engines reuse
+    /// one via [`Self::run_with`].
+    pub fn run_episode(&self, world: &World, seed: u64) -> EpisodeReport {
+        self.run_with(WorldSource::Static(world), seed, &mut EpisodeScratch::new())
     }
 
     /// Runs one closed-loop episode in a **dynamic** world (moving
     /// obstacles): each base period the world snapshot advances and the
     /// deadline is sampled from the full dynamic φ(x, x′, u) instead of the
     /// static lookup table (the table's axes carry no obstacle velocity).
-    pub fn run_dynamic_episode(
-        &self,
-        world: seo_sim::dynamics::DynamicWorld,
-        seed: u64,
-    ) -> EpisodeReport {
-        self.run_internal(WorldSource::Dynamic(world), seed)
+    pub fn run_dynamic_episode(&self, world: &DynamicWorld, seed: u64) -> EpisodeReport {
+        self.run_with(
+            WorldSource::Dynamic(world),
+            seed,
+            &mut EpisodeScratch::new(),
+        )
     }
 
-    fn run_internal(&self, source: WorldSource, seed: u64) -> EpisodeReport {
+    /// Runs one closed-loop episode from a borrowed [`WorldSource`] with a
+    /// caller-owned [`EpisodeScratch`] — the hot entry point of the batch
+    /// sweep engine. Once the scratch has reached its high-water mark the
+    /// per-control-step loop performs zero heap allocations.
+    ///
+    /// Reports are **bit-identical** across serial and parallel callers:
+    /// every stochastic draw comes from a [`StdRng`] derived from `seed`,
+    /// and the scratch never influences results.
+    pub fn run_with(
+        &self,
+        source: WorldSource<'_>,
+        seed: u64,
+        scratch: &mut EpisodeScratch,
+    ) -> EpisodeReport {
         let mut rng = StdRng::seed_from_u64(seed);
         let tau = self.config.tau;
         let cap = self.config.delta_max_cap();
-        let initial_world = match &source {
-            WorldSource::Static(w) => w.clone(),
-            WorldSource::Dynamic(d) => d.snapshot(Seconds::ZERO),
-        };
-        let road = initial_world.road();
         let episode_config = EpisodeConfig::default().with_dt(tau);
-        let mut episode = Episode::new(initial_world, episode_config);
+        let mut episode = match source {
+            WorldSource::Static(w) => Episode::borrowed(w, episode_config),
+            WorldSource::Dynamic(d) => Episode::new(d.snapshot(Seconds::ZERO), episode_config),
+        };
+        let road = episode.world().road();
         let mut scheduler = SafeScheduler::from_model_set(&self.models, tau);
         let mut monitor = SafetyMonitor::new(*self.filter.barrier());
         let mut histogram = DeltaMaxHistogram::new();
@@ -217,9 +263,13 @@ impl RuntimeLoop {
         let mut interval_start_step: u64 = 0;
         while episode.status() == EpisodeStatus::Running {
             let now = Seconds::new(step as f64 * tau.as_secs());
-            // Dynamic worlds advance their obstacles each base period.
-            if let WorldSource::Dynamic(dynamic) = &source {
-                if episode.set_world(dynamic.snapshot(now)).is_terminal() {
+            // Dynamic worlds advance their obstacles each base period, in
+            // place (the episode's snapshot buffer is reused).
+            if let WorldSource::Dynamic(dynamic) = source {
+                if episode
+                    .update_world(|w| dynamic.snapshot_into(now, w))
+                    .is_terminal()
+                {
                     break;
                 }
             }
@@ -232,25 +282,27 @@ impl RuntimeLoop {
             // 2. Main control.
             let features =
                 PolicyFeatures::from_observation(&state, &ahead, road.length, road.width);
-            let raw = self.controller.act(&features);
+            let raw = self.controller.act_scratch(&features, &mut scratch.nn);
             // 3. Safe control.
             let (control, decision) = match self.config.control_mode {
                 ControlMode::Filtered => self.filter.filter(episode.world(), &state, raw),
                 ControlMode::Unfiltered => (raw, seo_safety::filter::FilterDecision::Passed),
             };
             monitor.record(&observation, decision.is_correction());
-            // 4. Deadline sampling + slot planning (Algorithm 1 lines 7-21).
-            let plan = scheduler.plan_step(|| {
-                let delta_raw = match &source {
+            // 4. Deadline sampling + slot planning (Algorithm 1 lines 7-21),
+            // planned into the reused scratch buffer.
+            scheduler.plan_step_into(&mut scratch.plan, || {
+                let delta_raw = match source {
                     WorldSource::Static(_) => self.table.query(&observation),
-                    WorldSource::Dynamic(dynamic) => {
-                        self.evaluator.safe_interval_dynamic(dynamic, now, &state, control)
-                    }
+                    WorldSource::Dynamic(dynamic) => self
+                        .evaluator
+                        .safe_interval_dynamic(dynamic, now, &state, control),
                 };
                 let delta = discretize_deadline(delta_raw, tau).min(cap);
                 histogram.record(delta);
                 delta
             });
+            let plan = &scratch.plan;
             if plan.interval_started {
                 interval_start_step = step;
             }
@@ -259,9 +311,11 @@ impl RuntimeLoop {
                 let kind = plan
                     .slot_for(model_state.id)
                     .expect("scheduler covers every normal model");
-                let model =
-                    self.models.get(model_state.id).expect("state ids come from the set");
-                let sampling_instant = step % u64::from(model_state.delta_i) == 0;
+                let model = self
+                    .models
+                    .get(model_state.id)
+                    .expect("state ids come from the set");
+                let sampling_instant = step.is_multiple_of(u64::from(model_state.delta_i));
                 // Baseline: full inference at every sampling instant.
                 if sampling_instant {
                     full_slot_cost(model, &self.config).apply_to(&mut model_state.baseline);
@@ -271,8 +325,7 @@ impl RuntimeLoop {
                     // schedule: full inference at sampling instants, no
                     // extra deadline-aligned invocations.
                     if sampling_instant {
-                        full_slot_cost(model, &self.config)
-                            .apply_to(&mut model_state.optimized);
+                        full_slot_cost(model, &self.config).apply_to(&mut model_state.optimized);
                         model_state.full_invocations += 1;
                     }
                     continue;
@@ -428,10 +481,13 @@ mod tests {
     #[test]
     fn empty_road_completes_with_large_gains_under_offloading() {
         let rt = runtime(OptimizerKind::Offloading);
-        let report = rt.run_episode(ScenarioConfig::new(0).with_seed(1).generate(), 1);
+        let report = rt.run_episode(&ScenarioConfig::new(0).with_seed(1).generate(), 1);
         assert_eq!(report.status, EpisodeStatus::Completed);
         let gain = report.combined_gain().expect("nonzero baseline");
-        assert!(gain > 0.6, "offloading on an empty road should gain a lot, got {gain}");
+        assert!(
+            gain > 0.6,
+            "offloading on an empty road should gain a lot, got {gain}"
+        );
         // No obstacles: every sampled deadline is the cap.
         assert!((report.histogram.mean() - 4.0).abs() < 1e-9);
     }
@@ -439,8 +495,8 @@ mod tests {
     #[test]
     fn gating_gains_are_positive_but_below_offloading() {
         let world = ScenarioConfig::new(0).with_seed(1).generate();
-        let offload = runtime(OptimizerKind::Offloading).run_episode(world.clone(), 2);
-        let gating = runtime(OptimizerKind::ModelGating).run_episode(world, 2);
+        let offload = runtime(OptimizerKind::Offloading).run_episode(&world, 2);
+        let gating = runtime(OptimizerKind::ModelGating).run_episode(&world, 2);
         let go = offload.combined_gain().expect("ok");
         let gg = gating.combined_gain().expect("ok");
         assert!(gg > 0.0, "gating should gain: {gg}");
@@ -450,7 +506,7 @@ mod tests {
     #[test]
     fn baseline_optimizer_has_zero_gain() {
         let rt = runtime(OptimizerKind::LocalBaseline);
-        let report = rt.run_episode(ScenarioConfig::new(2).with_seed(3).generate(), 3);
+        let report = rt.run_episode(&ScenarioConfig::new(2).with_seed(3).generate(), 3);
         let gain = report.combined_gain().expect("ok");
         assert!(gain.abs() < 1e-9, "baseline must match baseline: {gain}");
     }
@@ -458,9 +514,13 @@ mod tests {
     #[test]
     fn obstacles_reduce_gains_and_deadlines() {
         let rt = runtime(OptimizerKind::ModelGating);
-        let free = rt.run_episode(ScenarioConfig::new(0).with_seed(5).generate(), 5);
-        let risky = rt.run_episode(ScenarioConfig::new(4).with_seed(5).generate(), 5);
-        assert_eq!(risky.status, EpisodeStatus::Completed, "agent should complete");
+        let free = rt.run_episode(&ScenarioConfig::new(0).with_seed(5).generate(), 5);
+        let risky = rt.run_episode(&ScenarioConfig::new(4).with_seed(5).generate(), 5);
+        assert_eq!(
+            risky.status,
+            EpisodeStatus::Completed,
+            "agent should complete"
+        );
         assert!(
             risky.histogram.mean() < free.histogram.mean(),
             "more obstacles -> lower mean delta_max ({} vs {})",
@@ -483,8 +543,7 @@ mod tests {
         let rt = runtime(OptimizerKind::Offloading);
         let (mut g1, mut g2, mut n) = (0.0, 0.0, 0);
         for seed in 0..6u64 {
-            let report =
-                rt.run_episode(ScenarioConfig::new(4).with_seed(seed).generate(), seed);
+            let report = rt.run_episode(&ScenarioConfig::new(4).with_seed(seed).generate(), seed);
             if report.status == EpisodeStatus::Completed {
                 g1 += report.models[0].gain().expect("ok");
                 g2 += report.models[1].gain().expect("ok");
@@ -502,8 +561,7 @@ mod tests {
     fn filtered_runs_are_collision_free_with_unsafe_free_monitor() {
         let rt = runtime(OptimizerKind::Offloading);
         for seed in 0..3u64 {
-            let report =
-                rt.run_episode(ScenarioConfig::new(4).with_seed(seed).generate(), seed);
+            let report = rt.run_episode(&ScenarioConfig::new(4).with_seed(seed).generate(), seed);
             assert_eq!(report.status, EpisodeStatus::Completed, "seed {seed}");
             assert_eq!(report.unsafe_steps, 0, "seed {seed}: no barrier violations");
         }
@@ -512,7 +570,7 @@ mod tests {
     #[test]
     fn offload_bookkeeping_is_consistent() {
         let rt = runtime(OptimizerKind::Offloading);
-        let report = rt.run_episode(ScenarioConfig::new(0).with_seed(11).generate(), 11);
+        let report = rt.run_episode(&ScenarioConfig::new(0).with_seed(11).generate(), 11);
         let m = &report.models[0];
         assert!(m.offloads_issued > 0, "offloads should be issued");
         assert!(
@@ -526,7 +584,7 @@ mod tests {
     #[test]
     fn gating_never_issues_offloads() {
         let rt = runtime(OptimizerKind::ModelGating);
-        let report = rt.run_episode(ScenarioConfig::new(2).with_seed(13).generate(), 13);
+        let report = rt.run_episode(&ScenarioConfig::new(2).with_seed(13).generate(), 13);
         for m in &report.models {
             assert_eq!(m.offloads_issued, 0);
             assert_eq!(m.offload_successes, 0);
@@ -537,8 +595,8 @@ mod tests {
     fn reports_are_deterministic_given_seeds() {
         let rt = runtime(OptimizerKind::Offloading);
         let world = ScenarioConfig::new(2).with_seed(17).generate();
-        let a = rt.run_episode(world.clone(), 17);
-        let b = rt.run_episode(world, 17);
+        let a = rt.run_episode(&world, 17);
+        let b = rt.run_episode(&world, 17);
         assert_eq!(a, b);
     }
 
@@ -547,14 +605,17 @@ mod tests {
         let rt = runtime(OptimizerKind::ModelGating);
         let world = ScenarioConfig::new(2).with_seed(19).generate();
         let dynamic = seo_sim::dynamics::DynamicWorld::from_static(&world);
-        let a = rt.run_episode(world, 19);
-        let b = rt.run_dynamic_episode(dynamic, 19);
+        let a = rt.run_episode(&world, 19);
+        let b = rt.run_dynamic_episode(&dynamic, 19);
         // Same physics; only the deadline source differs (table vs direct
         // phi), so statuses and step counts must match and gains must be in
         // the same region.
         assert_eq!(a.status, b.status);
         assert_eq!(a.steps, b.steps);
-        let (ga, gb) = (a.combined_gain().expect("ok"), b.combined_gain().expect("ok"));
+        let (ga, gb) = (
+            a.combined_gain().expect("ok"),
+            b.combined_gain().expect("ok"),
+        );
         assert!((ga - gb).abs() < 0.2, "static {ga} vs dynamic {gb}");
     }
 
@@ -569,10 +630,14 @@ mod tests {
         );
         let oncoming = DynamicWorld::new(
             Road::default(),
-            vec![MovingObstacle::new(Obstacle::new(160.0, 1.0, 1.0), -7.0, 0.0)],
+            vec![MovingObstacle::new(
+                Obstacle::new(160.0, 1.0, 1.0),
+                -7.0,
+                0.0,
+            )],
         );
-        let a = rt.run_dynamic_episode(parked, 23);
-        let b = rt.run_dynamic_episode(oncoming, 23);
+        let a = rt.run_dynamic_episode(&parked, 23);
+        let b = rt.run_dynamic_episode(&oncoming, 23);
         assert_ne!(a.status, EpisodeStatus::Collided);
         assert_ne!(b.status, EpisodeStatus::Collided);
         assert!(
@@ -587,12 +652,16 @@ mod tests {
     fn crossing_traffic_scenario_is_survivable_under_shield() {
         let rt = runtime(OptimizerKind::Offloading);
         let world = seo_sim::dynamics::DynamicWorld::crossing_traffic_scenario();
-        let report = rt.run_dynamic_episode(world, 31);
+        let report = rt.run_dynamic_episode(&world, 31);
         assert_ne!(report.status, EpisodeStatus::Collided, "{report}");
         // A mover can transiently breach the *clearance band* by walking
         // toward the vehicle — the shield only controls the vehicle — but
         // collision-free operation must hold and breaches must be brief.
-        assert!(report.unsafe_steps <= 5, "prolonged violation: {}", report.unsafe_steps);
+        assert!(
+            report.unsafe_steps <= 5,
+            "prolonged violation: {}",
+            report.unsafe_steps
+        );
         assert!(report.min_distance > 0.5, "came within collision margin");
     }
 

@@ -23,11 +23,10 @@
 
 use crate::model::{ModelId, ModelSet};
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What one model does in one base period.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotKind {
     /// Full invocation at the safety deadline slot `n == δmax − δᵢ`
     /// (guarantees a fresh output by δmax).
@@ -68,7 +67,7 @@ impl fmt::Display for SlotKind {
 }
 
 /// The scheduler's decisions for one base period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepPlan {
     /// Per-model slot decisions, in Λ′ registration order.
     pub slots: Vec<(ModelId, SlotKind)>,
@@ -89,7 +88,20 @@ impl StepPlan {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+impl Default for StepPlan {
+    /// An empty plan — the reusable buffer
+    /// [`SafeScheduler::plan_step_into`] fills each base period.
+    fn default() -> Self {
+        Self {
+            slots: Vec::new(),
+            interval_started: false,
+            n: 0,
+            delta_max: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
 struct Entry {
     id: ModelId,
     delta_i: u32,
@@ -113,7 +125,7 @@ struct Entry {
 /// assert_eq!(kinds[0], SlotKind::Optimized);
 /// assert_eq!(kinds[3], SlotKind::FullDeadline);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SafeScheduler {
     entries: Vec<Entry>,
     /// Interval-relative slot counter (Algorithm 1's `n`).
@@ -142,7 +154,11 @@ impl SafeScheduler {
         Self {
             entries: models
                 .into_iter()
-                .map(|(id, delta_i)| Entry { id, delta_i, done: false })
+                .map(|(id, delta_i)| Entry {
+                    id,
+                    delta_i,
+                    done: false,
+                })
                 .collect(),
             n: 0,
             t: 0,
@@ -192,7 +208,22 @@ impl SafeScheduler {
 
     /// Plans one base period. `sample_deadline` is consulted **only** when a
     /// new interval begins (the lookup-table probe of Algorithm 1 line 8).
+    ///
+    /// Allocates a fresh plan; the runtime hot loop uses
+    /// [`Self::plan_step_into`] with a reused buffer instead.
     pub fn plan_step<F>(&mut self, sample_deadline: F) -> StepPlan
+    where
+        F: FnOnce() -> u32,
+    {
+        let mut plan = StepPlan::default();
+        self.plan_step_into(&mut plan, sample_deadline);
+        plan
+    }
+
+    /// Plans one base period into a caller-provided [`StepPlan`], reusing
+    /// its slot buffer — the allocation-free form of [`Self::plan_step`]
+    /// (identical decisions, only the storage differs).
+    pub fn plan_step_into<F>(&mut self, plan: &mut StepPlan, sample_deadline: F)
     where
         F: FnOnce() -> u32,
     {
@@ -211,10 +242,10 @@ impl SafeScheduler {
         let n = self.n;
         let delta_max = self.delta_max;
         let t = self.t;
-        let mut slots = Vec::with_capacity(self.entries.len());
+        plan.slots.clear();
         for e in &mut self.entries {
             let deadline_slot = e.delta_i < delta_max && n == delta_max - e.delta_i;
-            let due = t % u64::from(e.delta_i) == 0;
+            let due = t.is_multiple_of(u64::from(e.delta_i));
             let kind = if deadline_slot {
                 e.done = true;
                 SlotKind::FullDeadline
@@ -225,14 +256,16 @@ impl SafeScheduler {
             } else {
                 SlotKind::Idle
             };
-            slots.push((e.id, kind));
+            plan.slots.push((e.id, kind));
         }
         self.n += 1;
         self.t += 1;
         if self.entries.iter().all(|e| e.done) {
             self.new_delta = true;
         }
-        StepPlan { slots, interval_started, n, delta_max }
+        plan.interval_started = interval_started;
+        plan.n = n;
+        plan.delta_max = delta_max;
     }
 }
 
@@ -254,7 +287,10 @@ mod tests {
     use super::*;
 
     fn ids(v: &[usize]) -> Vec<(ModelId, u32)> {
-        v.iter().enumerate().map(|(i, &d)| (ModelId(i), d as u32)).collect()
+        v.iter()
+            .enumerate()
+            .map(|(i, &d)| (ModelId(i), d as u32))
+            .collect()
     }
 
     /// Runs `steps` steps against a constant deadline oracle; returns the
@@ -309,7 +345,12 @@ mod tests {
         let kinds = run(&[2], 2, 4);
         assert_eq!(
             kinds[0],
-            vec![SlotKind::FullPeriodic, SlotKind::Idle, SlotKind::FullPeriodic, SlotKind::Idle]
+            vec![
+                SlotKind::FullPeriodic,
+                SlotKind::Idle,
+                SlotKind::FullPeriodic,
+                SlotKind::Idle
+            ]
         );
     }
 
@@ -320,7 +361,12 @@ mod tests {
         // The slower sensor still only samples every 2nd period.
         assert_eq!(
             kinds[1],
-            vec![SlotKind::FullPeriodic, SlotKind::Idle, SlotKind::FullPeriodic, SlotKind::Idle]
+            vec![
+                SlotKind::FullPeriodic,
+                SlotKind::Idle,
+                SlotKind::FullPeriodic,
+                SlotKind::Idle
+            ]
         );
     }
 
@@ -399,7 +445,11 @@ mod tests {
         // Detectors are models 1 and 2 in the paper setup.
         assert_eq!(s.delta_i(ModelId(1)), Some(1));
         assert_eq!(s.delta_i(ModelId(2)), Some(2));
-        assert_eq!(s.delta_i(ModelId(0)), None, "critical model is not scheduled");
+        assert_eq!(
+            s.delta_i(ModelId(0)),
+            None,
+            "critical model is not scheduled"
+        );
     }
 
     #[test]
@@ -427,8 +477,7 @@ mod tests {
         // Over one interval with delta_max = 4: delta=1 model has 3
         // optimized + 1 full; delta=2 model has 1 optimized + 1 full.
         let kinds = run(&[1, 2], 4, 4);
-        let count =
-            |v: &[SlotKind], k: SlotKind| v.iter().filter(|x| **x == k).count();
+        let count = |v: &[SlotKind], k: SlotKind| v.iter().filter(|x| **x == k).count();
         assert_eq!(count(&kinds[0], SlotKind::Optimized), 3);
         assert_eq!(count(&kinds[0], SlotKind::FullDeadline), 1);
         assert_eq!(count(&kinds[1], SlotKind::Optimized), 1);
@@ -437,11 +486,10 @@ mod tests {
     }
 
     #[test]
-    fn display_and_serde() {
+    fn display_and_clone() {
         let s = SafeScheduler::new(ids(&[1]));
         assert!(s.to_string().contains("1 models"));
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: SafeScheduler = serde_json::from_str(&json).expect("deserialize");
+        let back = s.clone();
         assert_eq!(back, s);
     }
 }

@@ -8,10 +8,9 @@
 
 use crate::error::NnError;
 use crate::layer::Activation;
-use crate::mlp::Mlp;
+use crate::mlp::{InferenceScratch, Mlp};
 use crate::train::sgd_epoch;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// An encoder/decoder pair over normalized range scans.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ae.reconstruct(&scan).len(), 16);
 /// # Ok::<(), seo_nn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Autoencoder {
     encoder: Mlp,
     decoder: Mlp,
@@ -58,7 +57,12 @@ impl Autoencoder {
             Activation::Sigmoid,
             rng,
         )?;
-        Ok(Self { encoder, decoder, input_dim, latent_dim })
+        Ok(Self {
+            encoder,
+            decoder,
+            input_dim,
+            latent_dim,
+        })
     }
 
     /// Scan dimension.
@@ -99,10 +103,49 @@ impl Autoencoder {
         self.decode(&self.encode(scan))
     }
 
+    /// Allocation-free [`Self::encode`]: the latent code is produced inside
+    /// the reused `scratch` workspace. Bit-identical to `encode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan.len() != input_dim()`.
+    pub fn encode_into<'s>(&self, scan: &[f64], scratch: &'s mut InferenceScratch) -> &'s [f64] {
+        self.encoder.forward_into(scan, scratch)
+    }
+
+    /// Allocation-free [`Self::reconstruct`]: encoder and decoder run
+    /// back-to-back inside the same scratch, chaining through the resident
+    /// latent code without copying it. Bit-identical to `reconstruct`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan.len() != input_dim()`.
+    pub fn reconstruct_into<'s>(
+        &self,
+        scan: &[f64],
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f64] {
+        let _ = self.encoder.forward_into(scan, scratch);
+        self.decoder.forward_from_cur(scratch)
+    }
+
     /// Mean squared reconstruction error on one scan.
     #[must_use]
     pub fn reconstruction_error(&self, scan: &[f64]) -> f64 {
         crate::tensor::mse(&self.reconstruct(scan), scan)
+    }
+
+    /// Allocation-free [`Self::reconstruction_error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan.len() != input_dim()`.
+    pub fn reconstruction_error_scratch(
+        &self,
+        scan: &[f64],
+        scratch: &mut InferenceScratch,
+    ) -> f64 {
+        crate::tensor::mse(self.reconstruct_into(scan, scratch), scan)
     }
 
     /// One epoch of end-to-end reconstruction SGD over `scans`; returns the
@@ -120,8 +163,17 @@ impl Autoencoder {
             let n = t.len() as f64;
             encoder.backprop_step(x, lr, |code| {
                 decoder.backprop_step(code, lr, |recon| {
-                    loss = recon.iter().zip(t).map(|(&y, &tv)| (y - tv).powi(2)).sum::<f64>() / n;
-                    recon.iter().zip(t).map(|(&y, &tv)| 2.0 * (y - tv) / n).collect()
+                    loss = recon
+                        .iter()
+                        .zip(t)
+                        .map(|(&y, &tv)| (y - tv).powi(2))
+                        .sum::<f64>()
+                        / n;
+                    recon
+                        .iter()
+                        .zip(t)
+                        .map(|(&y, &tv)| 2.0 * (y - tv) / n)
+                        .collect()
                 })
             });
             loss
@@ -160,7 +212,7 @@ mod tests {
     #[test]
     fn outputs_bounded_by_sigmoid_head() {
         let ae = Autoencoder::new(16, 4, &mut rng()).expect("valid dims");
-        let recon = ae.reconstruct(&vec![0.9; 16]);
+        let recon = ae.reconstruct(&[0.9; 16]);
         assert!(recon.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
@@ -178,7 +230,10 @@ mod tests {
             ae.train_epoch(&scans, 0.2);
         }
         let after: f64 = scans.iter().map(|s| ae.reconstruction_error(s)).sum();
-        assert!(after < before, "reconstruction should improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "reconstruction should improve: {before} -> {after}"
+        );
         assert!(after < 0.05, "reconstruction should become good: {after}");
     }
 
@@ -196,8 +251,8 @@ mod tests {
     #[test]
     fn different_scans_produce_different_codes() {
         let ae = Autoencoder::new(8, 3, &mut rng()).expect("valid dims");
-        let a = ae.encode(&vec![1.0; 8]);
-        let b = ae.encode(&vec![0.1; 8]);
+        let a = ae.encode(&[1.0; 8]);
+        let b = ae.encode(&[0.1; 8]);
         assert_ne!(a, b);
     }
 

@@ -10,11 +10,10 @@
 use seo_sim::sensing::RangeScanner;
 use seo_sim::vehicle::VehicleState;
 use seo_sim::world::World;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One detected obstacle estimate in vehicle-relative polar coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Detection {
     /// Estimated distance to the obstacle surface, meters.
     pub distance: f64,
@@ -23,7 +22,7 @@ pub struct Detection {
 }
 
 /// Output of one detector invocation.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DetectionSet {
     /// Detected obstacles, nearest first.
     pub detections: Vec<Detection>,
@@ -47,8 +46,21 @@ impl DetectionSet {
 
 impl fmt::Display for DetectionSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} detection(s), age {}", self.detections.len(), self.age)
+        write!(
+            f,
+            "{} detection(s), age {}",
+            self.detections.len(),
+            self.age
+        )
     }
+}
+
+/// Reusable workspace for [`ObjectDetector::run_scratch`]: the raw scan and
+/// the clustering accumulator, grown once and reused across steps.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorScratch {
+    scan: Vec<f64>,
+    cluster: Vec<(usize, f64)>,
 }
 
 /// A simulated object detector bound to a forward scanner.
@@ -64,7 +76,7 @@ impl fmt::Display for DetectionSet {
 /// let out = detector.run(&world, &VehicleState::route_start());
 /// assert!(out.nearest().is_some());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ObjectDetector {
     name: String,
     scanner: RangeScanner,
@@ -76,7 +88,11 @@ impl ObjectDetector {
     /// Creates a detector with an explicit scanner.
     #[must_use]
     pub fn new(name: impl Into<String>, scanner: RangeScanner) -> Self {
-        Self { name: name.into(), scanner, last_output: DetectionSet::default() }
+        Self {
+            name: name.into(),
+            scanner,
+            last_output: DetectionSet::default(),
+        }
     }
 
     /// Creates a detector with a 32-ray, 120-degree, 40 m scanner.
@@ -93,13 +109,30 @@ impl ObjectDetector {
 
     /// Runs a full inference: scans the world, clusters contiguous hit rays
     /// into obstacle estimates, publishes a fresh output, and returns it.
+    ///
+    /// Allocates per call; hot loops use [`Self::run_scratch`] with a reused
+    /// workspace instead.
     pub fn run(&mut self, world: &World, vehicle: &VehicleState) -> DetectionSet {
-        let scan = self.scanner.scan(world, vehicle);
+        let mut scratch = DetectorScratch::default();
+        self.run_scratch(world, vehicle, &mut scratch).clone()
+    }
+
+    /// Allocation-free [`Self::run`]: the scan and clustering buffers live
+    /// in `scratch`, and the published output reuses the detector's own
+    /// buffer. Returns a borrow of the fresh output. Bit-identical to `run`.
+    pub fn run_scratch(
+        &mut self,
+        world: &World,
+        vehicle: &VehicleState,
+        scratch: &mut DetectorScratch,
+    ) -> &DetectionSet {
+        self.scanner.scan_into(world, vehicle, &mut scratch.scan);
         let max_range = self.scanner.max_range();
-        let n = scan.len();
+        let n = scratch.scan.len();
         let fov = 120.0_f64.to_radians();
-        let mut detections: Vec<Detection> = Vec::new();
-        let mut cluster: Vec<(usize, f64)> = Vec::new();
+        let detections = &mut self.last_output.detections;
+        detections.clear();
+        scratch.cluster.clear();
         let flush = |cluster: &mut Vec<(usize, f64)>, detections: &mut Vec<Detection>| {
             if cluster.is_empty() {
                 return;
@@ -109,23 +142,32 @@ impl ObjectDetector {
                 .copied()
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
                 .expect("cluster nonempty");
-            let frac = if n == 1 { 0.5 } else { min_idx as f64 / (n - 1) as f64 };
-            detections.push(Detection { distance: min_d, bearing: (frac - 0.5) * fov });
+            let frac = if n == 1 {
+                0.5
+            } else {
+                min_idx as f64 / (n - 1) as f64
+            };
+            detections.push(Detection {
+                distance: min_d,
+                bearing: (frac - 0.5) * fov,
+            });
             cluster.clear();
         };
-        for (i, &d) in scan.iter().enumerate() {
+        for (i, &d) in scratch.scan.iter().enumerate() {
             if d < max_range * 0.999 {
-                cluster.push((i, d));
+                scratch.cluster.push((i, d));
             } else {
-                flush(&mut cluster, &mut detections);
+                flush(&mut scratch.cluster, detections);
             }
         }
-        flush(&mut cluster, &mut detections);
+        flush(&mut scratch.cluster, detections);
         detections.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal)
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
-        self.last_output = DetectionSet { detections, age: 0 };
-        self.last_output.clone()
+        self.last_output.age = 0;
+        &self.last_output
     }
 
     /// Marks one base period passing **without** an inference (the model was
@@ -156,7 +198,11 @@ mod tests {
         let mut det = ObjectDetector::with_default_scanner("d");
         let out = det.run(&one_obstacle_world(), &VehicleState::route_start());
         let nearest = out.nearest().expect("should see the obstacle");
-        assert!((nearest.distance - 23.5).abs() < 1.0, "distance {}", nearest.distance);
+        assert!(
+            (nearest.distance - 23.5).abs() < 1.0,
+            "distance {}",
+            nearest.distance
+        );
         assert!(nearest.bearing.abs() < 0.15, "bearing {}", nearest.bearing);
         assert!(out.is_fresh());
     }
@@ -173,7 +219,10 @@ mod tests {
     fn two_separated_obstacles_yield_two_clusters() {
         let world = World::new(
             Road::default(),
-            vec![Obstacle::new(20.0, -3.0, 1.0), Obstacle::new(20.0, 3.0, 1.0)],
+            vec![
+                Obstacle::new(20.0, -3.0, 1.0),
+                Obstacle::new(20.0, 3.0, 1.0),
+            ],
         );
         let mut det = ObjectDetector::with_default_scanner("d");
         let out = det.run(&world, &VehicleState::route_start());
@@ -221,7 +270,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let set = DetectionSet { detections: vec![], age: 3 };
+        let set = DetectionSet {
+            detections: vec![],
+            age: 3,
+        };
         assert_eq!(set.to_string(), "0 detection(s), age 3");
     }
 }

@@ -28,11 +28,21 @@ pub enum NnError {
 impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch { context, expected, actual } => {
-                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            Self::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch in {context}: expected {expected}, got {actual}"
+                )
             }
             Self::TopologyTooSmall => {
-                write!(f, "network topology needs at least an input and an output size")
+                write!(
+                    f,
+                    "network topology needs at least an input and an output size"
+                )
             }
             Self::InvalidTraining { reason } => write!(f, "invalid training config: {reason}"),
         }
@@ -47,9 +57,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NnError::ShapeMismatch { context: "forward", expected: 4, actual: 3 };
+        let e = NnError::ShapeMismatch {
+            context: "forward",
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains("expected 4"));
         assert!(NnError::TopologyTooSmall.to_string().contains("topology"));
-        assert!(NnError::InvalidTraining { reason: "x" }.to_string().contains("x"));
+        assert!(NnError::InvalidTraining { reason: "x" }
+            .to_string()
+            .contains("x"));
     }
 }

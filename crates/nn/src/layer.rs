@@ -3,10 +3,9 @@
 use crate::error::NnError;
 use crate::tensor::Matrix;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Pointwise nonlinearity applied after a dense layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// `f(x) = x`.
     Identity,
@@ -50,7 +49,7 @@ impl Activation {
 }
 
 /// A fully-connected layer `y = f(Wx + b)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     weights: Matrix,
     biases: Vec<f64>,
@@ -80,17 +79,29 @@ impl Dense {
         rng: &mut R,
     ) -> Result<Self, NnError> {
         if input_dim == 0 {
-            return Err(NnError::ShapeMismatch { context: "dense input", expected: 1, actual: 0 });
+            return Err(NnError::ShapeMismatch {
+                context: "dense input",
+                expected: 1,
+                actual: 0,
+            });
         }
         if output_dim == 0 {
-            return Err(NnError::ShapeMismatch { context: "dense output", expected: 1, actual: 0 });
+            return Err(NnError::ShapeMismatch {
+                context: "dense output",
+                expected: 1,
+                actual: 0,
+            });
         }
         let limit = (6.0 / (input_dim + output_dim) as f64).sqrt();
         let mut weights = Matrix::zeros(output_dim, input_dim);
         for w in weights.as_mut_slice() {
             *w = rng.gen_range(-limit..=limit);
         }
-        Ok(Self { weights, biases: vec![0.0; output_dim], activation })
+        Ok(Self {
+            weights,
+            biases: vec![0.0; output_dim],
+            activation,
+        })
     }
 
     /// Input dimension.
@@ -119,23 +130,39 @@ impl Dense {
 
     /// Forward pass.
     ///
+    /// Allocates the output; inference hot paths use [`Self::forward_into`]
+    /// with a reused buffer instead.
+    ///
     /// # Panics
     ///
     /// Panics if `input.len() != input_dim` (callers validate at the
     /// network boundary).
     #[must_use]
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        let mut out = self.weights.matvec(input);
+        let mut out = vec![0.0; self.output_dim()];
+        self.forward_into(input, &mut out);
+        out
+    }
+
+    /// Forward pass written into a caller-provided buffer — allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim` or `out.len() != output_dim`.
+    pub fn forward_into(&self, input: &[f64], out: &mut [f64]) {
+        self.weights.matvec_into(input, out);
         for (o, b) in out.iter_mut().zip(&self.biases) {
             *o = self.activation.apply(*o + b);
         }
-        out
     }
 
     /// Forward pass that also returns the cache needed for backprop.
     #[must_use]
     pub fn forward_cached(&self, input: &[f64]) -> LayerCache {
-        LayerCache { input: input.to_vec(), output: self.forward(input) }
+        LayerCache {
+            input: input.to_vec(),
+            output: self.forward(input),
+        }
     }
 
     /// Backward pass: given `d_loss/d_output`, updates weights and biases by
@@ -145,7 +172,11 @@ impl Dense {
     ///
     /// Panics on dimension mismatch between `grad_output` and the layer.
     pub fn backward(&mut self, cache: &LayerCache, grad_output: &[f64], lr: f64) -> Vec<f64> {
-        assert_eq!(grad_output.len(), self.output_dim(), "grad dimension mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.output_dim(),
+            "grad dimension mismatch"
+        );
         // delta = dL/dy * f'(y)
         let delta: Vec<f64> = grad_output
             .iter()
@@ -184,7 +215,9 @@ impl Dense {
     pub fn read_params(&mut self, params: &[f64]) -> usize {
         let n = self.param_count();
         let w_len = self.weights.rows() * self.weights.cols();
-        self.weights.as_mut_slice().copy_from_slice(&params[..w_len]);
+        self.weights
+            .as_mut_slice()
+            .copy_from_slice(&params[..w_len]);
         self.biases.copy_from_slice(&params[w_len..n]);
         n
     }
@@ -294,10 +327,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let layer = Dense::new(2, 2, Activation::Sigmoid, &mut rng()).expect("valid dims");
-        let json = serde_json::to_string(&layer).expect("serialize");
-        let back: Dense = serde_json::from_str(&json).expect("deserialize");
+        let back = layer.clone();
         assert_eq!(back, layer);
     }
 }

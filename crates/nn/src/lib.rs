@@ -56,5 +56,5 @@ pub mod tensor;
 pub mod train;
 
 pub use error::NnError;
-pub use mlp::Mlp;
+pub use mlp::{InferenceScratch, Mlp};
 pub use policy::DrivingPolicy;

@@ -5,7 +5,6 @@
 use crate::error::NnError;
 use crate::layer::{Activation, Dense, LayerCache};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A feed-forward network of dense layers.
@@ -13,9 +12,60 @@ use std::fmt;
 /// All hidden layers share one activation; the output layer has its own
 /// (typically [`Activation::Identity`] for regression heads or
 /// [`Activation::Tanh`] for bounded control heads).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     layers: Vec<Dense>,
+}
+
+/// Reusable inference workspace: two ping-pong activation buffers sized to
+/// the widest layer a network presents.
+///
+/// Construct once (per thread / per episode runner), then every
+/// [`Mlp::forward_into`] call runs without touching the heap — the buffers
+/// are grown to their high-water mark on first use and reused afterwards.
+/// One scratch can serve many networks (e.g. a policy and an autoencoder)
+/// as long as calls do not overlap.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceScratch {
+    /// Buffer holding the current activation (output lands here).
+    pub(crate) cur: Vec<f64>,
+    /// Buffer the next layer writes into before the ping-pong swap.
+    pub(crate) nxt: Vec<f64>,
+}
+
+impl InferenceScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for `net` so the first forward pass is
+    /// already allocation-free.
+    #[must_use]
+    pub fn for_mlp(net: &Mlp) -> Self {
+        let width = net.max_width();
+        Self {
+            cur: Vec::with_capacity(width),
+            nxt: Vec::with_capacity(width),
+        }
+    }
+
+    /// Pre-reserves both buffers for layers up to `width` wide.
+    pub fn reserve(&mut self, width: usize) {
+        if self.cur.capacity() < width {
+            self.cur.reserve(width - self.cur.len());
+        }
+        if self.nxt.capacity() < width {
+            self.nxt.reserve(width - self.nxt.len());
+        }
+    }
+
+    /// The output slice of the most recent forward pass.
+    #[must_use]
+    pub fn output(&self) -> &[f64] {
+        &self.cur
+    }
 }
 
 impl Mlp {
@@ -66,19 +116,72 @@ impl Mlp {
         self.layers.len()
     }
 
+    /// The widest activation any layer produces or consumes (sizes the
+    /// scratch buffers).
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.input_dim().max(l.output_dim()))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Forward inference.
+    ///
+    /// Allocates the output; control-loop hot paths use
+    /// [`Self::forward_into`] with a reused [`InferenceScratch`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `input.len() != input_dim()`.
     #[must_use]
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), self.input_dim(), "mlp input dimension mismatch");
-        let mut x = input.to_vec();
+        let mut scratch = InferenceScratch::for_mlp(self);
+        self.forward_into(input, &mut scratch).to_vec()
+    }
+
+    /// Forward inference entirely inside `scratch`, returning the output
+    /// slice. After the scratch buffers reach their high-water mark this
+    /// performs **zero heap allocations** per call — the property the SEO
+    /// runtime loop relies on for its per-control-step inference.
+    ///
+    /// Produces bit-identical results to [`Self::forward`] (same operations
+    /// in the same order; only the storage differs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim()`.
+    pub fn forward_into<'s>(&self, input: &[f64], scratch: &'s mut InferenceScratch) -> &'s [f64] {
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "mlp input dimension mismatch"
+        );
+        scratch.cur.clear();
+        scratch.cur.extend_from_slice(input);
+        self.forward_from_cur(scratch)
+    }
+
+    /// Continues a forward pass from whatever activation is already in
+    /// `scratch.cur` — lets same-crate callers chain networks (encoder into
+    /// decoder) without copying the intermediate code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resident activation length differs from `input_dim()`.
+    pub(crate) fn forward_from_cur<'s>(&self, scratch: &'s mut InferenceScratch) -> &'s [f64] {
+        assert_eq!(
+            scratch.cur.len(),
+            self.input_dim(),
+            "mlp input dimension mismatch"
+        );
         for layer in &self.layers {
-            x = layer.forward(&x);
+            scratch.nxt.resize(layer.output_dim(), 0.0);
+            layer.forward_into(&scratch.cur, &mut scratch.nxt);
+            std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
         }
-        x
+        &scratch.cur
     }
 
     /// One SGD step on the squared error against `target`; returns the MSE
@@ -88,12 +191,25 @@ impl Mlp {
     ///
     /// Panics if `input`/`target` dimensions do not match the network.
     pub fn train_step(&mut self, input: &[f64], target: &[f64], lr: f64) -> f64 {
-        assert_eq!(target.len(), self.output_dim(), "mlp target dimension mismatch");
+        assert_eq!(
+            target.len(),
+            self.output_dim(),
+            "mlp target dimension mismatch"
+        );
         let mut loss = 0.0;
         let n = target.len() as f64;
         self.backprop_step(input, lr, |output| {
-            loss = output.iter().zip(target).map(|(&y, &t)| (y - t).powi(2)).sum::<f64>() / n;
-            output.iter().zip(target).map(|(&y, &t)| 2.0 * (y - t) / n).collect()
+            loss = output
+                .iter()
+                .zip(target)
+                .map(|(&y, &t)| (y - t).powi(2))
+                .sum::<f64>()
+                / n;
+            output
+                .iter()
+                .zip(target)
+                .map(|(&y, &t)| 2.0 * (y - t) / n)
+                .collect()
         });
         loss
     }
@@ -111,7 +227,11 @@ impl Mlp {
     where
         F: FnOnce(&[f64]) -> Vec<f64>,
     {
-        assert_eq!(input.len(), self.input_dim(), "mlp input dimension mismatch");
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "mlp input dimension mismatch"
+        );
         let mut caches: Vec<LayerCache> = Vec::with_capacity(self.layers.len());
         let mut x = input.to_vec();
         for layer in &self.layers {
@@ -120,7 +240,11 @@ impl Mlp {
             caches.push(cache);
         }
         let mut grad = grad_of(&x);
-        assert_eq!(grad.len(), self.output_dim(), "mlp output gradient dimension mismatch");
+        assert_eq!(
+            grad.len(),
+            self.output_dim(),
+            "mlp output gradient dimension mismatch"
+        );
         for (layer, cache) in self.layers.iter_mut().zip(&caches).rev() {
             grad = layer.backward(cache, &grad, lr);
         }
@@ -186,8 +310,13 @@ mod tests {
 
     #[test]
     fn topology_and_counts() {
-        let net = Mlp::new(&[4, 8, 2], Activation::Tanh, Activation::Identity, &mut rng())
-            .expect("valid");
+        let net = Mlp::new(
+            &[4, 8, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        )
+        .expect("valid");
         assert_eq!(net.input_dim(), 4);
         assert_eq!(net.output_dim(), 2);
         assert_eq!(net.layer_count(), 2);
@@ -205,7 +334,13 @@ mod tests {
 
     #[test]
     fn zero_layer_size_rejected() {
-        assert!(Mlp::new(&[4, 0, 2], Activation::Tanh, Activation::Identity, &mut rng()).is_err());
+        assert!(Mlp::new(
+            &[4, 0, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng()
+        )
+        .is_err());
     }
 
     #[test]
@@ -219,11 +354,21 @@ mod tests {
 
     #[test]
     fn param_roundtrip_preserves_function() {
-        let net = Mlp::new(&[5, 7, 3], Activation::Tanh, Activation::Identity, &mut rng())
-            .expect("valid");
+        let net = Mlp::new(
+            &[5, 7, 3],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        )
+        .expect("valid");
         let params = net.to_params();
-        let mut other = Mlp::new(&[5, 7, 3], Activation::Tanh, Activation::Identity, &mut rng())
-            .expect("valid");
+        let mut other = Mlp::new(
+            &[5, 7, 3],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        )
+        .expect("valid");
         other.set_params(&params).expect("matching count");
         let x = [0.1, 0.2, 0.3, 0.4, 0.5];
         assert_eq!(net.forward(&x), other.forward(&x));
@@ -231,16 +376,27 @@ mod tests {
 
     #[test]
     fn set_params_rejects_wrong_length() {
-        let mut net = Mlp::new(&[2, 2], Activation::Tanh, Activation::Identity, &mut rng())
-            .expect("valid");
+        let mut net =
+            Mlp::new(&[2, 2], Activation::Tanh, Activation::Identity, &mut rng()).expect("valid");
         let err = net.set_params(&[0.0; 3]).unwrap_err();
-        assert!(matches!(err, NnError::ShapeMismatch { context: "set_params", .. }));
+        assert!(matches!(
+            err,
+            NnError::ShapeMismatch {
+                context: "set_params",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn sgd_learns_xor() {
-        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut rng())
-            .expect("valid");
+        let mut net = Mlp::new(
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Sigmoid,
+            &mut rng(),
+        )
+        .expect("valid");
         let data = [
             ([0.0, 0.0], [0.0]),
             ([0.0, 1.0], [1.0]),
@@ -264,8 +420,13 @@ mod tests {
 
     #[test]
     fn train_step_returns_decreasing_loss() {
-        let mut net = Mlp::new(&[1, 4, 1], Activation::Tanh, Activation::Identity, &mut rng())
-            .expect("valid");
+        let mut net = Mlp::new(
+            &[1, 4, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        )
+        .expect("valid");
         let first = net.train_step(&[0.5], &[0.3], 0.1);
         let mut last = first;
         for _ in 0..100 {
@@ -275,12 +436,16 @@ mod tests {
     }
 
     #[test]
-    fn display_and_serde() {
-        let net =
-            Mlp::new(&[2, 3, 1], Activation::Tanh, Activation::Identity, &mut rng()).expect("ok");
+    fn display_and_clone() {
+        let net = Mlp::new(
+            &[2, 3, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng(),
+        )
+        .expect("ok");
         assert!(net.to_string().contains("2->1"));
-        let json = serde_json::to_string(&net).expect("serialize");
-        let back: Mlp = serde_json::from_str(&json).expect("deserialize");
+        let back = net.clone();
         assert_eq!(back, net);
     }
 }

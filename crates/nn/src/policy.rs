@@ -15,7 +15,7 @@
 
 use crate::error::NnError;
 use crate::layer::Activation;
-use crate::mlp::Mlp;
+use crate::mlp::{InferenceScratch, Mlp};
 use crate::train::{CemConfig, CemTrainer, Generation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,10 +23,9 @@ use seo_sim::episode::{Episode, EpisodeConfig, EpisodeStatus};
 use seo_sim::scenario::ScenarioConfig;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::{Control, VehicleState};
-use serde::{Deserialize, Serialize};
 
 /// Fixed-size feature vector consumed by the driving policies.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PolicyFeatures {
     /// Lateral offset normalized by half the road width, roughly `[-1, 1]`.
     pub lateral: f64,
@@ -66,8 +65,7 @@ impl PolicyFeatures {
             // Reconstruct the obstacle's lateral world position from the
             // polar observation (distance is to the surface; pad one meter
             // toward the center).
-            let y_obs =
-                state.y + (d + 1.0) * (state.heading + observation.bearing).sin();
+            let y_obs = state.y + (d + 1.0) * (state.heading + observation.bearing).sin();
             (d, y_obs / half_width)
         } else {
             (clip, 0.0)
@@ -86,7 +84,15 @@ impl PolicyFeatures {
     /// Flattens into the MLP input layout.
     #[must_use]
     pub fn to_vec(&self) -> Vec<f64> {
-        vec![
+        self.to_array().to_vec()
+    }
+
+    /// Flattens into the MLP input layout on the stack — no heap traffic,
+    /// the form the control-loop hot path feeds to
+    /// [`DrivingPolicy::act_scratch`].
+    #[must_use]
+    pub fn to_array(&self) -> [f64; Self::DIM] {
+        [
             self.lateral,
             self.heading,
             self.speed,
@@ -99,7 +105,7 @@ impl PolicyFeatures {
 }
 
 /// An MLP steering/throttle policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DrivingPolicy {
     net: Mlp,
 }
@@ -113,8 +119,12 @@ impl DrivingPolicy {
     /// Propagates [`NnError`] from network construction (cannot fail for
     /// the fixed topology, but kept fallible for API uniformity).
     pub fn new<R: Rng>(rng: &mut R) -> Result<Self, NnError> {
-        let net =
-            Mlp::new(&[PolicyFeatures::DIM, 16, 16, 2], Activation::Tanh, Activation::Tanh, rng)?;
+        let net = Mlp::new(
+            &[PolicyFeatures::DIM, 16, 16, 2],
+            Activation::Tanh,
+            Activation::Tanh,
+            rng,
+        )?;
         Ok(Self { net })
     }
 
@@ -144,7 +154,19 @@ impl DrivingPolicy {
     /// motion so an untrained policy still explores.
     #[must_use]
     pub fn act(&self, features: &PolicyFeatures) -> Control {
-        let out = self.net.forward(&features.to_vec());
+        let mut scratch = InferenceScratch::for_mlp(&self.net);
+        self.act_scratch(features, &mut scratch)
+    }
+
+    /// Allocation-free [`Self::act`]: inference runs inside the reused
+    /// `scratch` workspace. Bit-identical to `act`.
+    #[must_use]
+    pub fn act_scratch(
+        &self,
+        features: &PolicyFeatures,
+        scratch: &mut InferenceScratch,
+    ) -> Control {
+        let out = self.net.forward_into(&features.to_array(), scratch);
         Control::new(out[0], 0.5 + 0.5 * out[1])
     }
 }
@@ -155,7 +177,7 @@ impl DrivingPolicy {
 /// shrinks, recentres on the lane, and modulates throttle by obstacle
 /// proximity. Completes every paper scenario (0–8 obstacles) without
 /// collisions, making it the reference agent for the experiment harness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PotentialFieldController {
     /// Distance at which repulsion starts, meters.
     pub influence_radius: f64,
@@ -203,7 +225,11 @@ impl PotentialFieldController {
         let bearing = features.obstacle_bearing;
         let near = distance < self.influence_radius && bearing.abs() < self.bearing_cone;
         let closeness = (1.0 - distance / self.influence_radius).clamp(0.0, 1.0);
-        let suppress = if near { (1.0 - 0.9 * closeness).max(0.1) } else { 1.0 };
+        let suppress = if near {
+            (1.0 - 0.9 * closeness).max(0.1)
+        } else {
+            1.0
+        };
         let mut steering = (-self.centering_gain * features.lateral) * suppress
             - self.heading_gain * features.heading * (1.0 - 0.5 * closeness);
         let mut urgency = 0.0;
@@ -245,7 +271,7 @@ impl PotentialFieldController {
 }
 
 /// Summary of a training run produced by [`train_driving_policy`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingReport {
     /// Per-generation progress.
     pub generations: Vec<Generation>,
@@ -322,7 +348,9 @@ pub fn train_driving_policy(
     for _ in 0..generations_budget {
         let report = trainer.step(
             |params| {
-                scratch.set_params(params).expect("trainer preserves dimension");
+                scratch
+                    .set_params(params)
+                    .expect("trainer preserves dimension");
                 evaluate_policy(&scratch, n_obstacles, &eval_seeds, &episode_config)
             },
             &mut rng,
@@ -333,7 +361,11 @@ pub fn train_driving_policy(
     let episodes = generations.len() * episodes_per_gen;
     Ok((
         policy,
-        TrainingReport { generations, episodes, best_reward: trainer.best_score() },
+        TrainingReport {
+            generations,
+            episodes,
+            best_reward: trainer.best_score(),
+        },
     ))
 }
 
@@ -344,7 +376,11 @@ mod tests {
 
     fn features_at(x: f64, y: f64, distance: f64, bearing: f64) -> PolicyFeatures {
         let state = VehicleState::new(x, y, 0.0, 8.0);
-        let obs = RelativeObservation { distance, bearing, speed: 8.0 };
+        let obs = RelativeObservation {
+            distance,
+            bearing,
+            speed: 8.0,
+        };
         PolicyFeatures::from_observation(&state, &obs, 100.0, 8.0)
     }
 
@@ -410,9 +446,20 @@ mod tests {
     #[test]
     fn potential_field_regulates_speed() {
         let pf = PotentialFieldController::default();
-        let slow = PolicyFeatures { speed: 2.0 / 15.0, obstacle_proximity: 1.0, ..Default::default() };
-        let fast = PolicyFeatures { speed: 14.0 / 15.0, obstacle_proximity: 1.0, ..Default::default() };
-        assert!(pf.act(&slow).throttle > 0.5, "well below target: accelerate");
+        let slow = PolicyFeatures {
+            speed: 2.0 / 15.0,
+            obstacle_proximity: 1.0,
+            ..Default::default()
+        };
+        let fast = PolicyFeatures {
+            speed: 14.0 / 15.0,
+            obstacle_proximity: 1.0,
+            ..Default::default()
+        };
+        assert!(
+            pf.act(&slow).throttle > 0.5,
+            "well below target: accelerate"
+        );
         assert!(pf.act(&fast).throttle < 0.0, "above target: brake");
     }
 
@@ -466,9 +513,12 @@ mod tests {
     fn cem_training_improves_reward() {
         // Tiny budget: enough to verify the training loop plumbing improves
         // the objective, not to reach expert performance.
-        let cem = CemConfig { population: 8, elites: 3, ..Default::default() };
-        let (_policy, report) =
-            train_driving_policy(0, 8 * 3 * 6, cem, 99).expect("training runs");
+        let cem = CemConfig {
+            population: 8,
+            elites: 3,
+            ..Default::default()
+        };
+        let (_policy, report) = train_driving_policy(0, 8 * 3 * 6, cem, 99).expect("training runs");
         assert_eq!(report.generations.len(), 6);
         assert_eq!(report.episodes, 8 * 3 * 6);
         let first = report.generations.first().expect("nonempty").best_score;

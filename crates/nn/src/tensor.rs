@@ -3,8 +3,6 @@
 //! A deliberately small surface: row-major [`Matrix`] with matrix–vector
 //! products, outer products, and elementwise helpers — exactly what forward
 //! inference and backprop over dense layers need.
-
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A row-major dense matrix of `f64`.
@@ -17,7 +15,7 @@ use std::fmt;
 /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
 /// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -33,7 +31,11 @@ impl Matrix {
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from explicit row slices.
@@ -51,7 +53,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -96,7 +102,10 @@ impl Matrix {
     /// Panics when out of bounds.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -106,39 +115,76 @@ impl Matrix {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 
     /// Matrix–vector product `M * x`.
+    ///
+    /// Allocates the result; inference hot paths use [`Self::matvec_into`]
+    /// with a reused buffer instead.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product `M * x` written into a caller-provided buffer —
+    /// the allocation-free core of forward inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        self.data
-            .chunks_exact(self.cols)
-            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        assert_eq!(out.len(), self.rows, "matvec output dimension mismatch");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
     }
 
     /// Transposed matrix–vector product `Mᵀ * y`.
+    ///
+    /// Allocates the result; backprop hot paths can use
+    /// [`Self::matvec_transposed_into`] with a reused buffer.
     ///
     /// # Panics
     ///
     /// Panics if `y.len() != rows`.
     #[must_use]
     pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut out = vec![0.0; self.cols];
+        self.matvec_transposed_into(y, &mut out);
+        out
+    }
+
+    /// Transposed matrix–vector product `Mᵀ * y` written into a
+    /// caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != rows` or `out.len() != cols`.
+    pub fn matvec_transposed_into(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
+        assert_eq!(
+            out.len(),
+            self.cols,
+            "matvec_transposed output dimension mismatch"
+        );
+        out.fill(0.0);
         for (row, &yi) in self.data.chunks_exact(self.cols).zip(y) {
             for (o, &m) in out.iter_mut().zip(row) {
                 *o += m * yi;
             }
         }
-        out
     }
 
     /// Accumulates the outer product `alpha * y xᵀ` into the matrix
@@ -292,11 +338,10 @@ mod tests {
     }
 
     #[test]
-    fn display_and_serde() {
+    fn display_and_clone() {
         let m = Matrix::zeros(2, 3);
         assert_eq!(m.to_string(), "2x3 matrix");
-        let json = serde_json::to_string(&m).expect("serialize");
-        let back: Matrix = serde_json::from_str(&json).expect("deserialize");
+        let back = m.clone();
         assert_eq!(back, m);
     }
 }

@@ -8,10 +8,9 @@
 
 use crate::error::NnError;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for [`CemTrainer`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CemConfig {
     /// Candidate parameter vectors sampled per generation.
     pub population: usize,
@@ -47,23 +46,31 @@ impl CemConfig {
     /// there are zero elites, or elites exceed the population.
     pub fn validate(&self) -> Result<(), NnError> {
         if self.population == 0 {
-            return Err(NnError::InvalidTraining { reason: "population must be positive" });
+            return Err(NnError::InvalidTraining {
+                reason: "population must be positive",
+            });
         }
         if self.elites == 0 {
-            return Err(NnError::InvalidTraining { reason: "elites must be positive" });
+            return Err(NnError::InvalidTraining {
+                reason: "elites must be positive",
+            });
         }
         if self.elites > self.population {
-            return Err(NnError::InvalidTraining { reason: "elites cannot exceed population" });
+            return Err(NnError::InvalidTraining {
+                reason: "elites cannot exceed population",
+            });
         }
         if !(self.initial_std.is_finite() && self.initial_std > 0.0) {
-            return Err(NnError::InvalidTraining { reason: "initial_std must be positive" });
+            return Err(NnError::InvalidTraining {
+                reason: "initial_std must be positive",
+            });
         }
         Ok(())
     }
 }
 
 /// Progress report for one CEM generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Generation {
     /// Generation index (0-based).
     pub index: usize,
@@ -111,7 +118,9 @@ impl CemTrainer {
     pub fn new(initial_mean: Vec<f64>, config: CemConfig) -> Result<Self, NnError> {
         config.validate()?;
         if initial_mean.is_empty() {
-            return Err(NnError::InvalidTraining { reason: "parameter vector must be non-empty" });
+            return Err(NnError::InvalidTraining {
+                reason: "parameter vector must be non-empty",
+            });
         }
         let dim = initial_mean.len();
         Ok(Self {
@@ -155,8 +164,8 @@ impl CemTrainer {
         R: Rng,
         F: FnMut(&[f64]) -> f64,
     {
-        let decay = 1.0
-            - (self.generation as f64 / self.config.extra_std_decay_generations.max(1) as f64);
+        let decay =
+            1.0 - (self.generation as f64 / self.config.extra_std_decay_generations.max(1) as f64);
         let extra = (self.config.extra_std * decay.max(0.0)).powi(2);
         let dim = self.mean.len();
 
@@ -183,8 +192,8 @@ impl CemTrainer {
         // Refit mean and std to the elite set.
         for i in 0..dim {
             let m = elites.iter().map(|(_, p)| p[i]).sum::<f64>() / elites.len() as f64;
-            let var = elites.iter().map(|(_, p)| (p[i] - m).powi(2)).sum::<f64>()
-                / elites.len() as f64;
+            let var =
+                elites.iter().map(|(_, p)| (p[i] - m).powi(2)).sum::<f64>() / elites.len() as f64;
             self.mean[i] = m;
             self.std[i] = var.sqrt().max(1e-6);
         }
@@ -230,12 +239,31 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(CemConfig::default().validate().is_ok());
-        assert!(CemConfig { population: 0, ..Default::default() }.validate().is_err());
-        assert!(CemConfig { elites: 0, ..Default::default() }.validate().is_err());
-        assert!(
-            CemConfig { elites: 64, population: 32, ..Default::default() }.validate().is_err()
-        );
-        assert!(CemConfig { initial_std: 0.0, ..Default::default() }.validate().is_err());
+        assert!(CemConfig {
+            population: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CemConfig {
+            elites: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CemConfig {
+            elites: 64,
+            population: 32,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(CemConfig {
+            initial_std: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -250,7 +278,12 @@ mod tests {
         let mut trainer = CemTrainer::new(vec![0.0; 3], CemConfig::default()).expect("valid");
         for _ in 0..80 {
             trainer.step(
-                |p| -p.iter().zip(&target).map(|(a, b)| (a - b).powi(2)).sum::<f64>(),
+                |p| {
+                    -p.iter()
+                        .zip(&target)
+                        .map(|(a, b)| (a - b).powi(2))
+                        .sum::<f64>()
+                },
                 &mut rng,
             );
         }
@@ -280,7 +313,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut trainer = CemTrainer::new(vec![0.0; 2], CemConfig::default()).expect("valid");
         let g = trainer.step(|p| -p.iter().map(|v| v * v).sum::<f64>(), &mut rng);
-        assert!(g.best_score >= g.elite_mean, "best {} < elite mean {}", g.best_score, g.elite_mean);
+        assert!(
+            g.best_score >= g.elite_mean,
+            "best {} < elite mean {}",
+            g.best_score,
+            g.elite_mean
+        );
         assert_eq!(g.index, 0);
     }
 
@@ -296,8 +334,7 @@ mod tests {
     fn deterministic_given_seed() {
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut trainer =
-                CemTrainer::new(vec![0.0; 2], CemConfig::default()).expect("valid");
+            let mut trainer = CemTrainer::new(vec![0.0; 2], CemConfig::default()).expect("valid");
             for _ in 0..10 {
                 trainer.step(|p| -(p[0].powi(2) + p[1].powi(2)), &mut rng);
             }

@@ -1,85 +1,134 @@
-//! Property-based tests for the neural network substrate.
+//! Property-based tests for the neural network substrate, driven by a
+//! seeded generator loop (the build has no crates.io access, so no
+//! proptest; each case count is high enough to exercise the input space).
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use seo_nn::layer::Activation;
 use seo_nn::mlp::Mlp;
 use seo_nn::policy::{DrivingPolicy, PolicyFeatures};
 use seo_nn::tensor::{dot, Matrix};
 
-fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-3.0..3.0f64, len)
+const CASES: usize = 200;
+
+fn small_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-3.0..3.0)).collect()
 }
 
-proptest! {
-    #[test]
-    fn matvec_is_linear(
-        a in small_vec(6),
-        b in small_vec(6),
-        alpha in -2.0..2.0f64,
-    ) {
+#[test]
+fn matvec_is_linear() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let m = Matrix::from_flat(3, 6, (0..18).map(|i| (i as f64) * 0.1 - 0.9).collect());
+    for _ in 0..CASES {
+        let a = small_vec(&mut rng, 6);
+        let b = small_vec(&mut rng, 6);
+        let alpha = rng.gen_range(-2.0..2.0);
         // M(alpha a + b) == alpha M a + M b for a fixed matrix.
-        let m = Matrix::from_flat(3, 6, (0..18).map(|i| (i as f64) * 0.1 - 0.9).collect());
-        let combined: Vec<f64> =
-            a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
+        let combined: Vec<f64> = a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
         let left = m.matvec(&combined);
         let ma = m.matvec(&a);
         let mb = m.matvec(&b);
         for i in 0..3 {
             let right = alpha * ma[i] + mb[i];
-            prop_assert!((left[i] - right).abs() < 1e-9, "{} vs {right}", left[i]);
+            assert!((left[i] - right).abs() < 1e-9, "{} vs {right}", left[i]);
         }
     }
+}
 
-    #[test]
-    fn matvec_transposed_is_adjoint(x in small_vec(4), y in small_vec(3)) {
+#[test]
+fn matvec_transposed_is_adjoint() {
+    let mut rng = StdRng::seed_from_u64(0xAD70);
+    let m = Matrix::from_flat(3, 4, (0..12).map(|i| ((i * 7) % 5) as f64 - 2.0).collect());
+    for _ in 0..CASES {
+        let x = small_vec(&mut rng, 4);
+        let y = small_vec(&mut rng, 3);
         // <Mx, y> == <x, M^T y>.
-        let m = Matrix::from_flat(3, 4, (0..12).map(|i| ((i * 7) % 5) as f64 - 2.0).collect());
         let lhs = dot(&m.matvec(&x), &y);
         let rhs = dot(&x, &m.matvec_transposed(&y));
-        prop_assert!((lhs - rhs).abs() < 1e-9, "adjoint mismatch {lhs} vs {rhs}");
+        assert!((lhs - rhs).abs() < 1e-9, "adjoint mismatch {lhs} vs {rhs}");
     }
+}
 
-    #[test]
-    fn activations_are_monotone(x in -10.0..10.0f64, dx in 0.0..5.0f64) {
-        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
-            prop_assert!(act.apply(x + dx) >= act.apply(x) - 1e-12, "{act:?} not monotone");
+#[test]
+fn activations_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-10.0..10.0);
+        let dx = rng.gen_range(0.0..5.0);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            assert!(
+                act.apply(x + dx) >= act.apply(x) - 1e-12,
+                "{act:?} not monotone"
+            );
         }
     }
+}
 
-    #[test]
-    fn activation_derivatives_are_nonnegative(x in -10.0..10.0f64) {
-        for act in [Activation::Identity, Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+#[test]
+fn activation_derivatives_are_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-10.0..10.0);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
             let y = act.apply(x);
-            prop_assert!(act.derivative_from_output(y) >= 0.0);
+            assert!(act.derivative_from_output(y) >= 0.0);
         }
     }
+}
 
-    #[test]
-    fn mlp_params_roundtrip_exactly(seed in 0u64..1000, input in small_vec(5)) {
+#[test]
+fn mlp_params_roundtrip_exactly() {
+    let mut case_rng = StdRng::seed_from_u64(3);
+    for _ in 0..40 {
+        let seed = case_rng.gen_range(0u64..1000);
+        let input = small_vec(&mut case_rng, 5);
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Mlp::new(&[5, 9, 3], Activation::Tanh, Activation::Identity, &mut rng)
             .expect("valid topology");
         let mut rng2 = StdRng::seed_from_u64(seed.wrapping_add(1));
-        let mut other = Mlp::new(&[5, 9, 3], Activation::Tanh, Activation::Identity, &mut rng2)
-            .expect("valid topology");
+        let mut other = Mlp::new(
+            &[5, 9, 3],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng2,
+        )
+        .expect("valid topology");
         other.set_params(&net.to_params()).expect("matching shapes");
-        prop_assert_eq!(net.forward(&input), other.forward(&input));
+        assert_eq!(net.forward(&input), other.forward(&input));
     }
+}
 
-    #[test]
-    fn mlp_outputs_are_finite(seed in 0u64..200, input in small_vec(4)) {
+#[test]
+fn mlp_outputs_are_finite() {
+    let mut case_rng = StdRng::seed_from_u64(4);
+    for _ in 0..40 {
+        let seed = case_rng.gen_range(0u64..200);
+        let input = small_vec(&mut case_rng, 4);
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Mlp::new(&[4, 8, 8, 2], Activation::Relu, Activation::Tanh, &mut rng)
             .expect("valid topology");
         let out = net.forward(&input);
-        prop_assert!(out.iter().all(|v| v.is_finite()));
-        prop_assert!(out.iter().all(|v| v.abs() <= 1.0), "tanh head bounds outputs");
+        assert!(out.iter().all(|v| v.is_finite()));
+        assert!(
+            out.iter().all(|v| v.abs() <= 1.0),
+            "tanh head bounds outputs"
+        );
     }
+}
 
-    #[test]
-    fn sgd_step_moves_toward_target(seed in 0u64..100) {
+#[test]
+fn sgd_step_moves_toward_target() {
+    for seed in 0u64..30 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut net = Mlp::new(&[2, 6, 1], Activation::Tanh, Activation::Identity, &mut rng)
             .expect("valid topology");
@@ -90,31 +139,127 @@ proptest! {
             net.train_step(&input, &target, 0.1);
         }
         let after = (net.forward(&input)[0] - target[0]).powi(2);
-        prop_assert!(after <= before + 1e-12, "loss must not grow: {before} -> {after}");
+        assert!(
+            after <= before + 1e-12,
+            "loss must not grow: {before} -> {after}"
+        );
     }
+}
 
-    #[test]
-    fn policy_actions_always_actuatable(
-        seed in 0u64..100,
-        lateral in -1.5..1.5f64,
-        heading in -1.5..1.5f64,
-        speed in 0.0..1.0f64,
-        proximity in 0.0..1.0f64,
-        bearing in -3.0..3.0f64,
-    ) {
+#[test]
+fn policy_actions_always_actuatable() {
+    let mut case_rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let seed = case_rng.gen_range(0u64..100);
+        let lateral = case_rng.gen_range(-1.5..1.5);
         let mut rng = StdRng::seed_from_u64(seed);
         let policy = DrivingPolicy::new(&mut rng).expect("fixed topology");
         let f = PolicyFeatures {
             lateral,
-            heading,
-            speed,
-            obstacle_proximity: proximity,
-            obstacle_bearing: bearing,
+            heading: case_rng.gen_range(-1.5..1.5),
+            speed: case_rng.gen_range(0.0..1.0),
+            obstacle_proximity: case_rng.gen_range(0.0..1.0),
+            obstacle_bearing: case_rng.gen_range(-3.0..3.0),
             obstacle_lateral: lateral * 0.5,
             progress: 0.3,
         };
         let u = policy.act(&f);
-        prop_assert!(u.steering.abs() <= 1.0);
-        prop_assert!(u.throttle.abs() <= 1.0);
+        assert!(u.steering.abs() <= 1.0);
+        assert!(u.throttle.abs() <= 1.0);
+    }
+}
+
+// --- Zero-allocation fast paths must match the allocating APIs exactly ---
+
+#[test]
+fn matvec_into_matches_matvec_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..CASES {
+        let rows = rng.gen_range(1usize..8);
+        let cols = rng.gen_range(1usize..8);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let m = Matrix::from_flat(rows, cols, data);
+        let x = small_vec(&mut rng, cols);
+        let y = small_vec(&mut rng, rows);
+        let mut out = vec![f64::NAN; rows];
+        m.matvec_into(&x, &mut out);
+        assert_eq!(out, m.matvec(&x), "matvec_into must be bit-identical");
+        let mut out_t = vec![f64::NAN; cols];
+        m.matvec_transposed_into(&y, &mut out_t);
+        assert_eq!(
+            out_t,
+            m.matvec_transposed(&y),
+            "matvec_transposed_into must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn forward_into_matches_forward_exactly() {
+    use seo_nn::mlp::InferenceScratch;
+    let mut case_rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..60 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let net = Mlp::new(&[5, 11, 7, 2], Activation::Relu, Activation::Tanh, &mut rng)
+            .expect("valid topology");
+        let mut scratch = InferenceScratch::for_mlp(&net);
+        for _ in 0..5 {
+            let input = small_vec(&mut case_rng, 5);
+            let expected = net.forward(&input);
+            let got = net.forward_into(&input, &mut scratch);
+            assert_eq!(
+                got,
+                expected.as_slice(),
+                "scratch inference must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn act_scratch_matches_act_exactly() {
+    use seo_nn::mlp::InferenceScratch;
+    let mut case_rng = StdRng::seed_from_u64(0xCAB);
+    for case in 0..40 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let policy = DrivingPolicy::new(&mut rng).expect("fixed topology");
+        let mut scratch = InferenceScratch::new();
+        for _ in 0..8 {
+            let f = PolicyFeatures {
+                lateral: case_rng.gen_range(-1.5..1.5),
+                heading: case_rng.gen_range(-1.5..1.5),
+                speed: case_rng.gen_range(0.0..1.0),
+                obstacle_proximity: case_rng.gen_range(0.0..1.0),
+                obstacle_bearing: case_rng.gen_range(-3.0..3.0),
+                obstacle_lateral: case_rng.gen_range(-1.0..1.0),
+                progress: case_rng.gen_range(0.0..1.0),
+            };
+            assert_eq!(policy.act_scratch(&f, &mut scratch), policy.act(&f));
+        }
+    }
+}
+
+#[test]
+fn autoencoder_scratch_paths_match_exactly() {
+    use seo_nn::autoencoder::Autoencoder;
+    use seo_nn::mlp::InferenceScratch;
+    let mut case_rng = StdRng::seed_from_u64(0xAE);
+    for case in 0..30 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let ae = Autoencoder::new(12, 4, &mut rng).expect("valid dims");
+        let mut scratch = InferenceScratch::new();
+        for _ in 0..4 {
+            let scan: Vec<f64> = (0..12).map(|_| case_rng.gen_range(0.0..1.0)).collect();
+            assert_eq!(
+                ae.encode_into(&scan, &mut scratch),
+                ae.encode(&scan).as_slice()
+            );
+            assert_eq!(
+                ae.reconstruct_into(&scan, &mut scratch),
+                ae.reconstruct(&scan).as_slice()
+            );
+            let err_scratch = ae.reconstruction_error_scratch(&scan, &mut scratch);
+            assert_eq!(err_scratch, ae.reconstruction_error(&scan));
+        }
     }
 }

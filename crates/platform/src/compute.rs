@@ -8,7 +8,6 @@
 
 use crate::error::PlatformError;
 use crate::units::{Joules, Seconds, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Latency/power characterization of one processing model on one platform.
@@ -27,7 +26,7 @@ use std::fmt;
 /// assert!((profile.energy_per_inference().as_joules() - 0.021).abs() < 1e-12);
 /// # Ok::<(), seo_platform::PlatformError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputeProfile {
     name: String,
     latency: Seconds,
@@ -53,9 +52,16 @@ impl ComputeProfile {
             });
         }
         if !power.is_valid() {
-            return Err(PlatformError::InvalidQuantity { field: "power", value: power.as_watts() });
+            return Err(PlatformError::InvalidQuantity {
+                field: "power",
+                value: power.as_watts(),
+            });
         }
-        Ok(Self { name: name.into(), latency, power })
+        Ok(Self {
+            name: name.into(),
+            latency,
+            power,
+        })
     }
 
     /// The paper's measured characterization: ResNet-152 on an Nvidia Drive
@@ -152,14 +158,22 @@ mod tests {
     #[test]
     fn rejects_negative_latency() {
         let err = ComputeProfile::new("m", Seconds::new(-0.01), Watts::new(1.0)).unwrap_err();
-        assert_eq!(err, PlatformError::InvalidQuantity { field: "latency", value: -0.01 });
+        assert_eq!(
+            err,
+            PlatformError::InvalidQuantity {
+                field: "latency",
+                value: -0.01
+            }
+        );
     }
 
     #[test]
     fn rejects_nan_power() {
-        let err =
-            ComputeProfile::new("m", Seconds::new(0.01), Watts::new(f64::NAN)).unwrap_err();
-        assert!(matches!(err, PlatformError::InvalidQuantity { field: "power", .. }));
+        let err = ComputeProfile::new("m", Seconds::new(0.01), Watts::new(f64::NAN)).unwrap_err();
+        assert!(matches!(
+            err,
+            PlatformError::InvalidQuantity { field: "power", .. }
+        ));
     }
 
     #[test]
@@ -179,9 +193,13 @@ mod tests {
 
     #[test]
     fn latency_scaling() {
-        let p = ComputeProfile::px2_resnet152().with_latency_scaled(0.5).expect("valid");
+        let p = ComputeProfile::px2_resnet152()
+            .with_latency_scaled(0.5)
+            .expect("valid");
         assert_eq!(p.latency(), Seconds::from_millis(8.5));
-        assert!(ComputeProfile::px2_resnet152().with_latency_scaled(-1.0).is_err());
+        assert!(ComputeProfile::px2_resnet152()
+            .with_latency_scaled(-1.0)
+            .is_err());
     }
 
     #[test]
@@ -192,10 +210,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let p = ComputeProfile::px2_resnet152();
-        let json = serde_json::to_string(&p).expect("serialize");
-        let back: ComputeProfile = serde_json::from_str(&json).expect("deserialize");
+        let back = p.clone();
         assert_eq!(back, p);
     }
 }

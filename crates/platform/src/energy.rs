@@ -7,11 +7,10 @@
 
 use crate::error::PlatformError;
 use crate::units::Joules;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where a quantum of energy was spent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum EnergyCategory {
     /// Local neural-network inference (full or gated).
@@ -26,8 +25,12 @@ pub enum EnergyCategory {
 
 impl EnergyCategory {
     /// All categories, in reporting order.
-    pub const ALL: [Self; 4] =
-        [Self::Compute, Self::Transmission, Self::SensorMeasurement, Self::SensorMechanical];
+    pub const ALL: [Self; 4] = [
+        Self::Compute,
+        Self::Transmission,
+        Self::SensorMeasurement,
+        Self::SensorMechanical,
+    ];
 }
 
 impl fmt::Display for EnergyCategory {
@@ -55,7 +58,7 @@ impl fmt::Display for EnergyCategory {
 /// ledger.record(EnergyCategory::Transmission, Joules::new(0.013));
 /// assert!((ledger.total().as_joules() - 0.132).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyLedger {
     compute: Joules,
     transmission: Joules,
@@ -186,7 +189,10 @@ mod tests {
             l.record(*cat, Joules::new(i as f64 + 1.0));
         }
         assert_eq!(l.total(), Joules::new(10.0));
-        assert_eq!(l.by_category(EnergyCategory::SensorMechanical), Joules::new(4.0));
+        assert_eq!(
+            l.by_category(EnergyCategory::SensorMechanical),
+            Joules::new(4.0)
+        );
     }
 
     #[test]
@@ -207,7 +213,10 @@ mod tests {
     #[test]
     fn zero_baseline_is_error() {
         let l = ledger(1.0, 0.0);
-        assert_eq!(l.gain_over(&EnergyLedger::new()).unwrap_err(), PlatformError::ZeroBaseline);
+        assert_eq!(
+            l.gain_over(&EnergyLedger::new()).unwrap_err(),
+            PlatformError::ZeroBaseline
+        );
     }
 
     #[test]
@@ -251,6 +260,9 @@ mod tests {
     #[test]
     fn category_display() {
         assert_eq!(EnergyCategory::Compute.to_string(), "compute");
-        assert_eq!(EnergyCategory::SensorMechanical.to_string(), "sensor-mechanical");
+        assert_eq!(
+            EnergyCategory::SensorMechanical.to_string(),
+            "sensor-mechanical"
+        );
     }
 }

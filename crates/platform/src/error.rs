@@ -22,7 +22,10 @@ impl fmt::Display for PlatformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::InvalidQuantity { field, value } => {
-                write!(f, "invalid value {value} for {field}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid value {value} for {field}: must be finite and non-negative"
+                )
             }
             Self::ZeroBaseline => write!(f, "baseline energy is zero, gains are undefined"),
         }
@@ -37,7 +40,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = PlatformError::InvalidQuantity { field: "latency", value: -1.0 };
+        let e = PlatformError::InvalidQuantity {
+            field: "latency",
+            value: -1.0,
+        };
         assert!(e.to_string().contains("latency"));
         assert!(PlatformError::ZeroBaseline.to_string().contains("baseline"));
     }

@@ -11,7 +11,6 @@
 
 use crate::error::PlatformError;
 use crate::units::{Joules, Seconds, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Electric-vehicle energy model for range-impact analysis.
@@ -28,7 +27,7 @@ use std::fmt;
 /// assert!(loss > 0.02 && loss < 0.10, "loss was {loss}");
 /// # Ok::<(), seo_platform::PlatformError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangeModel {
     /// Usable battery energy, joules.
     battery_energy: Joules,
@@ -68,7 +67,11 @@ impl RangeModel {
                 value: cruise_speed,
             });
         }
-        Ok(Self { battery_energy, traction_power, cruise_speed })
+        Ok(Self {
+            battery_energy,
+            traction_power,
+            cruise_speed,
+        })
     }
 
     /// A compact EV: 40 kWh usable battery, 12 kW traction draw at a
@@ -182,7 +185,10 @@ mod tests {
     fn zero_platform_power_costs_nothing() {
         let ev = RangeModel::compact_ev().expect("valid");
         assert!((ev.range_loss_fraction(Watts::ZERO)).abs() < 1e-12);
-        assert_eq!(ev.range_with_platform_meters(Watts::ZERO), ev.base_range_meters());
+        assert_eq!(
+            ev.range_with_platform_meters(Watts::ZERO),
+            ev.base_range_meters()
+        );
     }
 
     #[test]
@@ -215,7 +221,9 @@ mod tests {
     fn recovery_is_zero_when_nothing_changes() {
         let ev = RangeModel::compact_ev().expect("valid");
         let e = Joules::new(100.0);
-        let r = ev.recovered_range_fraction(e, e, Seconds::new(10.0)).expect("ok");
+        let r = ev
+            .recovered_range_fraction(e, e, Seconds::new(10.0))
+            .expect("ok");
         assert!(r.abs() < 1e-12);
     }
 

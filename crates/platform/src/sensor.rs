@@ -8,7 +8,6 @@
 
 use crate::error::PlatformError;
 use crate::units::{Joules, Seconds, Watts};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Power specification of one physical sensor.
@@ -22,7 +21,7 @@ use std::fmt;
 /// assert_eq!(radar.measurement_power().as_watts(), 21.6);
 /// assert_eq!(radar.mechanical_power().as_watts(), 2.4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorSpec {
     name: String,
     measurement_power: Watts,
@@ -53,14 +52,22 @@ impl SensorSpec {
                 value: mechanical_power.as_watts(),
             });
         }
-        Ok(Self { name: name.into(), measurement_power, mechanical_power })
+        Ok(Self {
+            name: name.into(),
+            measurement_power,
+            mechanical_power,
+        })
     }
 
     /// An idealized sensor that draws no power (useful when experiments only
     /// account for compute energy, as in the paper's Figures 5–6).
     #[must_use]
     pub fn zero_power(name: impl Into<String>) -> Self {
-        Self { name: name.into(), measurement_power: Watts::ZERO, mechanical_power: Watts::ZERO }
+        Self {
+            name: name.into(),
+            measurement_power: Watts::ZERO,
+            mechanical_power: Watts::ZERO,
+        }
     }
 
     /// ZED stereo camera: 1.9 W measurement, no mechanical component
@@ -180,7 +187,10 @@ mod tests {
     #[test]
     fn camera_gated_energy_is_zero() {
         let cam = SensorSpec::zed_camera();
-        assert_eq!(cam.gated_window_energy(Seconds::from_millis(20.0)), Joules::ZERO);
+        assert_eq!(
+            cam.gated_window_energy(Seconds::from_millis(20.0)),
+            Joules::ZERO
+        );
     }
 
     #[test]
@@ -204,10 +214,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let s = SensorSpec::velodyne_hdl32e();
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: SensorSpec = serde_json::from_str(&json).expect("deserialize");
+        let back = s.clone();
         assert_eq!(back, s);
     }
 }

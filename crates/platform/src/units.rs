@@ -10,8 +10,6 @@
 //! the consuming crates treat NaN/∞ as invalid configuration.
 //!
 //! [`is_valid`]: Seconds::is_valid
-
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
@@ -19,8 +17,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 macro_rules! unit_newtype {
     ($(#[$doc:meta])* $name:ident, $unit:literal, $as_fn:ident) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
 
         impl $name {
@@ -419,11 +416,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_is_transparent() {
+    fn raw_value_roundtrip_is_transparent() {
         let t = Seconds::from_millis(20.0);
-        let json = serde_json::to_string(&t).expect("serialize");
-        assert_eq!(json, "0.02");
-        let back: Seconds = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(t.as_secs(), 0.02);
+        let back = Seconds::new(t.as_secs());
         assert_eq!(back, t);
     }
 

@@ -1,70 +1,104 @@
-//! Property-based tests for the platform units and ledger invariants.
+//! Property-based tests for the platform units and ledger invariants,
+//! driven by a seeded generator loop.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use seo_platform::energy::{EnergyCategory, EnergyLedger};
 use seo_platform::units::{Bits, BitsPerSecond, Joules, Seconds, Watts};
 
-fn finite_nonneg() -> impl Strategy<Value = f64> {
-    0.0..1e9f64
+const CASES: usize = 500;
+
+fn finite_nonneg(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.0..1e9)
 }
 
-proptest! {
-    #[test]
-    fn energy_commutes(t in finite_nonneg(), p in finite_nonneg()) {
+#[test]
+fn energy_commutes() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for _ in 0..CASES {
+        let t = finite_nonneg(&mut rng);
+        let p = finite_nonneg(&mut rng);
         let a = Seconds::new(t) * Watts::new(p);
         let b = Watts::new(p) * Seconds::new(t);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn energy_division_inverts_multiplication(t in 1e-9..1e6f64, p in 1e-9..1e6f64) {
+#[test]
+fn energy_division_inverts_multiplication() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let t = rng.gen_range(1e-9..1e6);
+        let p = rng.gen_range(1e-9..1e6);
         let e = Seconds::new(t) * Watts::new(p);
         let p_back = e / Seconds::new(t);
         let t_back = e / Watts::new(p);
-        prop_assert!((p_back.as_watts() - p).abs() <= 1e-9 * p.max(1.0));
-        prop_assert!((t_back.as_secs() - t).abs() <= 1e-9 * t.max(1.0));
+        assert!((p_back.as_watts() - p).abs() <= 1e-9 * p.max(1.0));
+        assert!((t_back.as_secs() - t).abs() <= 1e-9 * t.max(1.0));
     }
+}
 
-    #[test]
-    fn transmission_time_scales_inversely_with_rate(
-        payload in 1.0..1e9f64,
-        rate in 1.0..1e9f64,
-    ) {
+#[test]
+fn transmission_time_scales_inversely_with_rate() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let payload = rng.gen_range(1.0..1e9);
+        let rate = rng.gen_range(1.0..1e9);
         let t1 = Bits::new(payload) / BitsPerSecond::new(rate);
         let t2 = Bits::new(payload) / BitsPerSecond::new(rate * 2.0);
-        prop_assert!(t2.as_secs() <= t1.as_secs());
-        prop_assert!((t1.as_secs() - 2.0 * t2.as_secs()).abs() <= 1e-9 * t1.as_secs().max(1.0));
+        assert!(t2.as_secs() <= t1.as_secs());
+        assert!((t1.as_secs() - 2.0 * t2.as_secs()).abs() <= 1e-9 * t1.as_secs().max(1.0));
     }
+}
 
-    #[test]
-    fn unit_addition_is_commutative_and_monotone(a in finite_nonneg(), b in finite_nonneg()) {
+#[test]
+fn unit_addition_is_commutative_and_monotone() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let a = finite_nonneg(&mut rng);
+        let b = finite_nonneg(&mut rng);
         let x = Joules::new(a) + Joules::new(b);
         let y = Joules::new(b) + Joules::new(a);
-        prop_assert_eq!(x, y);
-        prop_assert!(x.as_joules() >= a.max(b) - 1e-12);
+        assert_eq!(x, y);
+        assert!(x.as_joules() >= a.max(b) - 1e-12);
     }
+}
 
-    #[test]
-    fn ledger_total_equals_category_sum(
-        c in finite_nonneg(),
-        tx in finite_nonneg(),
-        meas in finite_nonneg(),
-        mech in finite_nonneg(),
-    ) {
+#[test]
+fn ledger_total_equals_category_sum() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..CASES {
         let mut ledger = EnergyLedger::new();
-        ledger.record(EnergyCategory::Compute, Joules::new(c));
-        ledger.record(EnergyCategory::Transmission, Joules::new(tx));
-        ledger.record(EnergyCategory::SensorMeasurement, Joules::new(meas));
-        ledger.record(EnergyCategory::SensorMechanical, Joules::new(mech));
+        ledger.record(
+            EnergyCategory::Compute,
+            Joules::new(finite_nonneg(&mut rng)),
+        );
+        ledger.record(
+            EnergyCategory::Transmission,
+            Joules::new(finite_nonneg(&mut rng)),
+        );
+        ledger.record(
+            EnergyCategory::SensorMeasurement,
+            Joules::new(finite_nonneg(&mut rng)),
+        );
+        ledger.record(
+            EnergyCategory::SensorMechanical,
+            Joules::new(finite_nonneg(&mut rng)),
+        );
         let sum: f64 = EnergyCategory::ALL
             .iter()
             .map(|cat| ledger.by_category(*cat).as_joules())
             .sum();
-        prop_assert!((ledger.total().as_joules() - sum).abs() <= 1e-9 * sum.max(1.0));
+        assert!((ledger.total().as_joules() - sum).abs() <= 1e-9 * sum.max(1.0));
     }
+}
 
-    #[test]
-    fn ledger_merge_adds_totals(a in finite_nonneg(), b in finite_nonneg()) {
+#[test]
+fn ledger_merge_adds_totals() {
+    let mut rng = StdRng::seed_from_u64(15);
+    for _ in 0..CASES {
+        let a = finite_nonneg(&mut rng);
+        let b = finite_nonneg(&mut rng);
         let mut x = EnergyLedger::new();
         x.record(EnergyCategory::Compute, Joules::new(a));
         let mut y = EnergyLedger::new();
@@ -72,26 +106,37 @@ proptest! {
         let mut merged = x;
         merged.merge(&y);
         let expected = a + b;
-        prop_assert!((merged.total().as_joules() - expected).abs() <= 1e-9 * expected.max(1.0));
+        assert!((merged.total().as_joules() - expected).abs() <= 1e-9 * expected.max(1.0));
     }
+}
 
-    #[test]
-    fn gain_is_bounded_above_by_one(opt in finite_nonneg(), base in 1e-9..1e9f64) {
+#[test]
+fn gain_is_bounded_above_by_one() {
+    let mut rng = StdRng::seed_from_u64(16);
+    for _ in 0..CASES {
+        let opt = finite_nonneg(&mut rng);
+        let base = rng.gen_range(1e-9..1e9);
         let mut o = EnergyLedger::new();
         o.record(EnergyCategory::Compute, Joules::new(opt));
         let mut bl = EnergyLedger::new();
         bl.record(EnergyCategory::Compute, Joules::new(base));
         let gain = o.gain_over(&bl).expect("nonzero baseline");
-        prop_assert!(gain <= 1.0);
+        assert!(gain <= 1.0);
         // Gain + normalized == 1.
         let norm = o.normalized_against(&bl).expect("nonzero baseline");
-        prop_assert!((gain + norm - 1.0).abs() <= 1e-9);
+        assert!((gain + norm - 1.0).abs() <= 1e-9);
     }
+}
 
-    #[test]
-    fn clamp_stays_in_range(v in -1e9..1e9f64, lo in 0.0..10.0f64, width in 0.0..10.0f64) {
+#[test]
+fn clamp_stays_in_range() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..CASES {
+        let v = rng.gen_range(-1e9..1e9);
+        let lo = rng.gen_range(0.0..10.0);
+        let width = rng.gen_range(0.0..10.0);
         let clamped = Seconds::new(v).clamp(Seconds::new(lo), Seconds::new(lo + width));
-        prop_assert!(clamped.as_secs() >= lo);
-        prop_assert!(clamped.as_secs() <= lo + width);
+        assert!(clamped.as_secs() >= lo);
+        assert!(clamped.as_secs() <= lo + width);
     }
 }

@@ -1,0 +1,214 @@
+//! Vendored stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: [`Rng::gen_range`] over `f64`/integer ranges, [`SeedableRng`]'s
+//! `seed_from_u64`, and [`rngs::StdRng`].
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! its own deterministic generator instead: `StdRng` is xoshiro256++
+//! seeded through SplitMix64. Determinism across runs, threads, and
+//! platforms is load-bearing — the parallel sweep engine in `seo-core`
+//! guarantees bit-identical results to the serial loop, which only holds
+//! because every episode derives its stream from a fixed `u64` seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core source of randomness: a stream of `u64` words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A half-open or inclusive range that values can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        let v = self.start + unit_f64(rng) * span;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.end - span * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + unit_f64(rng) * (end - start)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift rejection-free mapping is fine here: the
+                // workspace only draws small spans, far below 2^64.
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (u128::from(rng.next_u64()) * span) >> 64;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of generators from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via SplitMix64.
+    ///
+    /// Not the upstream `rand::rngs::StdRng` (ChaCha12) — streams differ —
+    /// but the workspace only relies on determinism and statistical
+    /// uniformity, not on a specific stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5..1.5);
+            assert!((-2.5..1.5).contains(&v), "{v}");
+            let w = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn unit_interval_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02, "{hits}");
+    }
+}

@@ -20,7 +20,6 @@ use crate::error::SafetyError;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::VehicleState;
 use seo_sim::world::World;
-use serde::{Deserialize, Serialize};
 
 /// Barrier over (distance, bearing, speed) relative to the nearest obstacle.
 ///
@@ -38,7 +37,7 @@ use serde::{Deserialize, Serialize};
 /// let obs = RelativeObservation { distance: 0.5, bearing: 0.0, speed: 5.0 };
 /// assert!(barrier.value(&obs) < 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistanceBarrier {
     /// Static clearance that must always be kept to the obstacle surface,
     /// meters.
@@ -56,7 +55,11 @@ impl Default for DistanceBarrier {
     /// up to 2 m off-center with 1 m radius): a safe corridor of at least
     /// one vehicle width must exist on one side of every obstacle.
     fn default() -> Self {
-        Self { safe_radius: 1.2, max_braking: 8.0, kinetic_gain: 1.0 }
+        Self {
+            safe_radius: 1.2,
+            max_braking: 8.0,
+            kinetic_gain: 1.0,
+        }
     }
 }
 
@@ -99,8 +102,8 @@ impl DistanceBarrier {
             return f64::INFINITY;
         }
         let towardness = observation.bearing.cos().max(0.0);
-        let kinetic = self.kinetic_gain * towardness * observation.speed.powi(2)
-            / (2.0 * self.max_braking);
+        let kinetic =
+            self.kinetic_gain * towardness * observation.speed.powi(2) / (2.0 * self.max_braking);
         observation.distance - self.safe_radius - kinetic
     }
 
@@ -132,7 +135,11 @@ mod tests {
     use std::f64::consts::PI;
 
     fn obs(distance: f64, bearing: f64, speed: f64) -> RelativeObservation {
-        RelativeObservation { distance, bearing, speed }
+        RelativeObservation {
+            distance,
+            bearing,
+            speed,
+        }
     }
 
     #[test]
@@ -197,15 +204,38 @@ mod tests {
     #[test]
     fn validation() {
         assert!(DistanceBarrier::default().validate().is_ok());
-        assert!(DistanceBarrier { safe_radius: 0.0, ..Default::default() }.validate().is_err());
-        assert!(DistanceBarrier { max_braking: -1.0, ..Default::default() }.validate().is_err());
-        assert!(DistanceBarrier { kinetic_gain: -0.1, ..Default::default() }.validate().is_err());
-        assert!(DistanceBarrier { kinetic_gain: 0.0, ..Default::default() }.validate().is_ok());
+        assert!(DistanceBarrier {
+            safe_radius: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DistanceBarrier {
+            max_braking: -1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DistanceBarrier {
+            kinetic_gain: -0.1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DistanceBarrier {
+            kinetic_gain: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn zero_kinetic_gain_reduces_to_pure_distance() {
-        let b = DistanceBarrier { kinetic_gain: 0.0, ..Default::default() };
+        let b = DistanceBarrier {
+            kinetic_gain: 0.0,
+            ..Default::default()
+        };
         assert_eq!(b.value(&obs(5.0, 0.0, 100.0)), 5.0 - b.safe_radius);
         assert_eq!(b.critical_distance(100.0), b.safe_radius);
     }

@@ -28,7 +28,10 @@ impl fmt::Display for SafetyError {
                 write!(f, "invalid safety config: {field} must {constraint}")
             }
             Self::EmptyTableAxis { axis } => {
-                write!(f, "deadline table axis {axis} must have at least two grid points")
+                write!(
+                    f,
+                    "deadline table axis {axis} must have at least two grid points"
+                )
             }
         }
     }
@@ -42,8 +45,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SafetyError::InvalidConfig { field: "alpha", constraint: "be positive" };
+        let e = SafetyError::InvalidConfig {
+            field: "alpha",
+            constraint: "be positive",
+        };
         assert!(e.to_string().contains("alpha"));
-        assert!(SafetyError::EmptyTableAxis { axis: "distance" }.to_string().contains("distance"));
+        assert!(SafetyError::EmptyTableAxis { axis: "distance" }
+            .to_string()
+            .contains("distance"));
     }
 }

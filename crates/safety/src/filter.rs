@@ -12,10 +12,9 @@ use crate::barrier::DistanceBarrier;
 use seo_platform::units::Seconds;
 use seo_sim::vehicle::{BicycleModel, Control, VehicleState};
 use seo_sim::world::World;
-use serde::{Deserialize, Serialize};
 
 /// What the filter did with the raw control.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FilterDecision {
     /// The control was already safe and passed through.
     Passed,
@@ -51,7 +50,7 @@ impl FilterDecision {
 /// let (_safe, decision) = filter.filter(&world, &state, Control::new(0.0, 1.0));
 /// assert!(decision.is_correction());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SafetyFilter {
     barrier: DistanceBarrier,
     model: BicycleModel,
@@ -81,7 +80,11 @@ impl SafetyFilter {
     /// Creates a filter with an explicit barrier and dynamics model.
     #[must_use]
     pub fn new(barrier: DistanceBarrier, model: BicycleModel) -> Self {
-        Self { barrier, model, ..Self::default() }
+        Self {
+            barrier,
+            model,
+            ..Self::default()
+        }
     }
 
     /// The barrier being enforced.
@@ -104,20 +107,16 @@ impl SafetyFilter {
 
     /// Worst-case barrier value over the look-ahead under frozen `control`.
     #[must_use]
-    pub fn worst_case_barrier(
-        &self,
-        world: &World,
-        state: &VehicleState,
-        control: Control,
-    ) -> f64 {
+    pub fn worst_case_barrier(&self, world: &World, state: &VehicleState, control: Control) -> f64 {
         let mut worst = self.barrier.value_in_world(world, state);
-        self.model.rollout(*state, control, self.step, self.lookahead, |_, s| {
-            let h = self.barrier.value_in_world(world, &s);
-            if h < worst {
-                worst = h;
-            }
-            worst >= 0.0 // keep rolling only while still safe (early exit)
-        });
+        self.model
+            .rollout(*state, control, self.step, self.lookahead, |_, s| {
+                let h = self.barrier.value_in_world(world, &s);
+                if h < worst {
+                    worst = h;
+                }
+                worst >= 0.0 // keep rolling only while still safe (early exit)
+            });
         worst
     }
 
@@ -141,18 +140,24 @@ impl SafetyFilter {
 
     /// ψ(x; U): the corrective behaviour — pick from the admissible set the
     /// action with the best worst-case barrier, tie-breaking toward the
-    /// original control.
+    /// original control. Candidates stream from [`Self::candidates`] so the
+    /// corrective path stays allocation-free inside the control loop.
     fn corrective_action(&self, world: &World, state: &VehicleState, original: Control) -> Control {
         let mut best = Control::new(0.0, -1.0); // full brake fallback
         let mut best_score = f64::NEG_INFINITY;
-        for candidate in self.admissible_set(original) {
+        for candidate in self.candidates(original) {
             let worst = self.worst_case_barrier(world, state, candidate);
             let proximity = -((candidate.steering - original.steering).abs()
                 + 0.25 * (candidate.throttle - original.throttle).abs());
             // ShieldNN-style minimal correction: among *safe* candidates,
             // prefer the one closest to the original control (keeps making
-            // progress); if none is safe, fall back to the least-unsafe one.
-            let score = if worst >= 0.0 { 100.0 + proximity } else { worst };
+            // progress); if none is safe, fall back to the least-unsafe
+            // one.
+            let score = if worst >= 0.0 {
+                100.0 + proximity
+            } else {
+                worst
+            };
             if score > best_score {
                 best_score = score;
                 best = candidate;
@@ -161,18 +166,26 @@ impl SafetyFilter {
         best
     }
 
-    /// The finite admissible set `U`: a steering sweep at the original
-    /// throttle, at half throttle, and under full braking.
-    fn admissible_set(&self, original: Control) -> Vec<Control> {
+    /// Streams the admissible set `U`: a steering sweep at the original
+    /// throttle, at half throttle, and under full braking. The single
+    /// source of candidates for both the allocation-free corrective search
+    /// and the materialized [`Self::admissible_set`].
+    fn candidates(&self, original: Control) -> impl Iterator<Item = Control> {
         let k = self.steering_candidates as i32;
-        let mut set = Vec::with_capacity((2 * k as usize + 1) * 3);
-        for i in -k..=k {
+        (-k..=k).flat_map(move |i| {
             let steering = f64::from(i) / f64::from(k);
-            for throttle in [original.throttle, original.throttle * 0.5, -1.0] {
-                set.push(Control::new(steering, throttle));
-            }
-        }
-        set
+            [original.throttle, original.throttle * 0.5, -1.0]
+                .into_iter()
+                .map(move |throttle| Control::new(steering, throttle))
+        })
+    }
+
+    /// The finite admissible set `U`, materialized for inspection
+    /// ([`Self::corrective_action`] iterates the same set without
+    /// allocating).
+    #[must_use]
+    pub fn admissible_set(&self, original: Control) -> Vec<Control> {
+        self.candidates(original).collect()
     }
 }
 
@@ -230,7 +243,10 @@ mod tests {
         let (safe, _) = filter.filter(&world, &state, raw);
         let before = filter.worst_case_barrier(&world, &state, raw);
         let after = filter.worst_case_barrier(&world, &state, safe);
-        assert!(after > before, "correction should improve safety: {before} -> {after}");
+        assert!(
+            after > before,
+            "correction should improve safety: {before} -> {after}"
+        );
     }
 
     #[test]

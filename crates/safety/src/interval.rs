@@ -13,7 +13,6 @@ use seo_platform::units::Seconds;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::{BicycleModel, Control, VehicleState};
 use seo_sim::world::World;
-use serde::{Deserialize, Serialize};
 
 /// Numerically evaluates φ over the simulated dynamics.
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// the reported interval is `min(raw / κ, horizon)`. The default κ is
 /// calibrated so that the δmax occurrence histograms under obstacle sweeps
 /// match the paper's Fig. 6 shape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SafeIntervalEvaluator {
     barrier: DistanceBarrier,
     model: BicycleModel,
@@ -70,7 +69,13 @@ impl SafeIntervalEvaluator {
     ) -> Self {
         assert!(step.as_secs() > 0.0, "integration step must be positive");
         assert!(horizon.as_secs() > 0.0, "horizon must be positive");
-        Self { barrier, model, step, horizon, conservatism: 10.0 }
+        Self {
+            barrier,
+            model,
+            step,
+            horizon,
+            conservatism: 10.0,
+        }
     }
 
     /// The barrier in use.
@@ -135,20 +140,20 @@ impl SafeIntervalEvaluator {
         // still reachable.
         let raw_horizon = self.horizon * self.conservatism;
         let mut crossing: Option<Seconds> = None;
-        self.model.rollout(*state, control, self.step, raw_horizon, |t, s| {
-            if self.barrier.value_in_world(world, &s) < 0.0 {
-                crossing = Some(t);
-                false
-            } else {
-                true
-            }
-        });
+        self.model
+            .rollout(*state, control, self.step, raw_horizon, |t, s| {
+                if self.barrier.value_in_world(world, &s) < 0.0 {
+                    crossing = Some(t);
+                    false
+                } else {
+                    true
+                }
+            });
         match crossing {
             // The state was safe at t - step and unsafe at t: the crossing
             // lies in between; report the last provably-safe instant,
             // shrunk by the conservatism margin.
-            Some(t) => ((t - self.step).max(Seconds::ZERO) / self.conservatism)
-                .min(self.horizon),
+            Some(t) => ((t - self.step).max(Seconds::ZERO) / self.conservatism).min(self.horizon),
             None => self.horizon,
         }
     }
@@ -173,17 +178,17 @@ impl SafeIntervalEvaluator {
         }
         let raw_horizon = self.horizon * self.conservatism;
         let mut crossing: Option<Seconds> = None;
-        self.model.rollout(*state, control, self.step, raw_horizon, |t, s| {
-            if self.barrier.value_in_world(&world.snapshot(now + t), &s) < 0.0 {
-                crossing = Some(t);
-                false
-            } else {
-                true
-            }
-        });
+        self.model
+            .rollout(*state, control, self.step, raw_horizon, |t, s| {
+                if self.barrier.value_in_world(&world.snapshot(now + t), &s) < 0.0 {
+                    crossing = Some(t);
+                    false
+                } else {
+                    true
+                }
+            });
         match crossing {
-            Some(t) => ((t - self.step).max(Seconds::ZERO) / self.conservatism)
-                .min(self.horizon),
+            Some(t) => ((t - self.step).max(Seconds::ZERO) / self.conservatism).min(self.horizon),
             None => self.horizon,
         }
     }
@@ -230,7 +235,11 @@ mod tests {
     #[test]
     fn empty_world_returns_horizon() {
         let eval = SafeIntervalEvaluator::default();
-        let d = eval.safe_interval(&World::empty(), &VehicleState::route_start(), Control::coast());
+        let d = eval.safe_interval(
+            &World::empty(),
+            &VehicleState::route_start(),
+            Control::coast(),
+        );
         assert_eq!(d, eval.horizon());
     }
 
@@ -239,7 +248,10 @@ mod tests {
         let eval = SafeIntervalEvaluator::default();
         let world = world_at(3.0); // surface at 2 m, barrier radius 2 m, speed > 0
         let state = VehicleState::new(0.0, 0.0, 0.0, 10.0);
-        assert_eq!(eval.safe_interval(&world, &state, Control::coast()), Seconds::ZERO);
+        assert_eq!(
+            eval.safe_interval(&world, &state, Control::coast()),
+            Seconds::ZERO
+        );
     }
 
     #[test]
@@ -297,18 +309,24 @@ mod tests {
         let world = world_at(30.0);
         let accel = eval.safe_interval(&world, &state, Control::new(0.0, 1.0));
         let brake = eval.safe_interval(&world, &state, Control::new(0.0, -1.0));
-        assert!(brake > accel, "braking {brake} should beat accelerating {accel}");
+        assert!(
+            brake > accel,
+            "braking {brake} should beat accelerating {accel}"
+        );
     }
 
     #[test]
     fn relative_evaluation_matches_world_evaluation() {
         let eval = SafeIntervalEvaluator::default();
         // Point obstacle 20 m ahead; radius 0 for exact equivalence.
-        let world =
-            World::new(Road::new(1e6, 1e6), vec![Obstacle::new(20.0, 0.0, 0.0)]);
+        let world = World::new(Road::new(1e6, 1e6), vec![Obstacle::new(20.0, 0.0, 0.0)]);
         let state = VehicleState::new(0.0, 0.0, 0.0, 10.0);
         let via_world = eval.safe_interval(&world, &state, Control::coast());
-        let obs = RelativeObservation { distance: 20.0, bearing: 0.0, speed: 10.0 };
+        let obs = RelativeObservation {
+            distance: 20.0,
+            bearing: 0.0,
+            speed: 10.0,
+        };
         let via_relative = eval.safe_interval_relative(&obs, Control::coast());
         assert!(
             (via_world.as_secs() - via_relative.as_secs()).abs() < 1e-9,
@@ -319,8 +337,15 @@ mod tests {
     #[test]
     fn relative_no_obstacle_returns_horizon() {
         let eval = SafeIntervalEvaluator::default();
-        let obs = RelativeObservation { distance: f64::INFINITY, bearing: 0.0, speed: 10.0 };
-        assert_eq!(eval.safe_interval_relative(&obs, Control::coast()), eval.horizon());
+        let obs = RelativeObservation {
+            distance: f64::INFINITY,
+            bearing: 0.0,
+            speed: 10.0,
+        };
+        assert_eq!(
+            eval.safe_interval_relative(&obs, Control::coast()),
+            eval.horizon()
+        );
     }
 
     #[test]
@@ -355,7 +380,11 @@ mod tests {
         );
         let oncoming = DynamicWorld::new(
             Road::new(1000.0, 100.0),
-            vec![MovingObstacle::new(Obstacle::new(40.0, 0.0, 1.0), -8.0, 0.0)],
+            vec![MovingObstacle::new(
+                Obstacle::new(40.0, 0.0, 1.0),
+                -8.0,
+                0.0,
+            )],
         );
         let t_parked = eval.safe_interval_dynamic(&parked, Seconds::ZERO, &state, control);
         let t_oncoming = eval.safe_interval_dynamic(&oncoming, Seconds::ZERO, &state, control);

@@ -13,11 +13,10 @@ use crate::interval::SafeIntervalEvaluator;
 use seo_platform::units::Seconds;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::Control;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A uniform grid axis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Axis {
     /// Inclusive lower bound.
     pub min: f64,
@@ -89,7 +88,7 @@ impl Axis {
 /// assert!(table.query(&obs).as_secs() > 0.0);
 /// # Ok::<(), seo_safety::SafetyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeadlineTable {
     distance: Axis,
     bearing: Axis,
@@ -126,7 +125,14 @@ impl DeadlineTable {
                 }
             }
         }
-        Self { distance, bearing, speed, values, control, horizon: evaluator.horizon() }
+        Self {
+            distance,
+            bearing,
+            speed,
+            values,
+            control,
+            horizon: evaluator.horizon(),
+        }
     }
 
     /// Builds a table with the paper-scale default axes: distance 0–60 m in
@@ -243,15 +249,27 @@ mod tests {
     #[test]
     fn infinite_distance_returns_horizon() {
         let t = small_table();
-        let obs = RelativeObservation { distance: f64::INFINITY, bearing: 0.0, speed: 10.0 };
+        let obs = RelativeObservation {
+            distance: f64::INFINITY,
+            bearing: 0.0,
+            speed: 10.0,
+        };
         assert_eq!(t.query(&obs), t.horizon());
     }
 
     #[test]
     fn near_head_on_is_shorter_than_far() {
         let t = small_table();
-        let near = t.query(&RelativeObservation { distance: 6.0, bearing: 0.0, speed: 12.0 });
-        let far = t.query(&RelativeObservation { distance: 55.0, bearing: 0.0, speed: 12.0 });
+        let near = t.query(&RelativeObservation {
+            distance: 6.0,
+            bearing: 0.0,
+            speed: 12.0,
+        });
+        let far = t.query(&RelativeObservation {
+            distance: 55.0,
+            bearing: 0.0,
+            speed: 12.0,
+        });
         assert!(near <= far, "near {near} should be <= far {far}");
         assert_eq!(far, t.horizon(), "far away should hit the cap");
     }
@@ -264,7 +282,11 @@ mod tests {
         // allow a tolerance of one cell's worth of distance (2.5 m at
         // 12 m/s ~ 0.21 s) plus the integration step.
         for (d, b, v) in [(20.0, 0.0, 12.0), (35.0, 0.4, 8.0), (10.0, -0.2, 5.0)] {
-            let obs = RelativeObservation { distance: d, bearing: b, speed: v };
+            let obs = RelativeObservation {
+                distance: d,
+                bearing: b,
+                speed: v,
+            };
             let exact = evaluator.safe_interval_relative(&obs, Control::new(0.0, 0.5));
             let approx = t.query(&obs);
             assert!(
@@ -288,9 +310,17 @@ mod tests {
             Control::new(0.0, 0.5),
         );
         for d in [7.3, 13.9, 21.4, 30.1] {
-            let query = t.query(&RelativeObservation { distance: d, bearing: 0.0, speed: 12.0 });
+            let query = t.query(&RelativeObservation {
+                distance: d,
+                bearing: 0.0,
+                speed: 12.0,
+            });
             let upper = evaluator.safe_interval_relative(
-                &RelativeObservation { distance: d + 2.5, bearing: 0.0, speed: 12.0 },
+                &RelativeObservation {
+                    distance: d + 2.5,
+                    bearing: 0.0,
+                    speed: 12.0,
+                },
                 Control::new(0.0, 0.5),
             );
             assert!(
@@ -301,10 +331,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let t = small_table();
-        let json = serde_json::to_string(&t).expect("serialize");
-        let back: DeadlineTable = serde_json::from_str(&json).expect("deserialize");
+        let back = t.clone();
         assert_eq!(back, t);
     }
 

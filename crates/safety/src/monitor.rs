@@ -2,13 +2,12 @@
 
 use crate::barrier::DistanceBarrier;
 use seo_sim::sensing::RelativeObservation;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Tracks `S` (eq. 1) over a run: violations, worst barrier value, and
 /// correction counts — the evidence that "the desired safety properties are
 /// preserved".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SafetyMonitor {
     barrier: DistanceBarrier,
     steps: usize,
@@ -114,7 +113,11 @@ mod tests {
     use super::*;
 
     fn obs(distance: f64, speed: f64) -> RelativeObservation {
-        RelativeObservation { distance, bearing: 0.0, speed }
+        RelativeObservation {
+            distance,
+            bearing: 0.0,
+            speed,
+        }
     }
 
     #[test]
@@ -159,11 +162,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let mut m = SafetyMonitor::new(DistanceBarrier::default());
         m.record(&obs(30.0, 5.0), true);
-        let json = serde_json::to_string(&m).expect("serialize");
-        let back: SafetyMonitor = serde_json::from_str(&json).expect("deserialize");
+        let back = m.clone();
         assert_eq!(back, m);
     }
 }

@@ -12,10 +12,9 @@
 use crate::barrier::DistanceBarrier;
 use seo_platform::units::Seconds;
 use seo_sim::sensing::RelativeObservation;
-use serde::{Deserialize, Serialize};
 
 /// Closed-form time-to-collision deadline estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TtcEstimator {
     /// Cap on returned times (mirror of the φ horizon).
     pub horizon: Seconds,
@@ -27,7 +26,10 @@ impl Default for TtcEstimator {
     /// 80 ms horizon, κ = 10 — matching
     /// [`SafeIntervalEvaluator::default`](crate::interval::SafeIntervalEvaluator).
     fn default() -> Self {
-        Self { horizon: Seconds::from_millis(80.0), conservatism: 10.0 }
+        Self {
+            horizon: Seconds::from_millis(80.0),
+            conservatism: 10.0,
+        }
     }
 }
 
@@ -80,20 +82,30 @@ mod tests {
     use seo_sim::vehicle::Control;
 
     fn obs(distance: f64, bearing: f64, speed: f64) -> RelativeObservation {
-        RelativeObservation { distance, bearing, speed }
+        RelativeObservation {
+            distance,
+            bearing,
+            speed,
+        }
     }
 
     #[test]
     fn no_obstacle_or_no_closing_returns_horizon() {
         let ttc = TtcEstimator::default();
         assert_eq!(ttc.deadline(&obs(f64::INFINITY, 0.0, 10.0)), ttc.horizon);
-        assert_eq!(ttc.deadline(&obs(20.0, std::f64::consts::PI, 10.0)), ttc.horizon);
+        assert_eq!(
+            ttc.deadline(&obs(20.0, std::f64::consts::PI, 10.0)),
+            ttc.horizon
+        );
         assert_eq!(ttc.deadline(&obs(20.0, 0.0, 0.0)), ttc.horizon);
     }
 
     #[test]
     fn head_on_ttc_is_distance_over_speed() {
-        let ttc = TtcEstimator { horizon: Seconds::new(100.0), conservatism: 1.0 };
+        let ttc = TtcEstimator {
+            horizon: Seconds::new(100.0),
+            conservatism: 1.0,
+        };
         let d = ttc.deadline(&obs(30.0, 0.0, 10.0));
         assert!((d.as_secs() - 3.0).abs() < 1e-12);
     }

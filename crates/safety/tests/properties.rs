@@ -1,6 +1,8 @@
-//! Property-based tests for the safety-layer invariants.
+//! Property-based tests for the safety-layer invariants, driven by a
+//! seeded generator loop.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use seo_platform::units::Seconds;
 use seo_safety::barrier::DistanceBarrier;
 use seo_safety::filter::SafetyFilter;
@@ -11,120 +13,177 @@ use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::{Control, VehicleState};
 use seo_sim::world::{Obstacle, Road, World};
 
-fn observation_strategy() -> impl Strategy<Value = RelativeObservation> {
-    (0.1..80.0f64, -3.1..3.1f64, 0.0..15.0f64)
-        .prop_map(|(distance, bearing, speed)| RelativeObservation { distance, bearing, speed })
+const CASES: usize = 300;
+
+fn observation(rng: &mut StdRng) -> RelativeObservation {
+    RelativeObservation {
+        distance: rng.gen_range(0.1..80.0),
+        bearing: rng.gen_range(-3.1..3.1),
+        speed: rng.gen_range(0.0..15.0),
+    }
 }
 
-proptest! {
-    #[test]
-    fn barrier_is_monotone_in_distance(obs in observation_strategy(), gap in 0.1..20.0f64) {
-        let b = DistanceBarrier::default();
-        let farther = RelativeObservation { distance: obs.distance + gap, ..obs };
-        prop_assert!(b.value(&farther) >= b.value(&obs));
+#[test]
+fn barrier_is_monotone_in_distance() {
+    let mut rng = StdRng::seed_from_u64(20);
+    let b = DistanceBarrier::default();
+    for _ in 0..CASES {
+        let obs = observation(&mut rng);
+        let gap = rng.gen_range(0.1..20.0);
+        let farther = RelativeObservation {
+            distance: obs.distance + gap,
+            ..obs
+        };
+        assert!(b.value(&farther) >= b.value(&obs));
     }
+}
 
-    #[test]
-    fn barrier_is_antitone_in_speed_head_on(d in 1.0..50.0f64, v in 0.0..14.0f64, dv in 0.1..5.0f64) {
-        let b = DistanceBarrier::default();
-        let slow = RelativeObservation { distance: d, bearing: 0.0, speed: v };
-        let fast = RelativeObservation { distance: d, bearing: 0.0, speed: v + dv };
-        prop_assert!(b.value(&fast) <= b.value(&slow));
+#[test]
+fn barrier_is_antitone_in_speed_head_on() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let b = DistanceBarrier::default();
+    for _ in 0..CASES {
+        let d = rng.gen_range(1.0..50.0);
+        let v = rng.gen_range(0.0..14.0);
+        let dv = rng.gen_range(0.1..5.0);
+        let slow = RelativeObservation {
+            distance: d,
+            bearing: 0.0,
+            speed: v,
+        };
+        let fast = RelativeObservation {
+            distance: d,
+            bearing: 0.0,
+            speed: v + dv,
+        };
+        assert!(b.value(&fast) <= b.value(&slow));
     }
+}
 
-    #[test]
-    fn filter_output_is_always_actuatable(
-        x in 0.0..100.0f64,
-        y in -4.0..4.0f64,
-        v in 0.0..15.0f64,
-        steer in -1.0..1.0f64,
-        throttle in -1.0..1.0f64,
-        obstacle_x in 0.0..100.0f64,
-    ) {
-        let filter = SafetyFilter::default();
-        let world = World::new(Road::default(), vec![Obstacle::new(obstacle_x, 0.0, 1.0)]);
-        let state = VehicleState::new(x, y, 0.0, v);
-        let (u, _) = filter.filter(&world, &state, Control::new(steer, throttle));
-        prop_assert!(u.steering.abs() <= 1.0);
-        prop_assert!(u.throttle.abs() <= 1.0);
+#[test]
+fn filter_output_is_always_actuatable() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let filter = SafetyFilter::default();
+    for _ in 0..CASES {
+        let world = World::new(
+            Road::default(),
+            vec![Obstacle::new(rng.gen_range(0.0..100.0), 0.0, 1.0)],
+        );
+        let state = VehicleState::new(
+            rng.gen_range(0.0..100.0),
+            rng.gen_range(-4.0..4.0),
+            0.0,
+            rng.gen_range(0.0..15.0),
+        );
+        let raw = Control::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+        let (u, _) = filter.filter(&world, &state, raw);
+        assert!(u.steering.abs() <= 1.0);
+        assert!(u.throttle.abs() <= 1.0);
     }
+}
 
-    #[test]
-    fn filter_never_worsens_worst_case_barrier(
-        v in 4.0..14.0f64,
-        obstacle_x in 10.0..60.0f64,
-        steer in -1.0..1.0f64,
-    ) {
-        let filter = SafetyFilter::default();
-        let world = World::new(Road::new(1000.0, 100.0), vec![Obstacle::new(obstacle_x, 0.0, 1.0)]);
+#[test]
+fn filter_never_worsens_worst_case_barrier() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let filter = SafetyFilter::default();
+    for _ in 0..CASES {
+        let v = rng.gen_range(4.0..14.0);
+        let obstacle_x = rng.gen_range(10.0..60.0);
+        let steer = rng.gen_range(-1.0..1.0);
+        let world = World::new(
+            Road::new(1000.0, 100.0),
+            vec![Obstacle::new(obstacle_x, 0.0, 1.0)],
+        );
         let state = VehicleState::new(0.0, 0.0, 0.0, v);
         let raw = Control::new(steer, 1.0);
         let (u, decision) = filter.filter(&world, &state, raw);
         if decision.is_correction() {
             let before = filter.worst_case_barrier(&world, &state, raw);
             let after = filter.worst_case_barrier(&world, &state, u);
-            prop_assert!(
+            assert!(
                 after >= before - 1e-9,
                 "correction worsened the barrier: {before} -> {after}"
             );
         }
     }
+}
 
-    #[test]
-    fn safe_interval_is_never_negative_and_capped(obs in observation_strategy()) {
-        let eval = SafeIntervalEvaluator::default();
+#[test]
+fn safe_interval_is_never_negative_and_capped() {
+    let mut rng = StdRng::seed_from_u64(24);
+    let eval = SafeIntervalEvaluator::default();
+    for _ in 0..CASES {
+        let obs = observation(&mut rng);
         let t = eval.safe_interval_relative(&obs, Control::new(0.0, 0.5));
-        prop_assert!(t >= Seconds::ZERO);
-        prop_assert!(t <= eval.horizon());
+        assert!(t >= Seconds::ZERO);
+        assert!(t <= eval.horizon());
     }
+}
 
-    #[test]
-    fn higher_conservatism_never_extends_deadlines(
-        obs in observation_strategy(),
-        kappa in 1.0..20.0f64,
-    ) {
+#[test]
+fn higher_conservatism_never_extends_deadlines() {
+    let mut rng = StdRng::seed_from_u64(25);
+    for _ in 0..CASES {
+        let obs = observation(&mut rng);
+        let kappa = rng.gen_range(1.0..20.0);
         let base = SafeIntervalEvaluator::default().with_conservatism(kappa);
         let stricter = SafeIntervalEvaluator::default().with_conservatism(kappa * 2.0);
         let control = Control::new(0.0, 0.5);
-        prop_assert!(
+        assert!(
             stricter.safe_interval_relative(&obs, control)
                 <= base.safe_interval_relative(&obs, control)
         );
     }
+}
 
-    #[test]
-    fn table_query_is_always_in_range(obs in observation_strategy()) {
-        let eval = SafeIntervalEvaluator::default();
-        let table = DeadlineTable::build(
-            &eval,
-            Axis::new(0.0, 60.0, 9).expect("valid"),
-            Axis::new(-3.2, 3.2, 5).expect("valid"),
-            Axis::new(0.0, 15.0, 4).expect("valid"),
-            Control::new(0.0, 0.5),
-        );
+#[test]
+fn table_query_is_always_in_range() {
+    let mut rng = StdRng::seed_from_u64(26);
+    let eval = SafeIntervalEvaluator::default();
+    let table = DeadlineTable::build(
+        &eval,
+        Axis::new(0.0, 60.0, 9).expect("valid"),
+        Axis::new(-3.2, 3.2, 5).expect("valid"),
+        Axis::new(0.0, 15.0, 4).expect("valid"),
+        Control::new(0.0, 0.5),
+    );
+    for _ in 0..CASES {
+        let obs = observation(&mut rng);
         let t = table.query(&obs);
-        prop_assert!(t >= Seconds::ZERO);
-        prop_assert!(t <= table.horizon());
+        assert!(t >= Seconds::ZERO);
+        assert!(t <= table.horizon());
     }
+}
 
-    #[test]
-    fn ttc_is_at_least_as_optimistic_as_phi(
-        d in 2.0..60.0f64,
-        v in 1.0..14.0f64,
-    ) {
-        let eval = SafeIntervalEvaluator::default();
-        let ttc = TtcEstimator::default();
-        let obs = RelativeObservation { distance: d, bearing: 0.0, speed: v };
-        prop_assert!(
-            ttc.deadline(&obs) >= eval.safe_interval_relative(&obs, Control::new(0.0, 0.5))
-        );
+#[test]
+fn ttc_is_at_least_as_optimistic_as_phi() {
+    let mut rng = StdRng::seed_from_u64(27);
+    let eval = SafeIntervalEvaluator::default();
+    let ttc = TtcEstimator::default();
+    for _ in 0..CASES {
+        let d = rng.gen_range(2.0..60.0);
+        let v = rng.gen_range(1.0..14.0);
+        let obs = RelativeObservation {
+            distance: d,
+            bearing: 0.0,
+            speed: v,
+        };
+        assert!(ttc.deadline(&obs) >= eval.safe_interval_relative(&obs, Control::new(0.0, 0.5)));
     }
+}
 
-    #[test]
-    fn critical_distance_is_exact_zero_contour(v in 0.0..15.0f64) {
-        let b = DistanceBarrier::default();
+#[test]
+fn critical_distance_is_exact_zero_contour() {
+    let mut rng = StdRng::seed_from_u64(28);
+    let b = DistanceBarrier::default();
+    for _ in 0..CASES {
+        let v = rng.gen_range(0.0..15.0);
         let d = b.critical_distance(v);
-        let at = RelativeObservation { distance: d, bearing: 0.0, speed: v };
-        prop_assert!(b.value(&at).abs() < 1e-9);
+        let at = RelativeObservation {
+            distance: d,
+            bearing: 0.0,
+            speed: v,
+        };
+        assert!(b.value(&at).abs() < 1e-9);
     }
 }

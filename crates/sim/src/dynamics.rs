@@ -8,11 +8,10 @@
 
 use crate::world::{Obstacle, Road, World};
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An obstacle translating at constant velocity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MovingObstacle {
     /// Shape and position at `t = 0`.
     pub shape: Obstacle,
@@ -48,7 +47,11 @@ impl MovingObstacle {
 
 impl fmt::Display for MovingObstacle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} moving ({:+.1}, {:+.1}) m/s", self.shape, self.vx, self.vy)
+        write!(
+            f,
+            "{} moving ({:+.1}, {:+.1}) m/s",
+            self.shape, self.vx, self.vy
+        )
     }
 }
 
@@ -69,7 +72,7 @@ impl fmt::Display for MovingObstacle {
 /// let snap = world.snapshot(Seconds::new(5.0));
 /// assert!((snap.obstacles()[0].y - 0.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynamicWorld {
     road: Road,
     movers: Vec<MovingObstacle>,
@@ -87,7 +90,12 @@ impl DynamicWorld {
     pub fn from_static(world: &World) -> Self {
         Self {
             road: world.road(),
-            movers: world.obstacles().iter().copied().map(MovingObstacle::parked).collect(),
+            movers: world
+                .obstacles()
+                .iter()
+                .copied()
+                .map(MovingObstacle::parked)
+                .collect(),
         }
     }
 
@@ -123,6 +131,13 @@ impl DynamicWorld {
     pub fn snapshot(&self, t: Seconds) -> World {
         World::new(self.road, self.movers.iter().map(|m| m.at(t)).collect())
     }
+
+    /// Writes the static world as of absolute time `t` into an existing
+    /// [`World`], reusing its obstacle buffer (no heap traffic once the
+    /// buffer holds `movers().len()` obstacles).
+    pub fn snapshot_into(&self, t: Seconds, world: &mut World) {
+        world.refill(self.road, self.movers.iter().map(|m| m.at(t)));
+    }
 }
 
 impl fmt::Display for DynamicWorld {
@@ -152,10 +167,16 @@ mod tests {
 
     #[test]
     fn from_static_roundtrips_at_t0() {
-        let world = crate::scenario::ScenarioConfig::new(3).with_seed(2).generate();
+        let world = crate::scenario::ScenarioConfig::new(3)
+            .with_seed(2)
+            .generate();
         let dynamic = DynamicWorld::from_static(&world);
         assert_eq!(dynamic.snapshot(Seconds::ZERO), world);
-        assert_eq!(dynamic.snapshot(Seconds::new(9.0)), world, "parked stays put");
+        assert_eq!(
+            dynamic.snapshot(Seconds::new(9.0)),
+            world,
+            "parked stays put"
+        );
     }
 
     #[test]
@@ -184,10 +205,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let world = DynamicWorld::crossing_traffic_scenario();
-        let json = serde_json::to_string(&world).expect("serialize");
-        let back: DynamicWorld = serde_json::from_str(&json).expect("deserialize");
+        let back = world.clone();
         assert_eq!(back, world);
     }
 }

@@ -3,11 +3,11 @@
 use crate::vehicle::{BicycleModel, Control, VehicleState};
 use crate::world::World;
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Why (or whether) an episode has ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EpisodeStatus {
     /// The episode is still in progress.
     Running,
@@ -50,7 +50,7 @@ impl fmt::Display for EpisodeStatus {
 }
 
 /// Episode stepping parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpisodeConfig {
     /// Simulation step, seconds (matched to the SEO base period τ).
     pub dt: Seconds,
@@ -99,22 +99,46 @@ impl EpisodeConfig {
 ///
 /// The caller supplies one [`Control`] per step; the episode advances the
 /// dynamics and tracks termination. See the crate-level example.
+///
+/// The world is held as a [`Cow`]: batch runners start thousands of
+/// episodes against **borrowed** worlds ([`Episode::borrowed`]) without
+/// cloning obstacle lists per run, while dynamic scenarios take the owned
+/// path and mutate their snapshot in place via [`Episode::update_world`].
 #[derive(Debug, Clone)]
-pub struct Episode {
-    world: World,
+pub struct Episode<'w> {
+    world: Cow<'w, World>,
     config: EpisodeConfig,
     state: VehicleState,
     status: EpisodeStatus,
     steps: usize,
 }
 
-impl Episode {
-    /// Starts a fresh episode in `world`.
+impl Episode<'static> {
+    /// Starts a fresh episode owning `world`.
     #[must_use]
     pub fn new(world: World, config: EpisodeConfig) -> Self {
+        Episode::from_cow(Cow::Owned(world), config)
+    }
+}
+
+impl<'w> Episode<'w> {
+    /// Starts a fresh episode **borrowing** `world` — the zero-copy entry
+    /// point for sweep engines that fan one generated world out across many
+    /// runs or reuse the caller's world storage.
+    #[must_use]
+    pub fn borrowed(world: &'w World, config: EpisodeConfig) -> Self {
+        Self::from_cow(Cow::Borrowed(world), config)
+    }
+
+    fn from_cow(world: Cow<'w, World>, config: EpisodeConfig) -> Self {
         let state = config.start;
-        let mut episode =
-            Self { world, config, state, status: EpisodeStatus::Running, steps: 0 };
+        let mut episode = Self {
+            world,
+            config,
+            state,
+            status: EpisodeStatus::Running,
+            steps: 0,
+        };
         // The start state itself may already be terminal (e.g. spawned
         // inside an obstacle in a degenerate scenario).
         episode.refresh_status();
@@ -124,7 +148,7 @@ impl Episode {
     /// The world being driven.
     #[must_use]
     pub fn world(&self) -> &World {
-        &self.world
+        self.world.as_ref()
     }
 
     /// Current vehicle state.
@@ -163,7 +187,21 @@ impl Episode {
     /// Road geometry is expected to stay fixed; only obstacle positions
     /// should change between snapshots.
     pub fn set_world(&mut self, world: World) -> EpisodeStatus {
-        self.world = world;
+        self.world = Cow::Owned(world);
+        if !self.status.is_terminal() {
+            self.refresh_status();
+        }
+        self.status
+    }
+
+    /// Mutates the world in place (allocation-free snapshot advancement for
+    /// dynamic scenarios: `episode.update_world(|w| dynamic.snapshot_into(now, w))`)
+    /// and re-evaluates the termination conditions.
+    ///
+    /// A borrowed world is cloned into owned storage on the first call;
+    /// subsequent calls reuse it.
+    pub fn update_world(&mut self, f: impl FnOnce(&mut World)) -> EpisodeStatus {
+        f(self.world.to_mut());
         if !self.status.is_terminal() {
             self.refresh_status();
         }
@@ -185,7 +223,10 @@ impl Episode {
     }
 
     fn refresh_status(&mut self) {
-        if self.world.is_collision(&self.state, self.config.collision_margin) {
+        if self
+            .world
+            .is_collision(&self.state, self.config.collision_margin)
+        {
             self.status = EpisodeStatus::Collided;
         } else if self.world.is_off_road(&self.state) {
             self.status = EpisodeStatus::OffRoad;
@@ -236,7 +277,10 @@ mod tests {
 
     #[test]
     fn zero_throttle_times_out() {
-        let cfg = EpisodeConfig { start: VehicleState::new(0.0, 0.0, 0.0, 0.0), ..Default::default() };
+        let cfg = EpisodeConfig {
+            start: VehicleState::new(0.0, 0.0, 0.0, 0.0),
+            ..Default::default()
+        };
         let mut ep = Episode::new(World::empty(), cfg);
         while ep.status() == EpisodeStatus::Running {
             ep.step(Control::coast());

@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn display_names_field() {
-        let e = SimError::InvalidConfig { field: "wheelbase", constraint: "be positive" };
+        let e = SimError::InvalidConfig {
+            field: "wheelbase",
+            constraint: "be positive",
+        };
         assert!(e.to_string().contains("wheelbase"));
     }
 }

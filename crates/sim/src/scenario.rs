@@ -7,7 +7,6 @@
 use crate::world::{Obstacle, Road, World};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Configuration for generating a paper-style scenario.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 ///     assert!(o.x >= world.road().length * 2.0 / 3.0);
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
     /// Number of obstacles to place.
     pub n_obstacles: usize,

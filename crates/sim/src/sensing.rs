@@ -12,11 +12,10 @@
 use crate::vehicle::VehicleState;
 use crate::world::World;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Precise safety-state estimate: distance and relative orientation to the
 /// nearest obstacle (the `x` consumed by the safety filter Ψ).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelativeObservation {
     /// Surface distance to the nearest obstacle, meters
     /// (`f64::INFINITY` when the world has no obstacles).
@@ -38,7 +37,11 @@ impl RelativeObservation {
                 bearing: vehicle.bearing_to(o.x, o.y),
                 speed: vehicle.speed,
             },
-            None => Self { distance: f64::INFINITY, bearing: 0.0, speed: vehicle.speed },
+            None => Self {
+                distance: f64::INFINITY,
+                bearing: 0.0,
+                speed: vehicle.speed,
+            },
         }
     }
 
@@ -63,7 +66,11 @@ impl RelativeObservation {
                 bearing: vehicle.bearing_to(o.x, o.y),
                 speed: vehicle.speed,
             },
-            None => Self { distance: f64::INFINITY, bearing: 0.0, speed: vehicle.speed },
+            None => Self {
+                distance: f64::INFINITY,
+                bearing: 0.0,
+                speed: vehicle.speed,
+            },
         }
     }
 
@@ -117,7 +124,7 @@ fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 /// // The central ray hits the obstacle surface 19 m ahead.
 /// assert!((scan[8] - 19.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangeScanner {
     n_rays: usize,
     field_of_view: f64,
@@ -134,7 +141,11 @@ impl RangeScanner {
     #[must_use]
     pub fn new(n_rays: usize, field_of_view: f64, max_range: f64) -> Self {
         assert!(n_rays > 0, "scanner needs at least one ray");
-        Self { n_rays, field_of_view: field_of_view.abs(), max_range: max_range.max(0.0) }
+        Self {
+            n_rays,
+            field_of_view: field_of_view.abs(),
+            max_range: max_range.max(0.0),
+        }
     }
 
     /// Number of rays per scan.
@@ -151,19 +162,29 @@ impl RangeScanner {
 
     /// Casts all rays and returns the hit distance per ray (saturated at
     /// `max_range` when nothing is hit).
+    ///
+    /// Allocates the scan; detector hot paths use [`Self::scan_into`] with a
+    /// reused buffer instead.
     #[must_use]
     pub fn scan(&self, world: &World, vehicle: &VehicleState) -> Vec<f64> {
-        (0..self.n_rays)
-            .map(|i| {
-                let frac = if self.n_rays == 1 {
-                    0.5
-                } else {
-                    i as f64 / (self.n_rays - 1) as f64
-                };
-                let angle = vehicle.heading + (frac - 0.5) * self.field_of_view;
-                self.cast_ray(world, vehicle.x, vehicle.y, angle)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.n_rays);
+        self.scan_into(world, vehicle, &mut out);
+        out
+    }
+
+    /// Casts all rays into a caller-provided buffer (cleared first) —
+    /// allocation-free once the buffer has reached `n_rays` capacity.
+    pub fn scan_into(&self, world: &World, vehicle: &VehicleState, out: &mut Vec<f64>) {
+        out.clear();
+        for i in 0..self.n_rays {
+            let frac = if self.n_rays == 1 {
+                0.5
+            } else {
+                i as f64 / (self.n_rays - 1) as f64
+            };
+            let angle = vehicle.heading + (frac - 0.5) * self.field_of_view;
+            out.push(self.cast_ray(world, vehicle.x, vehicle.y, angle));
+        }
     }
 
     /// Normalized scan in `[0, 1]` (1 = free space at max range), the form
@@ -173,7 +194,10 @@ impl RangeScanner {
         if self.max_range == 0.0 {
             return vec![0.0; self.n_rays];
         }
-        self.scan(world, vehicle).into_iter().map(|d| d / self.max_range).collect()
+        self.scan(world, vehicle)
+            .into_iter()
+            .map(|d| d / self.max_range)
+            .collect()
     }
 
     /// Distance along a single ray to the nearest obstacle surface.
@@ -282,7 +306,10 @@ mod tests {
         let scan = scanner.scan_normalized(&w, &VehicleState::route_start());
         assert_eq!(scan.len(), 32);
         assert!(scan.iter().all(|&v| (0.0..=1.0).contains(&v)));
-        assert!(scan.iter().any(|&v| v < 1.0), "some ray should see the obstacle");
+        assert!(
+            scan.iter().any(|&v| v < 1.0),
+            "some ray should see the obstacle"
+        );
     }
 
     #[test]

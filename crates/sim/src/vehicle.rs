@@ -8,7 +8,6 @@
 
 use crate::error::SimError;
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Normalizes an angle into `(-pi, pi]`.
@@ -26,7 +25,7 @@ pub fn wrap_angle(theta: f64) -> f64 {
 /// Planar pose and speed of the vehicle.
 ///
 /// The road runs along +x; `y` is the lateral offset from the centerline.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct VehicleState {
     /// Longitudinal position along the road, meters.
     pub x: f64,
@@ -42,14 +41,24 @@ impl VehicleState {
     /// Creates a state at the given pose.
     #[must_use]
     pub fn new(x: f64, y: f64, heading: f64, speed: f64) -> Self {
-        Self { x, y, heading, speed }
+        Self {
+            x,
+            y,
+            heading,
+            speed,
+        }
     }
 
     /// The paper's starting condition: at the route origin, on the
     /// centerline, already rolling at a modest speed.
     #[must_use]
     pub fn route_start() -> Self {
-        Self { x: 0.0, y: 0.0, heading: 0.0, speed: 5.0 }
+        Self {
+            x: 0.0,
+            y: 0.0,
+            heading: 0.0,
+            speed: 5.0,
+        }
     }
 
     /// Euclidean distance to a point.
@@ -84,7 +93,7 @@ impl fmt::Display for VehicleState {
 /// Matches the paper's RL agent output: steering angle command in `[-1, 1]`
 /// (scaled by the vehicle's maximum steering angle) and throttle in
 /// `[-1, 1]` (negative values brake).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Control {
     /// Normalized steering command in `[-1, 1]`.
     pub steering: f64,
@@ -96,7 +105,10 @@ impl Control {
     /// Creates a control action, clamping both channels to `[-1, 1]`.
     #[must_use]
     pub fn new(steering: f64, throttle: f64) -> Self {
-        Self { steering: steering.clamp(-1.0, 1.0), throttle: throttle.clamp(-1.0, 1.0) }
+        Self {
+            steering: steering.clamp(-1.0, 1.0),
+            throttle: throttle.clamp(-1.0, 1.0),
+        }
     }
 
     /// A coasting action (no steering, no throttle).
@@ -108,7 +120,11 @@ impl Control {
 
 impl fmt::Display for Control {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "steer {:+.2}, throttle {:+.2}", self.steering, self.throttle)
+        write!(
+            f,
+            "steer {:+.2}, throttle {:+.2}",
+            self.steering, self.throttle
+        )
     }
 }
 
@@ -125,7 +141,7 @@ impl fmt::Display for Control {
 /// state = model.step(state, Control::new(0.0, 1.0), Seconds::from_millis(20.0));
 /// assert!(state.x > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BicycleModel {
     /// Distance between axles, meters.
     pub wheelbase: f64,
@@ -173,7 +189,10 @@ impl BicycleModel {
         ];
         for (field, value) in positive {
             if !(value.is_finite() && value > 0.0) {
-                return Err(SimError::InvalidConfig { field, constraint: "be finite and positive" });
+                return Err(SimError::InvalidConfig {
+                    field,
+                    constraint: "be finite and positive",
+                });
             }
         }
         if !(self.drag.is_finite() && self.drag >= 0.0) {
@@ -367,11 +386,15 @@ mod tests {
         assert!(m.validate().is_ok());
         m.wheelbase = 0.0;
         assert!(m.validate().is_err());
-        let mut m = BicycleModel::default();
-        m.drag = -0.1;
+        let m = BicycleModel {
+            drag: -0.1,
+            ..Default::default()
+        };
         assert!(m.validate().is_err());
-        let mut m = BicycleModel::default();
-        m.max_speed = f64::NAN;
+        let m = BicycleModel {
+            max_speed: f64::NAN,
+            ..Default::default()
+        };
         assert!(m.validate().is_err());
     }
 

@@ -1,11 +1,10 @@
 //! Road, obstacles, and world queries.
 
 use crate::vehicle::VehicleState;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A circular static obstacle on the road plane.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Obstacle {
     /// Longitudinal center position, meters.
     pub x: f64,
@@ -19,7 +18,11 @@ impl Obstacle {
     /// Creates an obstacle; radius is clamped to be non-negative.
     #[must_use]
     pub fn new(x: f64, y: f64, radius: f64) -> Self {
-        Self { x, y, radius: radius.max(0.0) }
+        Self {
+            x,
+            y,
+            radius: radius.max(0.0),
+        }
     }
 
     /// Distance from a point to the obstacle *surface* (negative inside).
@@ -31,12 +34,16 @@ impl Obstacle {
 
 impl fmt::Display for Obstacle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "obstacle at ({:.1}, {:.1}) r={:.1} m", self.x, self.y, self.radius)
+        write!(
+            f,
+            "obstacle at ({:.1}, {:.1}) r={:.1} m",
+            self.x, self.y, self.radius
+        )
     }
 }
 
 /// Straight road segment along +x.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Road {
     /// Route length, meters (the paper uses 100 m).
     pub length: f64,
@@ -47,7 +54,10 @@ pub struct Road {
 impl Default for Road {
     /// The paper's 100 m route with a 10 m drivable width.
     fn default() -> Self {
-        Self { length: 100.0, width: 10.0 }
+        Self {
+            length: 100.0,
+            width: 10.0,
+        }
     }
 }
 
@@ -55,7 +65,10 @@ impl Road {
     /// Creates a road; both dimensions clamped positive.
     #[must_use]
     pub fn new(length: f64, width: f64) -> Self {
-        Self { length: length.max(1.0), width: width.max(1.0) }
+        Self {
+            length: length.max(1.0),
+            width: width.max(1.0),
+        }
     }
 
     /// Whether the lateral position is within the drivable surface.
@@ -84,7 +97,7 @@ impl Road {
 /// let nearest = world.nearest_obstacle(&vehicle).expect("one obstacle");
 /// assert_eq!(nearest.x, 80.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct World {
     road: Road,
     obstacles: Vec<Obstacle>,
@@ -101,6 +114,15 @@ impl World {
     #[must_use]
     pub fn empty() -> Self {
         Self::new(Road::default(), Vec::new())
+    }
+
+    /// Overwrites this world in place, reusing the obstacle buffer — the
+    /// allocation-free path dynamic scenarios use to advance their snapshot
+    /// every base period.
+    pub fn refill(&mut self, road: Road, obstacles: impl Iterator<Item = Obstacle>) {
+        self.road = road;
+        self.obstacles.clear();
+        self.obstacles.extend(obstacles);
     }
 
     /// The road geometry.
@@ -137,7 +159,9 @@ impl World {
     /// any obstacle.
     #[must_use]
     pub fn is_collision(&self, vehicle: &VehicleState, margin: f64) -> bool {
-        self.obstacles.iter().any(|o| o.surface_distance(vehicle.x, vehicle.y) <= margin)
+        self.obstacles
+            .iter()
+            .any(|o| o.surface_distance(vehicle.x, vehicle.y) <= margin)
     }
 
     /// Whether the vehicle has left the drivable surface.
@@ -170,7 +194,12 @@ mod tests {
     use super::*;
 
     fn world_with(obs: &[(f64, f64, f64)]) -> World {
-        World::new(Road::default(), obs.iter().map(|&(x, y, r)| Obstacle::new(x, y, r)).collect())
+        World::new(
+            Road::default(),
+            obs.iter()
+                .map(|&(x, y, r)| Obstacle::new(x, y, r))
+                .collect(),
+        )
     }
 
     #[test]
@@ -178,7 +207,10 @@ mod tests {
         let o = Obstacle::new(0.0, 0.0, 2.0);
         assert!((o.surface_distance(5.0, 0.0) - 3.0).abs() < 1e-12);
         assert!(o.surface_distance(1.0, 0.0) < 0.0, "inside is negative");
-        assert!((o.surface_distance(2.0, 0.0)).abs() < 1e-12, "zero on surface");
+        assert!(
+            (o.surface_distance(2.0, 0.0)).abs() < 1e-12,
+            "zero on surface"
+        );
     }
 
     #[test]
@@ -238,10 +270,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let w = world_with(&[(70.0, 1.0, 1.5)]);
-        let json = serde_json::to_string(&w).expect("serialize");
-        let back: World = serde_json::from_str(&json).expect("deserialize");
+        let back = w.clone();
         assert_eq!(back, w);
     }
 }

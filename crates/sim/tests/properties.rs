@@ -1,103 +1,124 @@
-//! Property-based tests for the simulator invariants.
+//! Property-based tests for the simulator invariants, driven by a seeded
+//! generator loop.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use seo_platform::units::Seconds;
 use seo_sim::prelude::*;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::wrap_angle;
 
-fn control_strategy() -> impl Strategy<Value = Control> {
-    (-1.0..1.0f64, -1.0..1.0f64).prop_map(|(s, t)| Control::new(s, t))
+const CASES: usize = 150;
+
+fn control(rng: &mut StdRng) -> Control {
+    Control::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
 }
 
-fn state_strategy() -> impl Strategy<Value = VehicleState> {
-    (0.0..100.0f64, -4.0..4.0f64, -3.0..3.0f64, 0.0..15.0f64)
-        .prop_map(|(x, y, h, v)| VehicleState::new(x, y, h, v))
+fn state(rng: &mut StdRng) -> VehicleState {
+    VehicleState::new(
+        rng.gen_range(0.0..100.0),
+        rng.gen_range(-4.0..4.0),
+        rng.gen_range(-3.0..3.0),
+        rng.gen_range(0.0..15.0),
+    )
 }
 
-proptest! {
-    #[test]
-    fn speed_stays_in_physical_bounds(
-        state in state_strategy(),
-        controls in proptest::collection::vec(control_strategy(), 1..50),
-    ) {
-        let model = BicycleModel::default();
-        let mut s = state;
-        for c in controls {
-            s = model.step(s, c, Seconds::from_millis(20.0));
-            prop_assert!(s.speed >= 0.0);
-            prop_assert!(s.speed <= model.max_speed + 1e-9);
-            prop_assert!(s.heading > -std::f64::consts::PI - 1e-9);
-            prop_assert!(s.heading <= std::f64::consts::PI + 1e-9);
+#[test]
+fn speed_stays_in_physical_bounds() {
+    let mut rng = StdRng::seed_from_u64(30);
+    let model = BicycleModel::default();
+    for _ in 0..CASES {
+        let mut s = state(&mut rng);
+        let steps = rng.gen_range(1usize..50);
+        for _ in 0..steps {
+            s = model.step(s, control(&mut rng), Seconds::from_millis(20.0));
+            assert!(s.speed >= 0.0);
+            assert!(s.speed <= model.max_speed + 1e-9);
+            assert!(s.heading > -std::f64::consts::PI - 1e-9);
+            assert!(s.heading <= std::f64::consts::PI + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn displacement_bounded_by_speed(state in state_strategy(), c in control_strategy()) {
-        let model = BicycleModel::default();
-        let dt = Seconds::from_millis(20.0);
-        let next = model.step(state, c, dt);
-        let moved = state.distance_to(next.x, next.y);
+#[test]
+fn displacement_bounded_by_speed() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = BicycleModel::default();
+    let dt = Seconds::from_millis(20.0);
+    for _ in 0..CASES {
+        let s = state(&mut rng);
+        let next = model.step(s, control(&mut rng), dt);
+        let moved = s.distance_to(next.x, next.y);
         // Displacement cannot exceed max achievable speed times dt.
         let bound = model.max_speed * dt.as_secs() + 1e-9;
-        prop_assert!(moved <= bound, "moved {moved} > bound {bound}");
+        assert!(moved <= bound, "moved {moved} > bound {bound}");
     }
+}
 
-    #[test]
-    fn wrap_angle_idempotent_and_in_range(theta in -100.0..100.0f64) {
+#[test]
+fn wrap_angle_idempotent_and_in_range() {
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..CASES {
+        let theta = rng.gen_range(-100.0..100.0);
         let w = wrap_angle(theta);
-        prop_assert!(w > -std::f64::consts::PI - 1e-12);
-        prop_assert!(w <= std::f64::consts::PI + 1e-12);
-        prop_assert!((wrap_angle(w) - w).abs() < 1e-12);
+        assert!(w > -std::f64::consts::PI - 1e-12);
+        assert!(w <= std::f64::consts::PI + 1e-12);
+        assert!((wrap_angle(w) - w).abs() < 1e-12);
         // Same point on the unit circle.
-        prop_assert!((w.sin() - theta.sin()).abs() < 1e-6);
-        prop_assert!((w.cos() - theta.cos()).abs() < 1e-6);
+        assert!((w.sin() - theta.sin()).abs() < 1e-6);
+        assert!((w.cos() - theta.cos()).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn scan_is_saturated_and_nonnegative(
-        n in 1usize..5,
-        seed in 0u64..50,
-        state in state_strategy(),
-    ) {
+#[test]
+fn scan_is_saturated_and_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let scanner = RangeScanner::new(16, 120.0_f64.to_radians(), 40.0);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..50);
         let world = ScenarioConfig::new(n).with_seed(seed).generate();
-        let scanner = RangeScanner::new(16, 120.0_f64.to_radians(), 40.0);
-        for d in scanner.scan(&world, &state) {
-            prop_assert!(d >= 0.0);
-            prop_assert!(d <= 40.0);
+        let s = state(&mut rng);
+        for d in scanner.scan(&world, &s) {
+            assert!(d >= 0.0);
+            assert!(d <= 40.0);
         }
     }
+}
 
-    #[test]
-    fn observation_distance_matches_world_query(
-        n in 0usize..5,
-        seed in 0u64..50,
-        state in state_strategy(),
-    ) {
+#[test]
+fn observation_distance_matches_world_query() {
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..5);
+        let seed = rng.gen_range(0u64..50);
         let world = ScenarioConfig::new(n).with_seed(seed).generate();
-        let obs = RelativeObservation::observe(&world, &state);
-        let d = world.nearest_obstacle_distance(&state);
+        let s = state(&mut rng);
+        let obs = RelativeObservation::observe(&world, &s);
+        let d = world.nearest_obstacle_distance(&s);
         if d.is_finite() {
-            prop_assert!((obs.distance - d).abs() < 1e-9);
+            assert!((obs.distance - d).abs() < 1e-9);
         } else {
-            prop_assert!(!obs.has_obstacle());
+            assert!(!obs.has_obstacle());
         }
     }
+}
 
-    #[test]
-    fn episodes_always_terminate(
-        n in 0usize..5,
-        seed in 0u64..20,
-        c in control_strategy(),
-    ) {
+#[test]
+fn episodes_always_terminate() {
+    let mut rng = StdRng::seed_from_u64(35);
+    for _ in 0..40 {
+        let n = rng.gen_range(0usize..5);
+        let seed = rng.gen_range(0u64..20);
+        let c = control(&mut rng);
         let world = ScenarioConfig::new(n).with_seed(seed).generate();
         let mut ep = Episode::new(world, EpisodeConfig::default().with_max_steps(500));
         let mut guard = 0usize;
         while ep.status() == EpisodeStatus::Running {
             ep.step(c);
             guard += 1;
-            prop_assert!(guard <= 501, "episode failed to terminate");
+            assert!(guard <= 501, "episode failed to terminate");
         }
-        prop_assert!(ep.status().is_terminal());
+        assert!(ep.status().is_terminal());
     }
 }

@@ -13,10 +13,9 @@ use crate::channel::RayleighChannel;
 use crate::error::WirelessError;
 use rand::Rng;
 use seo_platform::units::BitsPerSecond;
-use serde::{Deserialize, Serialize};
 
 /// Channel state of the Gilbert–Elliott chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChannelState {
     /// Nominal propagation conditions.
     Good,
@@ -39,7 +38,7 @@ pub enum ChannelState {
 /// assert!(rate.as_mbps() > 0.0);
 /// # Ok::<(), seo_wireless::WirelessError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GilbertElliottChannel {
     good: RayleighChannel,
     bad: RayleighChannel,
@@ -71,7 +70,13 @@ impl GilbertElliottChannel {
                 });
             }
         }
-        Ok(Self { good, bad, p_gb, p_bg, state: ChannelState::Good })
+        Ok(Self {
+            good,
+            bad,
+            p_gb,
+            p_bg,
+            state: ChannelState::Good,
+        })
     }
 
     /// A vehicular-flavored default: the paper's 20 Mbps scale when good,
@@ -208,10 +213,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let c = GilbertElliottChannel::vehicular_default().expect("valid");
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: GilbertElliottChannel = serde_json::from_str(&json).expect("deserialize");
+        let back = c;
         assert_eq!(back, c);
     }
 }

@@ -8,7 +8,6 @@
 use crate::error::WirelessError;
 use rand::Rng;
 use seo_platform::units::BitsPerSecond;
-use serde::{Deserialize, Serialize};
 
 /// A Rayleigh-distributed data-rate source.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(rate.as_mbps() > 0.0);
 /// # Ok::<(), seo_wireless::WirelessError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RayleighChannel {
     scale: BitsPerSecond,
     /// Floor on sampled rates to avoid degenerate near-zero transmission
@@ -46,7 +45,10 @@ impl RayleighChannel {
                 constraint: "be finite and positive",
             });
         }
-        Ok(Self { scale, min_rate: scale * 0.01 })
+        Ok(Self {
+            scale,
+            min_rate: scale * 0.01,
+        })
     }
 
     /// The paper's channel: scale 20 Mbps.
@@ -95,7 +97,9 @@ mod tests {
     fn paper_default_scale_is_20_mbps() {
         let c = RayleighChannel::paper_default().expect("valid");
         assert_eq!(c.scale().as_mbps(), 20.0);
-        assert!((c.mean_rate().as_mbps() - 20.0 * (std::f64::consts::PI / 2.0).sqrt()).abs() < 1e-9);
+        assert!(
+            (c.mean_rate().as_mbps() - 20.0 * (std::f64::consts::PI / 2.0).sqrt()).abs() < 1e-9
+        );
     }
 
     #[test]
@@ -112,8 +116,10 @@ mod tests {
         let c = RayleighChannel::paper_default().expect("valid");
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| c.sample_rate(&mut rng).as_mbps()).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n)
+            .map(|_| c.sample_rate(&mut rng).as_mbps())
+            .sum::<f64>()
+            / f64::from(n);
         let analytic = c.mean_rate().as_mbps();
         assert!(
             (mean - analytic).abs() / analytic < 0.03,
@@ -129,8 +135,7 @@ mod tests {
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| c.sample_rate(&mut rng).as_mbps()).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var =
-            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let analytic = (4.0 - std::f64::consts::PI) / 2.0 * 400.0;
         assert!(
             (var - analytic).abs() / analytic < 0.06,
@@ -153,10 +158,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let c = RayleighChannel::paper_default().expect("valid");
-        let json = serde_json::to_string(&c).expect("serialize");
-        let back: RayleighChannel = serde_json::from_str(&json).expect("deserialize");
+        let back = c;
         assert_eq!(back, c);
     }
 }

@@ -34,7 +34,10 @@ mod tests {
 
     #[test]
     fn display_names_field() {
-        let e = WirelessError::InvalidConfig { field: "scale", constraint: "be positive" };
+        let e = WirelessError::InvalidConfig {
+            field: "scale",
+            constraint: "be positive",
+        };
         assert!(e.to_string().contains("scale"));
     }
 }

@@ -7,7 +7,6 @@ use crate::channel::RayleighChannel;
 use crate::error::WirelessError;
 use rand::Rng;
 use seo_platform::units::{Bits, Joules, Seconds, Watts};
-use serde::{Deserialize, Serialize};
 
 /// A Wi-Fi uplink with a fading channel and a fixed radio power draw.
 ///
@@ -25,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(tx.energy.as_joules() > 0.0);
 /// # Ok::<(), seo_wireless::WirelessError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WirelessLink {
     channel: RayleighChannel,
     /// Offload payload per inference (compressed frame / feature tensor).
@@ -38,7 +37,7 @@ pub struct WirelessLink {
 }
 
 /// One sampled transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transmission {
     /// Air time `T_tx` (payload / sampled rate + overhead).
     pub latency: Seconds,
@@ -77,7 +76,12 @@ impl WirelessLink {
                 constraint: "be finite and non-negative",
             });
         }
-        Ok(Self { channel, payload, tx_power, protocol_overhead })
+        Ok(Self {
+            channel,
+            payload,
+            tx_power,
+            protocol_overhead,
+        })
     }
 
     /// The paper-scale link: 20 Mbps Rayleigh channel, 25 kB compressed
@@ -135,7 +139,10 @@ impl WirelessLink {
     pub fn transmit<R: Rng>(&self, rng: &mut R) -> Transmission {
         let rate = self.channel.sample_rate(rng);
         let latency = self.payload / rate + self.protocol_overhead;
-        Transmission { latency, energy: latency * self.tx_power }
+        Transmission {
+            latency,
+            energy: latency * self.tx_power,
+        }
     }
 }
 
@@ -169,7 +176,9 @@ mod tests {
     #[test]
     fn bigger_payload_takes_longer_in_expectation() {
         let small = WirelessLink::paper_default().expect("valid");
-        let large = small.with_payload(Bits::from_kilobytes(100.0)).expect("valid");
+        let large = small
+            .with_payload(Bits::from_kilobytes(100.0))
+            .expect("valid");
         assert!(large.expected_latency() > small.expected_latency());
     }
 
@@ -181,8 +190,10 @@ mod tests {
         let link = WirelessLink::paper_default().expect("valid");
         let mut rng = StdRng::seed_from_u64(2);
         let n = 10_000;
-        let mean_energy: f64 =
-            (0..n).map(|_| link.transmit(&mut rng).energy.as_joules()).sum::<f64>() / f64::from(n);
+        let mean_energy: f64 = (0..n)
+            .map(|_| link.transmit(&mut rng).energy.as_joules())
+            .sum::<f64>()
+            / f64::from(n);
         let local = 0.119;
         assert!(
             mean_energy < 0.35 * local,
@@ -195,18 +206,16 @@ mod tests {
     fn invalid_configs_rejected() {
         let ch = RayleighChannel::paper_default().expect("valid");
         assert!(WirelessLink::new(ch, Bits::ZERO, Watts::new(1.0), Seconds::ZERO).is_err());
+        assert!(WirelessLink::new(ch, Bits::new(1.0), Watts::ZERO, Seconds::ZERO).is_err());
         assert!(
-            WirelessLink::new(ch, Bits::new(1.0), Watts::ZERO, Seconds::ZERO).is_err()
+            WirelessLink::new(ch, Bits::new(1.0), Watts::new(1.0), Seconds::new(-1.0)).is_err()
         );
-        assert!(WirelessLink::new(ch, Bits::new(1.0), Watts::new(1.0), Seconds::new(-1.0))
-            .is_err());
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let link = WirelessLink::paper_default().expect("valid");
-        let json = serde_json::to_string(&link).expect("serialize");
-        let back: WirelessLink = serde_json::from_str(&json).expect("deserialize");
+        let back = link;
         assert_eq!(back, link);
     }
 }

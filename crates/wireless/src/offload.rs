@@ -15,11 +15,10 @@ use crate::link::WirelessLink;
 use crate::server::EdgeServer;
 use rand::Rng;
 use seo_platform::units::{Joules, Seconds};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single in-flight or completed offload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OffloadTransaction {
     issued_at: Seconds,
     completes_at: Seconds,
@@ -89,7 +88,7 @@ impl fmt::Display for OffloadTransaction {
 }
 
 /// Terminal outcome of one offload attempt, for metrics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OffloadOutcome {
     /// The response arrived before the deadline; local compute was avoided.
     Succeeded,
@@ -107,7 +106,7 @@ impl fmt::Display for OffloadOutcome {
 }
 
 /// EWMA estimator of server response times (the paper's δ̂).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponseEstimator {
     estimate: Seconds,
     alpha: f64,
@@ -119,7 +118,11 @@ impl ResponseEstimator {
     /// EWMA weight on new observations (clamped into `(0, 1]`).
     #[must_use]
     pub fn new(prior: Seconds, alpha: f64) -> Self {
-        Self { estimate: prior, alpha: alpha.clamp(1e-6, 1.0), observations: 0 }
+        Self {
+            estimate: prior,
+            alpha: alpha.clamp(1e-6, 1.0),
+            observations: 0,
+        }
     }
 
     /// A reasonable default: prior from the link/server expectations with

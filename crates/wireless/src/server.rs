@@ -8,11 +8,10 @@
 use crate::error::WirelessError;
 use rand::Rng;
 use seo_platform::units::Seconds;
-use serde::{Deserialize, Serialize};
 
 /// Server-side processing latency model: a base latency plus uniform jitter
 /// (queueing, batching, downlink).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeServer {
     base_latency: Seconds,
     jitter: Seconds,
@@ -38,7 +37,10 @@ impl EdgeServer {
                 constraint: "be finite and non-negative",
             });
         }
-        Ok(Self { base_latency, jitter })
+        Ok(Self {
+            base_latency,
+            jitter,
+        })
     }
 
     /// A GPU-class edge server: 4 ms base inference latency with up to 3 ms
@@ -111,10 +113,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_roundtrip() {
         let s = EdgeServer::paper_default().expect("valid");
-        let json = serde_json::to_string(&s).expect("serialize");
-        let back: EdgeServer = serde_json::from_str(&json).expect("deserialize");
+        let back = s;
         assert_eq!(back, s);
     }
 }

@@ -1,8 +1,8 @@
-//! Property-based tests for the wireless-layer invariants.
+//! Property-based tests for the wireless-layer invariants, driven by a
+//! seeded generator loop.
 
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use seo_platform::units::{Bits, BitsPerSecond, Seconds, Watts};
 use seo_wireless::bursty::GilbertElliottChannel;
 use seo_wireless::channel::RayleighChannel;
@@ -10,58 +10,72 @@ use seo_wireless::link::WirelessLink;
 use seo_wireless::offload::{OffloadTransaction, ResponseEstimator};
 use seo_wireless::server::EdgeServer;
 
-proptest! {
-    #[test]
-    fn rayleigh_samples_positive_for_any_scale(scale in 0.1..1000.0f64, seed in 0u64..200) {
+const CASES: usize = 100;
+
+#[test]
+fn rayleigh_samples_positive_for_any_scale() {
+    let mut case_rng = StdRng::seed_from_u64(40);
+    for _ in 0..CASES {
+        let scale = case_rng.gen_range(0.1..1000.0);
+        let seed = case_rng.gen_range(0u64..200);
         let channel = RayleighChannel::new(BitsPerSecond::from_mbps(scale)).expect("valid scale");
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
-            prop_assert!(channel.sample_rate(&mut rng).as_bits_per_second() > 0.0);
+            assert!(channel.sample_rate(&mut rng).as_bits_per_second() > 0.0);
         }
     }
+}
 
-    #[test]
-    fn transmission_latency_scales_with_payload(
-        kb in 1.0..500.0f64,
-        factor in 1.1..5.0f64,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn transmission_latency_scales_with_payload() {
+    let mut case_rng = StdRng::seed_from_u64(41);
+    for _ in 0..CASES {
+        let kb = case_rng.gen_range(1.0..500.0);
+        let factor = case_rng.gen_range(1.1..5.0);
+        let seed = case_rng.gen_range(0u64..100);
         let small = WirelessLink::paper_default()
             .expect("valid")
             .with_payload(Bits::from_kilobytes(kb))
             .expect("valid payload");
-        let large = small.with_payload(Bits::from_kilobytes(kb * factor)).expect("valid");
+        let large = small
+            .with_payload(Bits::from_kilobytes(kb * factor))
+            .expect("valid");
         // Same channel draw order: compare with identical seeds.
         let mut rng_a = StdRng::seed_from_u64(seed);
         let mut rng_b = StdRng::seed_from_u64(seed);
         let a = small.transmit(&mut rng_a);
         let b = large.transmit(&mut rng_b);
-        prop_assert!(b.latency >= a.latency, "{} < {}", b.latency, a.latency);
-        prop_assert!(b.energy >= a.energy);
+        assert!(b.latency >= a.latency, "{} < {}", b.latency, a.latency);
+        assert!(b.energy >= a.energy);
     }
+}
 
-    #[test]
-    fn transaction_completion_is_monotone_in_time(
-        seed in 0u64..200,
-        issue_at in 0.0..100.0f64,
-    ) {
-        let link = WirelessLink::paper_default().expect("valid");
-        let server = EdgeServer::paper_default().expect("valid");
+#[test]
+fn transaction_completion_is_monotone_in_time() {
+    let mut case_rng = StdRng::seed_from_u64(42);
+    let link = WirelessLink::paper_default().expect("valid");
+    let server = EdgeServer::paper_default().expect("valid");
+    for _ in 0..CASES {
+        let seed = case_rng.gen_range(0u64..200);
+        let issue_at = case_rng.gen_range(0.0..100.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let tx = OffloadTransaction::issue(&link, &server, Seconds::new(issue_at), &mut rng);
-        prop_assert!(!tx.is_complete(tx.issued_at()));
-        prop_assert!(tx.is_complete(tx.completes_at()));
-        prop_assert!(tx.is_complete(tx.completes_at() + Seconds::new(1.0)));
-        prop_assert!(tx.response_duration().as_secs() > 0.0);
-        prop_assert!(tx.radio_energy().as_joules() > 0.0);
+        assert!(!tx.is_complete(tx.issued_at()));
+        assert!(tx.is_complete(tx.completes_at()));
+        assert!(tx.is_complete(tx.completes_at() + Seconds::new(1.0)));
+        assert!(tx.response_duration().as_secs() > 0.0);
+        assert!(tx.radio_energy().as_joules() > 0.0);
     }
+}
 
-    #[test]
-    fn estimator_stays_within_observation_hull(
-        prior_ms in 1.0..100.0f64,
-        obs_ms in proptest::collection::vec(1.0..100.0f64, 1..30),
-        alpha in 0.01..1.0f64,
-    ) {
+#[test]
+fn estimator_stays_within_observation_hull() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..CASES {
+        let prior_ms = rng.gen_range(1.0..100.0);
+        let alpha = rng.gen_range(0.01..1.0);
+        let n_obs = rng.gen_range(1usize..30);
+        let obs_ms: Vec<f64> = (0..n_obs).map(|_| rng.gen_range(1.0..100.0)).collect();
         let mut est = ResponseEstimator::new(Seconds::from_millis(prior_ms), alpha);
         let mut lo = prior_ms;
         let mut hi = prior_ms;
@@ -71,40 +85,55 @@ proptest! {
             hi = hi.max(ms);
         }
         let e = est.estimate().as_millis();
-        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "estimate {e} outside [{lo}, {hi}]");
-        prop_assert_eq!(est.observations(), obs_ms.len());
+        assert!(
+            e >= lo - 1e-9 && e <= hi + 1e-9,
+            "estimate {e} outside [{lo}, {hi}]"
+        );
+        assert_eq!(est.observations(), obs_ms.len());
     }
+}
 
-    #[test]
-    fn estimator_discretization_covers_estimate(
-        est_ms in 0.1..200.0f64,
-        tau_ms in 1.0..50.0f64,
-    ) {
+#[test]
+fn estimator_discretization_covers_estimate() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..CASES {
+        let est_ms = rng.gen_range(0.1..200.0);
+        let tau_ms = rng.gen_range(1.0..50.0);
         let est = ResponseEstimator::new(Seconds::from_millis(est_ms), 0.2);
         let periods = est.estimate_in_periods(Seconds::from_millis(tau_ms));
         // Ceiling: periods * tau >= estimate, (periods - 1) * tau < estimate.
-        prop_assert!(f64::from(periods) * tau_ms >= est_ms - 1e-9);
+        assert!(f64::from(periods) * tau_ms >= est_ms - 1e-9);
         if periods > 0 {
-            prop_assert!(f64::from(periods - 1) * tau_ms < est_ms + 1e-9);
+            assert!(f64::from(periods - 1) * tau_ms < est_ms + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn bursty_channel_rates_positive_and_state_flips_eventually(seed in 0u64..100) {
+#[test]
+fn bursty_channel_rates_positive_and_state_flips_eventually() {
+    for seed in 0u64..30 {
         let mut channel = GilbertElliottChannel::vehicular_default().expect("valid");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut saw_bad = false;
         for _ in 0..5000 {
-            prop_assert!(channel.sample_rate(&mut rng).as_bits_per_second() > 0.0);
+            assert!(channel.sample_rate(&mut rng).as_bits_per_second() > 0.0);
             if channel.state() == seo_wireless::bursty::ChannelState::Bad {
                 saw_bad = true;
             }
         }
-        prop_assert!(saw_bad, "a 1% burst entry rate must fire within 5000 samples");
+        assert!(
+            saw_bad,
+            "a 1% burst entry rate must fire within 5000 samples"
+        );
     }
+}
 
-    #[test]
-    fn tx_power_scales_energy_linearly(seed in 0u64..100, power in 0.1..10.0f64) {
+#[test]
+fn tx_power_scales_energy_linearly() {
+    let mut case_rng = StdRng::seed_from_u64(45);
+    for _ in 0..CASES {
+        let seed = case_rng.gen_range(0u64..100);
+        let power = case_rng.gen_range(0.1..10.0);
         let channel = RayleighChannel::paper_default().expect("valid");
         let base = WirelessLink::new(
             channel,
@@ -124,6 +153,6 @@ proptest! {
         let mut rng_b = StdRng::seed_from_u64(seed);
         let a = base.transmit(&mut rng_a);
         let b = double.transmit(&mut rng_b);
-        prop_assert!((b.energy.as_joules() - 2.0 * a.energy.as_joules()).abs() < 1e-12);
+        assert!((b.energy.as_joules() - 2.0 * a.energy.as_joules()).abs() < 1e-12);
     }
 }

@@ -23,13 +23,15 @@ fn main() -> Result<(), SeoError> {
     let table = DeadlineTable::build_default(&evaluator);
     let filter = SafetyFilter::default();
     let controller = PotentialFieldController::default();
-    let mut scheduler =
-        SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
+    let mut scheduler = SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
 
     let world = ScenarioConfig::new(4).with_seed(7).generate();
     let road = world.road();
     println!("driving {world} with dynamic safety deadlines\n");
-    println!("{:>6} {:>8} {:>9} {:>6}  schedule (N0 | N1)", "t [s]", "x [m]", "dist [m]", "dmax");
+    println!(
+        "{:>6} {:>8} {:>9} {:>6}  schedule (N0 | N1)",
+        "t [s]", "x [m]", "dist [m]", "dmax"
+    );
 
     let mut episode = Episode::new(world, EpisodeConfig::default().with_dt(config.tau));
     let mut last_delta = u32::MAX;
@@ -63,6 +65,10 @@ fn main() -> Result<(), SeoError> {
         }
         episode.step(control);
     }
-    println!("\nepisode {} after {:.1} s", episode.status(), episode.elapsed().as_secs());
+    println!(
+        "\nepisode {} after {:.1} s",
+        episode.status(),
+        episode.elapsed().as_secs()
+    );
     Ok(())
 }

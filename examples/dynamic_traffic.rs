@@ -25,7 +25,7 @@ fn main() -> Result<(), SeoError> {
         println!("  {m}");
     }
 
-    let report = runtime.run_dynamic_episode(world.clone(), 11);
+    let report = runtime.run_dynamic_episode(&world, 11);
     println!("\nepisode {report}");
     println!(
         "combined gain {:.1}% | unsafe steps {} | min distance {:.2} m",
@@ -37,7 +37,7 @@ fn main() -> Result<(), SeoError> {
     // Compare against the same obstacles parked at their t = 0 poses: the
     // moving versions force shorter deadlines and smaller gains.
     let parked = DynamicWorld::from_static(&world.snapshot(seo_platform::units::Seconds::ZERO));
-    let static_report = runtime.run_dynamic_episode(parked, 11);
+    let static_report = runtime.run_dynamic_episode(&parked, 11);
     println!(
         "\nsame obstacles parked: gain {:.1}%, mean dmax {:.2} (moving: {:.2})",
         static_report.combined_gain()? * 100.0,

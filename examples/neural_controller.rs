@@ -18,9 +18,15 @@ use seo_nn::policy::train_driving_policy;
 use seo_nn::train::CemConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let episodes: usize =
-        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(480);
-    let cem = CemConfig { population: 16, elites: 4, ..CemConfig::default() };
+    let episodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(480);
+    let cem = CemConfig {
+        population: 16,
+        elites: 4,
+        ..CemConfig::default()
+    };
 
     println!("training the neural controller with CEM ({episodes} episode budget)...");
     let (policy, report) = train_driving_policy(2, episodes, cem, 7)?;
@@ -46,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 result.mean_delta_max(),
                 result.all_runs_safe()
             );
-            println!("({} unsuccessful episodes were excluded, as in the paper's protocol)", result.failures);
+            println!(
+                "({} unsuccessful episodes were excluded, as in the paper's protocol)",
+                result.failures
+            );
         }
         Err(e) => {
             // A small training budget may not produce a route-completing

@@ -9,9 +9,7 @@ use seo_core::prelude::*;
 
 fn main() -> Result<(), SeoError> {
     let runs = 5;
-    println!(
-        "offloading vs gating over {runs} successful runs per cell (filtered control)\n"
-    );
+    println!("offloading vs gating over {runs} successful runs per cell (filtered control)\n");
     println!(
         "{:>10} {:>18} {:>18} {:>10}",
         "#obstacles", "offloading gain", "gating gain", "mean dmax"

@@ -29,7 +29,7 @@ fn main() -> Result<(), SeoError> {
     println!("scenario:   {world}");
 
     // 5. Drive it.
-    let report = runtime.run_episode(world, 42);
+    let report = runtime.run_episode(&world, 42);
     println!("\nepisode:    {report}");
     for model in &report.models {
         println!(

@@ -36,9 +36,11 @@ fn main() -> Result<(), SeoError> {
         "{:<26} {:>7} {:>7} {:>14} {:>14}",
         "sensor", "P_meas", "P_mech", "p=tau gain", "p=2tau gain"
     );
-    for sensor in
-        [SensorSpec::zed_camera(), SensorSpec::navtech_cts350x(), SensorSpec::velodyne_hdl32e()]
-    {
+    for sensor in [
+        SensorSpec::zed_camera(),
+        SensorSpec::navtech_cts350x(),
+        SensorSpec::velodyne_hdl32e(),
+    ] {
         let base = ExperimentConfig::paper_defaults()
             .with_optimizer(OptimizerKind::SensorGating)
             .with_accounting(EnergyAccounting::WithSensor)

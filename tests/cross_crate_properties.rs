@@ -1,7 +1,9 @@
 //! Property-based tests spanning crates: scheduler/energy invariants that
-//! must hold for arbitrary model mixes and deadline sequences.
+//! must hold for arbitrary model mixes and deadline sequences, driven by a
+//! seeded generator loop.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use seo_core::config::SeoConfig;
 use seo_core::discretize::{discretize_deadline, discretize_period};
 use seo_core::model::ModelId;
@@ -12,22 +14,28 @@ use seo_safety::interval::SafeIntervalEvaluator;
 use seo_sim::sensing::RelativeObservation;
 use seo_sim::vehicle::Control;
 
-fn deltas_strategy() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(1u32..5, 1..5)
+const CASES: usize = 100;
+
+fn deltas(rng: &mut StdRng) -> Vec<u32> {
+    let n = rng.gen_range(1usize..5);
+    (0..n).map(|_| rng.gen_range(1u32..5)).collect()
 }
 
-fn deadline_seq_strategy() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::vec(0u32..6, 1..40)
+fn deadline_seq(rng: &mut StdRng) -> Vec<u32> {
+    let n = rng.gen_range(1usize..40);
+    (0..n).map(|_| rng.gen_range(0u32..6)).collect()
 }
 
-proptest! {
-    #[test]
-    fn scheduler_never_schedules_optimized_without_room(
-        deltas in deltas_strategy(),
-        deadlines in deadline_seq_strategy(),
-    ) {
-        let models: Vec<(ModelId, u32)> =
-            deltas.iter().enumerate().map(|(i, &d)| (ModelId(i), d)).collect();
+#[test]
+fn scheduler_never_schedules_optimized_without_room() {
+    let mut rng = StdRng::seed_from_u64(50);
+    for _ in 0..CASES {
+        let models: Vec<(ModelId, u32)> = deltas(&mut rng)
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (ModelId(i), d))
+            .collect();
+        let deadlines = deadline_seq(&mut rng);
         let mut scheduler = SafeScheduler::new(models);
         let mut queue = deadlines.iter().copied().cycle();
         for _ in 0..60 {
@@ -35,26 +43,30 @@ proptest! {
             for (id, kind) in &plan.slots {
                 let delta_i = scheduler.delta_i(*id).expect("registered");
                 if *kind == SlotKind::Optimized {
-                    prop_assert!(
+                    assert!(
                         delta_i < plan.delta_max,
                         "optimized slot with delta_i {delta_i} >= delta_max {}",
                         plan.delta_max
                     );
                 }
                 if *kind == SlotKind::FullDeadline {
-                    prop_assert_eq!(plan.n, plan.delta_max - delta_i);
+                    assert_eq!(plan.n, plan.delta_max - delta_i);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn scheduler_intervals_always_make_progress(
-        deltas in deltas_strategy(),
-        deadlines in deadline_seq_strategy(),
-    ) {
-        let models: Vec<(ModelId, u32)> =
-            deltas.iter().enumerate().map(|(i, &d)| (ModelId(i), d)).collect();
+#[test]
+fn scheduler_intervals_always_make_progress() {
+    let mut rng = StdRng::seed_from_u64(51);
+    for _ in 0..CASES {
+        let models: Vec<(ModelId, u32)> = deltas(&mut rng)
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (ModelId(i), d))
+            .collect();
+        let deadlines = deadline_seq(&mut rng);
         let mut scheduler = SafeScheduler::new(models);
         let mut queue = deadlines.iter().copied().cycle();
         let mut since_start = 0usize;
@@ -67,36 +79,44 @@ proptest! {
             }
             // An interval can never outlive its deadline cap (deadlines are
             // at most 5 here).
-            prop_assert!(since_start <= 5, "interval failed to terminate");
+            assert!(since_start <= 5, "interval failed to terminate");
         }
     }
+}
 
-    #[test]
-    fn eq4_and_eq5_are_consistent(p_ms in 1.0..200.0f64, tau_ms in 1.0..50.0f64) {
+#[test]
+fn eq4_and_eq5_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(52);
+    for _ in 0..500 {
+        let p_ms = rng.gen_range(1.0..200.0);
+        let tau_ms = rng.gen_range(1.0..50.0);
         let p = Seconds::from_millis(p_ms);
         let tau = Seconds::from_millis(tau_ms);
         let delta_i = discretize_period(p, tau);
         // Eq. (4) never undershoots: delta_i * tau >= p (up to float noise).
-        prop_assert!(f64::from(delta_i) * tau_ms >= p_ms - 1e-6);
+        assert!(f64::from(delta_i) * tau_ms >= p_ms - 1e-6);
         // And never overshoots by more than one slot.
-        prop_assert!(f64::from(delta_i.saturating_sub(1)) * tau_ms < p_ms + 1e-6);
+        assert!(f64::from(delta_i.saturating_sub(1)) * tau_ms < p_ms + 1e-6);
         // Eq. (5) never overshoots: delta_max * tau <= Delta (up to noise).
         let delta_max = discretize_deadline(p, tau);
-        prop_assert!(f64::from(delta_max) * tau_ms <= p_ms + 1e-6);
+        assert!(f64::from(delta_max) * tau_ms <= p_ms + 1e-6);
     }
+}
 
-    #[test]
-    fn optimized_slots_never_cost_more_than_full(
-        gating_level in 0.0..1.0f64,
-        sensor_case in 0usize..3,
-    ) {
-        use seo_platform::sensor::SensorSpec;
-        use seo_core::config::EnergyAccounting;
+#[test]
+fn optimized_slots_never_cost_more_than_full() {
+    use seo_core::config::EnergyAccounting;
+    use seo_platform::sensor::SensorSpec;
+    let mut rng = StdRng::seed_from_u64(53);
+    for _ in 0..CASES {
+        let gating_level = rng.gen_range(0.0..1.0);
+        let sensor_case = rng.gen_range(0usize..3);
         let sensor = [
             SensorSpec::zed_camera(),
             SensorSpec::navtech_cts350x(),
             SensorSpec::velodyne_hdl32e(),
-        ][sensor_case].clone();
+        ][sensor_case]
+            .clone();
         let config = SeoConfig::paper_defaults()
             .with_gating_level(gating_level)
             .with_accounting(EnergyAccounting::WithSensor);
@@ -106,41 +126,54 @@ proptest! {
         let full = full_slot_cost(&model, &config).total();
         for kind in [OptimizerKind::ModelGating, OptimizerKind::SensorGating] {
             let optimized = optimized_slot_cost(kind, &model, &config).total();
-            prop_assert!(
+            assert!(
                 optimized.as_joules() <= full.as_joules() + 1e-12,
                 "{kind}: optimized {optimized} > full {full}"
             );
         }
     }
+}
 
-    #[test]
-    fn safe_interval_is_monotone_in_distance(
-        d1 in 3.0..50.0f64,
-        gap in 1.0..20.0f64,
-        speed in 1.0..14.0f64,
-    ) {
-        let evaluator = SafeIntervalEvaluator::default();
-        let near = RelativeObservation { distance: d1, bearing: 0.0, speed };
-        let far = RelativeObservation { distance: d1 + gap, bearing: 0.0, speed };
+#[test]
+fn safe_interval_is_monotone_in_distance() {
+    let mut rng = StdRng::seed_from_u64(54);
+    let evaluator = SafeIntervalEvaluator::default();
+    for _ in 0..CASES {
+        let d1 = rng.gen_range(3.0..50.0);
+        let gap = rng.gen_range(1.0..20.0);
+        let speed = rng.gen_range(1.0..14.0);
+        let near = RelativeObservation {
+            distance: d1,
+            bearing: 0.0,
+            speed,
+        };
+        let far = RelativeObservation {
+            distance: d1 + gap,
+            bearing: 0.0,
+            speed,
+        };
         let control = Control::new(0.0, 0.5);
         let t_near = evaluator.safe_interval_relative(&near, control);
         let t_far = evaluator.safe_interval_relative(&far, control);
-        prop_assert!(
+        assert!(
             t_far >= t_near,
             "farther obstacle gave shorter interval: {t_far} < {t_near}"
         );
     }
+}
 
-    #[test]
-    fn deadline_never_exceeds_horizon(
-        distance in 0.0..80.0f64,
-        bearing in -3.0..3.0f64,
-        speed in 0.0..15.0f64,
-    ) {
-        let evaluator = SafeIntervalEvaluator::default();
-        let obs = RelativeObservation { distance, bearing, speed };
+#[test]
+fn deadline_never_exceeds_horizon() {
+    let mut rng = StdRng::seed_from_u64(55);
+    let evaluator = SafeIntervalEvaluator::default();
+    for _ in 0..CASES {
+        let obs = RelativeObservation {
+            distance: rng.gen_range(0.0..80.0),
+            bearing: rng.gen_range(-3.0..3.0),
+            speed: rng.gen_range(0.0..15.0),
+        };
         let t = evaluator.safe_interval_relative(&obs, Control::new(0.0, 0.5));
-        prop_assert!(t <= evaluator.horizon());
-        prop_assert!(t >= Seconds::ZERO);
+        assert!(t <= evaluator.horizon());
+        assert!(t >= Seconds::ZERO);
     }
 }

@@ -22,7 +22,7 @@ fn seo_gains_translate_into_recovered_driving_range() {
     // Close the loop on the paper's introduction: measured energy gains ->
     // average platform power reduction -> recovered EV range.
     let rt = runtime(OptimizerKind::Offloading);
-    let report = rt.run_episode(ScenarioConfig::new(0).with_seed(1).generate(), 1);
+    let report = rt.run_episode(&ScenarioConfig::new(0).with_seed(1).generate(), 1);
     assert_eq!(report.status, EpisodeStatus::Completed);
     let duration = Seconds::new(report.steps as f64 * rt.config().tau.as_secs());
     let baseline: seo_platform::energy::EnergyLedger =
@@ -34,7 +34,10 @@ fn seo_gains_translate_into_recovered_driving_range() {
         .recovered_range_fraction(baseline.total(), optimized.total(), duration)
         .expect("positive duration");
     assert!(recovered > 0.0, "saving energy must recover range");
-    assert!(recovered < 0.01, "a 2-detector platform is a small range factor");
+    assert!(
+        recovered < 0.01,
+        "a 2-detector platform is a small range factor"
+    );
 }
 
 #[test]
@@ -46,8 +49,8 @@ fn dynamic_world_with_faster_oncoming_traffic_is_riskier() {
             vec![MovingObstacle::new(Obstacle::new(150.0, 0.5, 1.0), vx, 0.0)],
         )
     };
-    let slow = rt.run_dynamic_episode(world_at(-3.0), 2);
-    let fast = rt.run_dynamic_episode(world_at(-9.0), 2);
+    let slow = rt.run_dynamic_episode(&world_at(-3.0), 2);
+    let fast = rt.run_dynamic_episode(&world_at(-9.0), 2);
     assert_ne!(slow.status, EpisodeStatus::Collided);
     assert_ne!(fast.status, EpisodeStatus::Collided);
     assert!(
@@ -85,14 +88,17 @@ fn fallback_semantics_bracket_the_paper_numbers() {
         let models = ModelSet::paper_setup(config.tau).expect("valid");
         RuntimeLoop::new(config, models, OptimizerKind::Offloading)
             .expect("builds")
-            .run_episode(world.clone(), 3)
+            .run_episode(&world, 3)
             .models[0]
             .gain()
             .expect("nonzero baseline")
     };
     let generous = gain_under(OffloadFallback::LocalOnTimeout);
     let strict = gain_under(OffloadFallback::AlwaysLocal);
-    assert!(generous > 0.8, "Fig. 3 semantics should reach the headline region: {generous}");
+    assert!(
+        generous > 0.8,
+        "Fig. 3 semantics should reach the headline region: {generous}"
+    );
     assert!(
         (0.4..0.75).contains(&strict),
         "strict eq. (7) should land near its ~63 % analytic ceiling: {strict}"
@@ -115,7 +121,7 @@ fn bursty_channel_reduces_offload_success_rate() {
         )
         .expect("valid");
         let rt = runtime(OptimizerKind::Offloading).with_link(link);
-        rt.run_episode(world.clone(), 5)
+        rt.run_episode(&world, 5)
     };
     // A Gilbert-Elliott bad state is equivalent to dwelling on a 2 Mbps
     // Rayleigh scale; compare the two stationary extremes.
@@ -131,7 +137,10 @@ fn bursty_channel_reduces_offload_success_rate() {
     );
     let g_good = good.combined_gain().expect("ok");
     let g_bad = degraded.combined_gain().expect("ok");
-    assert!(g_bad < g_good, "degraded channel must reduce gains: {g_bad} vs {g_good}");
+    assert!(
+        g_bad < g_good,
+        "degraded channel must reduce gains: {g_bad} vs {g_good}"
+    );
 }
 
 #[test]
@@ -150,7 +159,11 @@ fn neural_controller_runs_inside_the_loop() {
     let rt = RuntimeLoop::new(config, models, OptimizerKind::Offloading)
         .expect("builds")
         .with_controller(Controller::Neural(policy));
-    let report = rt.run_episode(ScenarioConfig::new(2).with_seed(9).generate(), 9);
-    assert_ne!(report.status, EpisodeStatus::Collided, "shield must protect the novice");
+    let report = rt.run_episode(&ScenarioConfig::new(2).with_seed(9).generate(), 9);
+    assert_ne!(
+        report.status,
+        EpisodeStatus::Collided,
+        "shield must protect the novice"
+    );
     assert!(report.steps > 0);
 }

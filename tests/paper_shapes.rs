@@ -6,11 +6,7 @@ use seo_core::prelude::*;
 
 const RUNS: usize = 3;
 
-fn run_cell(
-    optimizer: OptimizerKind,
-    mode: ControlMode,
-    obstacles: usize,
-) -> ExperimentResult {
+fn run_cell(optimizer: OptimizerKind, mode: ControlMode, obstacles: usize) -> ExperimentResult {
     ExperimentConfig::paper_defaults()
         .with_optimizer(optimizer)
         .with_control_mode(mode)
@@ -38,7 +34,10 @@ fn fig5_shape_faster_detector_gains_more() {
     let gating = run_cell(OptimizerKind::ModelGating, ControlMode::Filtered, 4);
     let g1 = gating.gain_for_model(0).expect("p=tau");
     let g2 = gating.gain_for_model(1).expect("p=2tau");
-    assert!(g1 > g2, "gating: p=tau ({g1:.3}) should beat p=2tau ({g2:.3})");
+    assert!(
+        g1 > g2,
+        "gating: p=tau ({g1:.3}) should beat p=2tau ({g2:.3})"
+    );
 
     // Under offloading the ordering holds on average but sits within noise
     // at CI-sized run counts: allow a small tolerance.
@@ -134,17 +133,20 @@ fn table3_shape_camera_beats_radar_beats_lidar() {
             .expect("valid")
             .with_sensor(sensor.clone());
         let full = seo_core::optimizer::full_slot_cost(&model, &config).total();
-        let gated = seo_core::optimizer::optimized_slot_cost(
-            OptimizerKind::SensorGating,
-            &model,
-            &config,
-        )
-        .total();
+        let gated =
+            seo_core::optimizer::optimized_slot_cost(OptimizerKind::SensorGating, &model, &config)
+                .total();
         1.0 - (3.0 * gated.as_joules() + full.as_joules()) / (4.0 * full.as_joules())
     };
     let camera = gain(&SensorSpec::zed_camera());
     let radar = gain(&SensorSpec::navtech_cts350x());
     let lidar = gain(&SensorSpec::velodyne_hdl32e());
-    assert!(camera > radar, "camera {camera:.4} should beat radar {radar:.4}");
-    assert!(radar > lidar, "radar {radar:.4} should beat lidar {lidar:.4}");
+    assert!(
+        camera > radar,
+        "camera {camera:.4} should beat radar {radar:.4}"
+    );
+    assert!(
+        radar > lidar,
+        "radar {radar:.4} should beat lidar {lidar:.4}"
+    );
 }

@@ -19,7 +19,7 @@ fn filtered_runs_never_violate_the_barrier() {
         let rt = RuntimeLoop::new(config, models.clone(), optimizer).expect("valid runtime");
         for seed in 0..4u64 {
             let world = ScenarioConfig::new(4).with_seed(seed).generate();
-            let report = rt.run_episode(world, seed);
+            let report = rt.run_episode(&world, seed);
             assert_ne!(
                 report.status,
                 EpisodeStatus::Collided,
@@ -76,7 +76,11 @@ fn zero_deadline_forces_full_capacity_everywhere() {
     for _ in 0..20 {
         let plan = scheduler.plan_step(|| 0);
         for (_, kind) in &plan.slots {
-            assert_ne!(*kind, SlotKind::Optimized, "optimized slot under zero deadline");
+            assert_ne!(
+                *kind,
+                SlotKind::Optimized,
+                "optimized slot under zero deadline"
+            );
         }
     }
 }
@@ -101,7 +105,10 @@ fn unfiltered_runs_report_violations_when_they_happen() {
         episode.step(Control::new(0.0, 1.0));
     }
     assert_eq!(episode.status(), EpisodeStatus::Collided);
-    assert!(monitor.unsafe_steps() > 0, "violations must be visible to the monitor");
+    assert!(
+        monitor.unsafe_steps() > 0,
+        "violations must be visible to the monitor"
+    );
     assert!(monitor.min_barrier() < 0.0);
 }
 
@@ -113,7 +120,10 @@ fn safety_evidence_is_reported_per_experiment() {
         .with_runs(3)
         .run()
         .expect("harness runs");
-    assert!(result.all_runs_safe(), "filtered experiment must preserve S = 1");
+    assert!(
+        result.all_runs_safe(),
+        "filtered experiment must preserve S = 1"
+    );
     for report in &result.reports {
         assert!(report.min_distance.is_finite());
         assert!(report.min_barrier >= 0.0);
