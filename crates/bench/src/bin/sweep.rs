@@ -13,17 +13,31 @@
 //! ```sh
 //! SEO_RUNS=5 cargo run --release -p seo-bench --bin sweep
 //! ```
+//!
+//! **Distributed modes** (see `seo_core::shard`): `--workers N` runs the
+//! same grid as a coordinator over N worker *processes* (this binary
+//! re-invoked with `--worker`), streaming line-delimited JSON reports into a
+//! deterministic merge and printing the merged lines to stdout; `--verify`
+//! additionally reruns the grid serially in-process and exits non-zero
+//! unless the merged output is bit-identical. `--worker START..END` runs one
+//! shard. `--scenarios` / `--seed` fix the grid on both sides.
+//!
+//! ```sh
+//! sweep --workers 4 --verify --scenarios 60 > merged.ndjson
+//! ```
 
 use seo_bench::json::Json;
 use seo_bench::report::{pct, runs_from_env, Table};
 use seo_core::batch::{BatchRunner, ScenarioSpec};
 use seo_core::prelude::*;
 use seo_core::runtime::RuntimeLoop;
+use seo_core::shard::{self, Coordinator, ShardPlanner};
 use seo_platform::units::Bits;
 use seo_platform::units::BitsPerSecond;
 use seo_sim::scenario::ScenarioConfig;
 use seo_wireless::channel::RayleighChannel;
 use seo_wireless::link::WirelessLink;
+use std::io::Write as _;
 use std::time::Instant;
 
 fn paper_runtime(optimizer: OptimizerKind) -> Result<RuntimeLoop, SeoError> {
@@ -85,10 +99,18 @@ fn timed_sweep(
     )
 }
 
-fn throughput_phase(scenarios: usize) -> Result<Json, SeoError> {
+/// The sweep grid shared by the throughput phase and the distributed modes:
+/// `scenarios` cells spread over the paper's {0, 2, 4} obstacle counts.
+/// Coordinator and workers must call this with identical arguments, which is
+/// why the coordinator forwards `--scenarios` / `--seed` verbatim.
+fn grid(scenarios: usize, base_seed: u64) -> Vec<ScenarioSpec> {
+    ScenarioSpec::grid(&[0, 2, 4], scenarios.div_ceil(3), base_seed)
+}
+
+fn throughput_phase(scenarios: usize, base_seed: u64) -> Result<Json, SeoError> {
     let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
-    let per_count = scenarios.div_ceil(3);
-    let specs = ScenarioSpec::grid(&[0, 2, 4], per_count, 2023);
+    let specs = grid(scenarios, base_seed);
+    let per_count = specs.len() / 3;
     println!(
         "sweep throughput: {} scenarios ({} per obstacle count) on {} worker(s)\n",
         specs.len(),
@@ -163,16 +185,175 @@ fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
     Ok(optimized.gain_over(&baseline)?)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Which of the binary's three entry points to run.
+enum Mode {
+    /// The original throughput + sensitivity harness.
+    Harness,
+    /// One shard of the grid, streaming wire lines to stdout.
+    Worker(Shard),
+    /// Multi-process coordinator over `workers` shards.
+    Coordinator { workers: usize, verify: bool },
+}
+
+struct Cli {
+    mode: Mode,
+    scenarios: usize,
+    base_seed: u64,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut mode = Mode::Harness;
+    let mut verify = false;
+    // `--scenarios` defaults to the env knob the CI smoke already uses.
+    let mut scenarios = std::env::var("SEO_SWEEP_SCENARIOS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(60);
+    let mut base_seed = 2023u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                let n = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                mode = Mode::Coordinator { workers: n, verify };
+            }
+            "--worker" => {
+                let shard = value("--worker")?
+                    .parse::<Shard>()
+                    .map_err(|e| format!("--worker: {e}"))?;
+                mode = Mode::Worker(shard);
+            }
+            "--verify" => verify = true,
+            "--scenarios" => {
+                scenarios = value("--scenarios")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--scenarios: {e}"))?;
+            }
+            "--seed" => {
+                base_seed = value("--seed")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}' \
+                     (expected --workers N | --worker START..END | --verify | --scenarios N | --seed S)"
+                ))
+            }
+        }
+    }
+    if let Mode::Coordinator { workers, .. } = mode {
+        mode = Mode::Coordinator { workers, verify };
+    } else if verify {
+        return Err("--verify only applies to --workers mode".to_owned());
+    }
+    Ok(Cli {
+        mode,
+        scenarios: scenarios.max(3),
+        base_seed,
+    })
+}
+
+/// `--worker START..END`: run one shard of the grid through the same serial
+/// scratch loop `run_serial` uses, streaming one wire line per episode.
+/// Stdout carries **only** protocol lines; anything human goes to stderr.
+fn worker_mode(
+    shard: Shard,
+    scenarios: usize,
+    base_seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let runtime = paper_runtime(OptimizerKind::Offloading)?;
+    let specs = grid(scenarios, base_seed);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    shard::run_worker_shard(&runtime, &specs, shard, &mut out)?;
+    Ok(())
+}
+
+/// `--workers N`: plan shards, spawn N copies of this binary as worker
+/// processes, stream-merge their reports deterministically, and emit each
+/// merged wire line to stdout **as soon as its spec-index prefix is
+/// complete** (not after the slowest worker). With `--verify`, rerun the
+/// grid serially in-process and fail (non-zero exit) unless the merge is
+/// bit-identical.
+fn coordinator_mode(
+    workers: usize,
+    verify: bool,
+    scenarios: usize,
+    base_seed: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let specs = grid(scenarios, base_seed);
+    // Validates worker count vs grid, shard coverage, and emptiness before
+    // any process spawns.
+    let plan = ShardPlanner::new(workers).plan(specs.len())?;
+    let program = std::env::current_exe()?;
+    let coordinator = Coordinator::new(program).with_args([
+        "--scenarios".to_owned(),
+        scenarios.to_string(),
+        "--seed".to_owned(),
+        base_seed.to_string(),
+    ]);
+
+    let start = Instant::now();
+    // `&Stdout` is Write and Sync, unlike StdoutLock which cannot cross the
+    // Send bound the streaming sink carries. Reports are only retained when
+    // --verify needs them; otherwise the sweep stays O(1) in grid size.
+    let stdout = std::io::stdout();
+    let mut merged: Vec<EpisodeReport> = Vec::with_capacity(if verify { specs.len() } else { 0 });
+    let mut streamed = 0usize;
+    let mut write_error: Option<std::io::Error> = None;
+    coordinator.run_streaming(&plan, |i, report| {
+        if write_error.is_none() {
+            let result = writeln!(&stdout, "{}", shard::report_line(i, &report))
+                .and_then(|()| (&stdout).flush());
+            if let Err(e) = result {
+                write_error = Some(e);
+            }
+        }
+        streamed += 1;
+        if verify {
+            merged.push(report);
+        }
+    })?;
+    if let Some(e) = write_error {
+        return Err(Box::new(e));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "sharded sweep: {streamed} scenarios over {} worker process(es) in {elapsed:.2} s ({:.1}/s)",
+        plan.shards().len(),
+        streamed as f64 / elapsed.max(1e-12),
+    );
+
+    if verify {
+        let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
+        let serial = runner.run_serial(&specs);
+        if serial != merged {
+            return Err("sharded merge is NOT bit-identical to the serial sweep".into());
+        }
+        // Belt and braces: the serialized wire bytes must match too.
+        for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
+            if shard::report_line(i, m) != shard::report_line(i, s) {
+                return Err(format!("wire line {i} differs between merge and serial run").into());
+            }
+        }
+        eprintln!("verify: merged output is bit-identical to the serial sweep");
+    }
+    Ok(())
+}
+
+fn run_harness(scenarios: usize, base_seed: u64) -> Result<(), Box<dyn std::error::Error>> {
     let runs = runs_from_env().min(10);
 
     // Phase 1: sweep throughput + BENCH_sweep.json.
-    let sweep_scenarios = std::env::var("SEO_SWEEP_SCENARIOS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(60)
-        .max(3);
-    let throughput = throughput_phase(sweep_scenarios)?;
+    let throughput = throughput_phase(scenarios, base_seed)?;
     let dump = Json::obj(vec![
         ("schema", "seo-bench-sweep/v1".into()),
         ("throughput", throughput),
@@ -226,4 +407,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
     Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cli = parse_cli().map_err(|e| format!("sweep: {e}"))?;
+    match cli.mode {
+        Mode::Harness => run_harness(cli.scenarios, cli.base_seed),
+        Mode::Worker(shard) => worker_mode(shard, cli.scenarios, cli.base_seed),
+        Mode::Coordinator { workers, verify } => {
+            coordinator_mode(workers, verify, cli.scenarios, cli.base_seed)
+        }
+    }
 }

@@ -1,206 +1,8 @@
-//! Minimal JSON emission for the harness binaries.
+//! Re-export of the workspace JSON value tree.
 //!
-//! The workspace is built without network access to crates.io, so instead
-//! of `serde_json` the binaries emit their machine-readable dumps through
-//! this small value tree. Emission-only: the analysis side of the pipeline
-//! (plots, dashboards) consumes the files, nothing in the workspace parses
-//! JSON back.
+//! The emitter originally lived here; the sharded sweep protocol promoted it
+//! into [`seo_core::json`] (adding a parser) so core can speak the
+//! coordinator/worker wire format. This module remains so the harness
+//! binaries keep their `seo_bench::json::Json` imports.
 
-use std::fmt::Write as _;
-
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values render as `null`).
-    Num(f64),
-    /// An integer, kept separate so counts render without a decimal point.
-    Int(i64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    #[must_use]
-    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
-        Self::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    /// Renders compactly (no whitespace).
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
-    /// Renders with two-space indentation.
-    #[must_use]
-    pub fn render_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        let pad = |out: &mut String, d: usize| {
-            if let Some(w) = indent {
-                out.push('\n');
-                out.push_str(&" ".repeat(w * d));
-            }
-        };
-        match self {
-            Self::Null => out.push_str("null"),
-            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Self::Num(v) if v.is_finite() => {
-                let _ = write!(out, "{v}");
-            }
-            Self::Num(_) => out.push_str("null"),
-            Self::Int(v) => {
-                let _ = write!(out, "{v}");
-            }
-            Self::Str(s) => write_escaped(out, s),
-            Self::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    pad(out, depth + 1);
-                    item.write(out, indent, depth + 1);
-                }
-                if !items.is_empty() {
-                    pad(out, depth);
-                }
-                out.push(']');
-            }
-            Self::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    pad(out, depth + 1);
-                    write_escaped(out, k);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    v.write(out, indent, depth + 1);
-                }
-                if !pairs.is_empty() {
-                    pad(out, depth);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<f64> for Json {
-    fn from(v: f64) -> Self {
-        Self::Num(v)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(v: usize) -> Self {
-        Self::Int(v as i64)
-    }
-}
-
-impl From<u32> for Json {
-    fn from(v: u32) -> Self {
-        Self::Int(i64::from(v))
-    }
-}
-
-impl From<u64> for Json {
-    fn from(v: u64) -> Self {
-        Self::Int(v as i64)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Self {
-        Self::Bool(v)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(v: &str) -> Self {
-        Self::Str(v.to_owned())
-    }
-}
-
-impl From<String> for Json {
-    fn from(v: String) -> Self {
-        Self::Str(v)
-    }
-}
-
-impl<T: Into<Json>> From<Vec<T>> for Json {
-    fn from(v: Vec<T>) -> Self {
-        Self::Arr(v.into_iter().map(Into::into).collect())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null");
-        assert_eq!(Json::from(true).render(), "true");
-        assert_eq!(Json::from(1.5).render(), "1.5");
-        assert_eq!(Json::from(42u32).render(), "42");
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-    }
-
-    #[test]
-    fn strings_escape() {
-        assert_eq!(Json::from("a\"b\\c\n").render(), r#""a\"b\\c\n""#);
-        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn containers_render_compact_and_pretty() {
-        let v = Json::obj(vec![
-            ("name", Json::from("sweep")),
-            ("xs", Json::from(vec![1.0, 2.0])),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        assert_eq!(v.render(), r#"{"name":"sweep","xs":[1,2],"empty":[]}"#);
-        let pretty = v.render_pretty();
-        assert!(pretty.contains("\n  \"name\": \"sweep\""), "{pretty}");
-        assert!(pretty.ends_with("}\n"));
-    }
-}
+pub use seo_core::json::{Json, JsonParseError};

@@ -1,0 +1,149 @@
+//! Multi-process determinism tests for the sharded sweep engine.
+//!
+//! These spawn the real `sweep` binary (via `CARGO_BIN_EXE_sweep`) as
+//! coordinator and workers — actual OS processes talking the line-delimited
+//! JSON wire format — and assert the merged output is **bit-identical** to
+//! an in-process [`BatchRunner::run_serial`] over the same grid.
+
+use seo_core::batch::{BatchRunner, ScenarioSpec};
+use seo_core::prelude::*;
+use seo_core::runtime::RuntimeLoop;
+use seo_core::shard::{parse_report_line, report_line, Coordinator, ShardError, ShardPlanner};
+use std::process::Command;
+
+const SWEEP_BIN: &str = env!("CARGO_BIN_EXE_sweep");
+const SCENARIOS: usize = 6;
+const SEED: u64 = 2023;
+
+/// The grid the sweep binary builds for `--scenarios 6 --seed 2023`.
+fn grid() -> Vec<ScenarioSpec> {
+    ScenarioSpec::grid(&[0, 2, 4], SCENARIOS.div_ceil(3), SEED)
+}
+
+fn serial_reports() -> Vec<EpisodeReport> {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper models");
+    let runtime =
+        RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
+    BatchRunner::new(runtime).run_serial(&grid())
+}
+
+fn common_args() -> [String; 4] {
+    [
+        "--scenarios".to_owned(),
+        SCENARIOS.to_string(),
+        "--seed".to_owned(),
+        SEED.to_string(),
+    ]
+}
+
+#[test]
+fn multiprocess_merge_is_bit_identical_to_serial() {
+    let serial = serial_reports();
+    // 4 workers over 6 specs forces uneven shard sizes ([2, 2, 1, 1]).
+    for workers in [1usize, 2, 4] {
+        let coordinator = Coordinator::new(SWEEP_BIN).with_args(common_args());
+        let plan = ShardPlanner::new(workers).plan(grid().len()).expect("plan");
+        let merged = coordinator.run(&plan).expect("coordinator succeeds");
+        assert_eq!(
+            merged, serial,
+            "{workers} worker processes must reproduce the serial sweep"
+        );
+        // Byte-level check on the wire encoding as well.
+        for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
+            assert_eq!(report_line(i, m), report_line(i, s), "line {i} differs");
+        }
+    }
+}
+
+#[test]
+fn run_streaming_delivers_in_spec_order() {
+    let serial = serial_reports();
+    let coordinator = Coordinator::new(SWEEP_BIN).with_args(common_args());
+    let plan = ShardPlanner::new(2).plan(grid().len()).expect("plan");
+    let mut seen = Vec::new();
+    coordinator
+        .run_streaming(&plan, |i, report| seen.push((i, report)))
+        .expect("streams");
+    assert_eq!(seen.len(), serial.len());
+    for (k, (i, report)) in seen.iter().enumerate() {
+        assert_eq!(*i, k, "sink called strictly in spec order");
+        assert_eq!(*report, serial[k]);
+    }
+}
+
+#[test]
+fn coordinator_cli_verify_mode_passes_and_streams_lines() {
+    let output = Command::new(SWEEP_BIN)
+        .args(common_args())
+        .args(["--workers", "2", "--verify"])
+        .output()
+        .expect("sweep --workers runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "coordinator CLI failed: {stderr}");
+    assert!(
+        stderr.contains("bit-identical"),
+        "verify note missing: {stderr}"
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let serial = serial_reports();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), serial.len(), "one wire line per scenario");
+    for (i, line) in lines.iter().enumerate() {
+        let (index, report) = parse_report_line(line).expect("valid wire line");
+        assert_eq!(index, i, "merged lines come out in spec order");
+        assert_eq!(report, serial[i]);
+    }
+}
+
+#[test]
+fn worker_cli_emits_exactly_its_shard() {
+    let output = Command::new(SWEEP_BIN)
+        .args(common_args())
+        .args(["--worker", "2..5"])
+        .output()
+        .expect("sweep --worker runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let serial = serial_reports();
+    let parsed: Vec<(usize, EpisodeReport)> = stdout
+        .lines()
+        .map(|l| parse_report_line(l).expect("valid wire line"))
+        .collect();
+    assert_eq!(parsed.len(), 3);
+    for (offset, (index, report)) in parsed.iter().enumerate() {
+        assert_eq!(*index, 2 + offset);
+        assert_eq!(*report, serial[*index]);
+    }
+}
+
+#[test]
+fn coordinator_reports_failing_worker_shard() {
+    // "--seed x" makes every worker exit non-zero while parsing its CLI.
+    let coordinator = Coordinator::new(SWEEP_BIN).with_args(["--scenarios", "6", "--seed", "x"]);
+    let plan = ShardPlanner::new(2).plan(6).expect("plan");
+    match coordinator.run(&plan) {
+        Err(ShardError::WorkerFailed { shard, message, .. }) => {
+            assert!(!shard.is_empty());
+            assert!(
+                message.contains("exited with") || message.contains("reported"),
+                "unexpected failure message: {message}"
+            );
+        }
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn coordinator_cli_rejects_too_many_workers() {
+    let output = Command::new(SWEEP_BIN)
+        .args(common_args())
+        .args(["--workers", "99"])
+        .output()
+        .expect("sweep runs");
+    assert!(
+        !output.status.success(),
+        "99 workers over 6 specs must fail validation before spawning"
+    );
+}

@@ -91,14 +91,37 @@ pub struct BatchRunner {
 }
 
 impl BatchRunner {
-    /// Wraps a runtime; the pool sizes itself to the machine's available
-    /// parallelism.
+    /// Wraps a runtime; the pool sizes itself to [`Self::default_threads`].
     #[must_use]
     pub fn new(runtime: RuntimeLoop) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Self { runtime, threads }
+        Self {
+            runtime,
+            threads: Self::default_threads(),
+        }
+    }
+
+    /// The worker count used when none is given explicitly: the
+    /// `SEO_THREADS` environment variable when set to a positive integer,
+    /// otherwise the machine's available parallelism. Every sweep entry
+    /// point (this runner, [`crate::experiment::ExperimentConfig::run_auto`],
+    /// the bench binaries) resolves its pool through here so one knob
+    /// governs them all.
+    #[must_use]
+    pub fn default_threads() -> usize {
+        Self::threads_override(std::env::var("SEO_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Interprets an `SEO_THREADS`-style override: `Some(n)` for a positive
+    /// integer value, `None` (fall back to available parallelism) for
+    /// absent, unparsable, or zero values.
+    fn threads_override(value: Option<&str>) -> Option<usize> {
+        value
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
     }
 
     /// Overrides the worker count (builder style; clamped to at least 1).
@@ -243,5 +266,17 @@ mod tests {
         let runner = runner(OptimizerKind::ModelGating).with_threads(0);
         assert_eq!(runner.threads(), 1);
         assert!(BatchRunner::new(runner.runtime().clone()).threads() >= 1);
+    }
+
+    #[test]
+    fn seo_threads_override_parsing() {
+        // Pure-function test: mutating the process environment would race
+        // with every other test that constructs a BatchRunner.
+        assert_eq!(BatchRunner::threads_override(Some("3")), Some(3));
+        assert_eq!(BatchRunner::threads_override(Some(" 8 ")), Some(8));
+        assert_eq!(BatchRunner::threads_override(Some("0")), None);
+        assert_eq!(BatchRunner::threads_override(Some("not a number")), None);
+        assert_eq!(BatchRunner::threads_override(None), None);
+        assert!(BatchRunner::default_threads() >= 1);
     }
 }

@@ -244,17 +244,15 @@ impl ExperimentConfig {
         })
     }
 
-    /// [`Self::run_parallel`] on all available cores — what the experiment
-    /// binaries and benches call.
+    /// [`Self::run_parallel`] on the default pool size
+    /// ([`BatchRunner::default_threads`]: `SEO_THREADS` or all available
+    /// cores) — what the experiment binaries and benches call.
     ///
     /// # Errors
     ///
     /// Same as [`Self::run`].
     pub fn run_auto(&self) -> Result<ExperimentResult, SeoError> {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        self.run_parallel(threads)
+        self.run_parallel(BatchRunner::default_threads())
     }
 }
 

@@ -31,6 +31,11 @@
 //!   δmax histograms, safety evidence).
 //! * [`experiment`] — paper-experiment harness: builds the exact setups of
 //!   Figures 1/5/6 and Tables I/II/III.
+//! * [`shard`] — multi-process sharded sweeps: shard planning, the
+//!   line-delimited JSON wire format, the streaming deterministic merge, and
+//!   the worker-process coordinator.
+//! * [`json`] — the dependency-free JSON tree (render + parse) the wire
+//!   format and harness dumps are built on.
 //!
 //! # Quickstart
 //!
@@ -58,11 +63,13 @@ pub mod controller;
 pub mod discretize;
 pub mod error;
 pub mod experiment;
+pub mod json;
 pub mod metrics;
 pub mod model;
 pub mod optimizer;
 pub mod runtime;
 pub mod scheduler;
+pub mod shard;
 
 pub use error::SeoError;
 
@@ -79,4 +86,5 @@ pub mod prelude {
     pub use crate::optimizer::OptimizerKind;
     pub use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
+    pub use crate::shard::{Shard, ShardError, ShardPlan, ShardPlanner, StreamingMerge};
 }

@@ -41,12 +41,24 @@ impl DeltaMaxHistogram {
     /// Records one sampled δmax. Values above [`Self::SATURATION`] are
     /// counted in the saturation bucket.
     pub fn record(&mut self, delta_max: u32) {
+        self.record_n(delta_max, 1);
+    }
+
+    /// Records `count` occurrences of one δmax value in a single step —
+    /// how the sharded-sweep wire format ([`crate::shard`]) reconstitutes a
+    /// histogram from its `(delta_max, count)` pairs without replaying every
+    /// sample. Recording zero occurrences is a no-op, preserving the
+    /// nonzero-tail invariant of the dense backing.
+    pub fn record_n(&mut self, delta_max: u32, count: usize) {
+        if count == 0 {
+            return;
+        }
         let idx = delta_max.min(Self::SATURATION) as usize;
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
-        self.counts[idx] += 1;
-        self.total += 1;
+        self.counts[idx] += count;
+        self.total += count;
     }
 
     /// Total samples.
@@ -388,6 +400,21 @@ mod tests {
         other.record(u32::MAX);
         h.merge(&other);
         assert_eq!(h.count(DeltaMaxHistogram::SATURATION), 3);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = DeltaMaxHistogram::new();
+        bulk.record_n(3, 5);
+        bulk.record_n(7, 0); // no-op: must not grow the dense tail
+        let mut single = DeltaMaxHistogram::new();
+        for _ in 0..5 {
+            single.record(3);
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.total(), 5);
+        bulk.record_n(u32::MAX, 2);
+        assert_eq!(bulk.count(DeltaMaxHistogram::SATURATION), 2);
     }
 
     #[test]

@@ -98,7 +98,8 @@ pub enum WorldSource<'a> {
 /// each control step performs **zero heap allocations**:
 ///
 /// * `nn` — the [`InferenceScratch`] neural controller inference runs in;
-/// * `plan` — the [`StepPlan`] the scheduler refills each base period.
+/// * `plan` — the [`StepPlan`](crate::scheduler::StepPlan) the scheduler
+///   refills each base period.
 ///
 /// Construct one per worker thread (or once per call site) and reuse it
 /// across episodes; buffers stay at their high-water mark.

@@ -181,7 +181,7 @@ impl SafetyFilter {
     }
 
     /// The finite admissible set `U`, materialized for inspection
-    /// ([`Self::corrective_action`] iterates the same set without
+    /// (the private `corrective_action` step iterates the same set without
     /// allocating).
     #[must_use]
     pub fn admissible_set(&self, original: Control) -> Vec<Control> {

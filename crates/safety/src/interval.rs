@@ -5,7 +5,7 @@
 //! transitions to an unsafe state (`h < 0`). Because the bicycle dynamics
 //! are uniformly continuous, φ is computed by numerically integrating the
 //! frozen-control dynamics and watching for the barrier's zero crossing —
-//! the same construction EnergyShield [20] derives in closed form for the
+//! the same construction EnergyShield \[20\] derives in closed form for the
 //! ShieldNN dynamics.
 
 use crate::barrier::DistanceBarrier;
@@ -23,7 +23,7 @@ use seo_sim::world::World;
 /// # Conservatism
 ///
 /// A frozen-control rollout over nominal dynamics yields the *optimistic*
-/// time-to-unsafe. The paper's deadlines (derived in EnergyShield [20] from
+/// time-to-unsafe. The paper's deadlines (derived in EnergyShield \[20\] from
 /// barrier decay bounds) are far more conservative: they must hold while
 /// the state estimate is stale, i.e. under **any** control the pipeline
 /// might produce from stale data, plus model mismatch. We fold that margin

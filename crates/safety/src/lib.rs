@@ -5,8 +5,8 @@
 //! safety filter Ψ, the safe time interval Δmax = φ(x, x′, u), and the
 //! runtime lookup table T(x, u).
 //!
-//! The paper builds on ShieldNN [19] (a provably-safe steering filter around
-//! a barrier over distance/orientation to an obstacle) and EnergyShield [20]
+//! The paper builds on ShieldNN \[19\] (a provably-safe steering filter around
+//! a barrier over distance/orientation to an obstacle) and EnergyShield \[20\]
 //! (the formal mapping from vehicle state to safety expiration times). The
 //! module map:
 //!

@@ -5,7 +5,7 @@
 //!
 //! The paper's offloading experiments "assume a Wi-Fi link in which effective
 //! data rate values are sampled from a Rayleigh channel distribution model
-//! with scale 20 Mbps", following the Testudo [13] characterization scheme.
+//! with scale 20 Mbps", following the Testudo \[13\] characterization scheme.
 //! This crate provides that link end-to-end:
 //!
 //! * [`channel`] — the Rayleigh-distributed effective data rate.
