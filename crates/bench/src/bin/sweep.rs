@@ -14,16 +14,20 @@
 //! SEO_RUNS=5 cargo run --release -p seo-bench --bin sweep
 //! ```
 //!
-//! **Distributed modes** (see `seo_core::shard`): `--workers N` runs the
-//! same grid as a coordinator over N worker *processes* (this binary
-//! re-invoked with `--worker`), streaming line-delimited JSON reports into a
-//! deterministic merge and printing the merged lines to stdout; `--verify`
-//! additionally reruns the grid serially in-process and exits non-zero
-//! unless the merged output is bit-identical. `--worker START..END` runs one
-//! shard. `--scenarios` / `--seed` fix the grid on both sides.
+//! **Distributed modes** (see `seo_core::shard` and `seo_core::transport`):
+//! `--workers N` runs the same grid as a coordinator over N worker
+//! *processes* (this binary re-invoked with `--worker`); `--hosts FILE`
+//! runs it as a coordinator over the TCP worker *hosts* (`seo-sweepd`
+//! daemons) listed in the JSON host pool, re-sharding around host losses.
+//! Both stream line-delimited JSON reports into a deterministic merge and
+//! print the merged lines to stdout; `--verify` additionally reruns the
+//! grid serially in-process and exits non-zero unless the merged output is
+//! bit-identical. `--worker START..END` runs one shard. `--scenarios` /
+//! `--seed` fix the grid on every side.
 //!
 //! ```sh
 //! sweep --workers 4 --verify --scenarios 60 > merged.ndjson
+//! sweep --hosts hosts.json --verify --scenarios 60 > merged.ndjson
 //! ```
 
 use seo_bench::json::Json;
@@ -32,6 +36,7 @@ use seo_core::batch::{BatchRunner, ScenarioSpec};
 use seo_core::prelude::*;
 use seo_core::runtime::RuntimeLoop;
 use seo_core::shard::{self, Coordinator, ShardPlanner};
+use seo_core::transport::{HostPool, RemoteCoordinator};
 use seo_platform::units::Bits;
 use seo_platform::units::BitsPerSecond;
 use seo_sim::scenario::ScenarioConfig;
@@ -101,10 +106,11 @@ fn timed_sweep(
 
 /// The sweep grid shared by the throughput phase and the distributed modes:
 /// `scenarios` cells spread over the paper's {0, 2, 4} obstacle counts.
-/// Coordinator and workers must call this with identical arguments, which is
-/// why the coordinator forwards `--scenarios` / `--seed` verbatim.
+/// Coordinator and workers (process- and host-level — `seo-sweepd` builds
+/// the same grid) must use identical arguments, which is why the
+/// coordinator forwards `--scenarios` / `--seed` verbatim.
 fn grid(scenarios: usize, base_seed: u64) -> Vec<ScenarioSpec> {
-    ScenarioSpec::grid(&[0, 2, 4], scenarios.div_ceil(3), base_seed)
+    ScenarioSpec::paper_grid(scenarios, base_seed)
 }
 
 fn throughput_phase(scenarios: usize, base_seed: u64) -> Result<Json, SeoError> {
@@ -185,7 +191,7 @@ fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
     Ok(optimized.gain_over(&baseline)?)
 }
 
-/// Which of the binary's three entry points to run.
+/// Which of the binary's entry points to run.
 enum Mode {
     /// The original throughput + sensitivity harness.
     Harness,
@@ -193,17 +199,37 @@ enum Mode {
     Worker(Shard),
     /// Multi-process coordinator over `workers` shards.
     Coordinator { workers: usize, verify: bool },
+    /// Multi-host coordinator over the `seo-sweepd` pool in a hosts file.
+    Remote { hosts_path: String, verify: bool },
 }
 
 struct Cli {
     mode: Mode,
     scenarios: usize,
     base_seed: u64,
+    timeout_secs: f64,
 }
+
+/// The CLI grammar, printed with exit code 2 on any argument error.
+const USAGE: &str = "usage: sweep [MODE] [--scenarios N] [--seed S]\n\
+    modes:\n  \
+    (none)                  throughput + sensitivity harness, writes BENCH_sweep.json\n  \
+    --workers N [--verify]  multi-process coordinator over N local worker processes\n  \
+    --hosts FILE [--verify] multi-host coordinator over the seo-sweepd pool in FILE\n                          \
+    (JSON: {\"v\":1,\"hosts\":[{\"addr\":\"host:port\",\"capacity\":N},...]})\n  \
+    --worker START..END     run one shard; the range is half-open, decimal,\n                          \
+    START < END (e.g. --worker 0..15)\n\
+    options:\n  \
+    --scenarios N           grid size (default 60, or SEO_SWEEP_SCENARIOS)\n  \
+    --seed S                grid base seed (default 2023)\n  \
+    --timeout-secs T        multi-host connect/read timeout (default 30)\n  \
+    --verify                rerun the grid serially in-process and fail unless\n                          \
+    the merged output is bit-identical";
 
 fn parse_cli() -> Result<Cli, String> {
     let mut mode = Mode::Harness;
     let mut verify = false;
+    let mut timeout_secs = 30.0f64;
     // `--scenarios` defaults to the env knob the CI smoke already uses.
     let mut scenarios = std::env::var("SEO_SWEEP_SCENARIOS")
         .ok()
@@ -225,10 +251,25 @@ fn parse_cli() -> Result<Cli, String> {
                 mode = Mode::Coordinator { workers: n, verify };
             }
             "--worker" => {
-                let shard = value("--worker")?
-                    .parse::<Shard>()
-                    .map_err(|e| format!("--worker: {e}"))?;
+                let shard = value("--worker")?.parse::<Shard>().map_err(|e| {
+                    format!("--worker: {e} (expected a half-open decimal range START..END with START < END)")
+                })?;
                 mode = Mode::Worker(shard);
+            }
+            "--hosts" => {
+                mode = Mode::Remote {
+                    hosts_path: value("--hosts")?,
+                    verify,
+                };
+            }
+            "--timeout-secs" => {
+                // try_from_secs_f64 also rules out values Duration cannot
+                // represent, which would otherwise panic at use.
+                timeout_secs = value("--timeout-secs")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t > 0.0 && std::time::Duration::try_from_secs_f64(*t).is_ok())
+                    .ok_or("--timeout-secs: expected a positive number of seconds")?;
             }
             "--verify" => verify = true,
             "--scenarios" => {
@@ -241,23 +282,24 @@ fn parse_cli() -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
-            other => {
-                return Err(format!(
-                    "unknown argument '{other}' \
-                     (expected --workers N | --worker START..END | --verify | --scenarios N | --seed S)"
-                ))
-            }
+            other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    if let Mode::Coordinator { workers, .. } = mode {
-        mode = Mode::Coordinator { workers, verify };
-    } else if verify {
-        return Err("--verify only applies to --workers mode".to_owned());
+    // `--verify` may appear before or after the mode flag; re-apply it.
+    match mode {
+        Mode::Coordinator { workers, .. } => mode = Mode::Coordinator { workers, verify },
+        Mode::Remote { hosts_path, .. } => mode = Mode::Remote { hosts_path, verify },
+        Mode::Harness | Mode::Worker(_) => {
+            if verify {
+                return Err("--verify only applies to --workers / --hosts modes".to_owned());
+            }
+        }
     }
     Ok(Cli {
         mode,
         scenarios: scenarios.max(3),
         base_seed,
+        timeout_secs,
     })
 }
 
@@ -333,18 +375,92 @@ fn coordinator_mode(
     );
 
     if verify {
-        let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
-        let serial = runner.run_serial(&specs);
-        if serial != merged {
-            return Err("sharded merge is NOT bit-identical to the serial sweep".into());
+        verify_against_serial(&specs, &merged)?;
+    }
+    Ok(())
+}
+
+/// Reruns the grid serially in-process and fails unless `merged` matches it
+/// field-for-field **and** byte-for-byte on the wire.
+fn verify_against_serial(
+    specs: &[ScenarioSpec],
+    merged: &[EpisodeReport],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
+    let serial = runner.run_serial(specs);
+    if serial != merged {
+        return Err("distributed merge is NOT bit-identical to the serial sweep".into());
+    }
+    // Belt and braces: the serialized wire bytes must match too.
+    for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
+        if shard::report_line(i, m) != shard::report_line(i, s) {
+            return Err(format!("wire line {i} differs between merge and serial run").into());
         }
-        // Belt and braces: the serialized wire bytes must match too.
-        for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
-            if shard::report_line(i, m) != shard::report_line(i, s) {
-                return Err(format!("wire line {i} differs between merge and serial run").into());
+    }
+    eprintln!("verify: merged output is bit-identical to the serial sweep");
+    Ok(())
+}
+
+/// `--hosts FILE`: parse and validate the host pool, fan the grid out over
+/// the `seo-sweepd` daemons it lists (shards weighted by capacity), merge
+/// their TCP report streams deterministically, and emit each merged wire
+/// line to stdout as soon as its spec-index prefix is complete. Host losses
+/// are re-sharded across survivors and reported on stderr; the run only
+/// fails when **every** host is lost with work outstanding. With
+/// `--verify`, rerun the grid serially in-process and fail (non-zero exit)
+/// unless the merge is bit-identical.
+fn remote_mode(
+    hosts_path: &str,
+    verify: bool,
+    scenarios: usize,
+    base_seed: u64,
+    timeout_secs: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(hosts_path).map_err(|e| format!("{hosts_path}: {e}"))?;
+    let pool = HostPool::parse(&text).map_err(|e| format!("{hosts_path}: {e}"))?;
+    let n_hosts = pool.hosts().len();
+    let coordinator =
+        RemoteCoordinator::new(pool).with_timeout(std::time::Duration::from_secs_f64(timeout_secs));
+    let specs = grid(scenarios, base_seed);
+
+    let start = Instant::now();
+    let stdout = std::io::stdout();
+    let mut merged: Vec<EpisodeReport> = Vec::with_capacity(if verify { specs.len() } else { 0 });
+    let mut streamed = 0usize;
+    let mut write_error: Option<std::io::Error> = None;
+    let stats = coordinator.run_streaming(scenarios, base_seed, |i, report| {
+        if write_error.is_none() {
+            let result = writeln!(&stdout, "{}", shard::report_line(i, &report))
+                .and_then(|()| (&stdout).flush());
+            if let Err(e) = result {
+                write_error = Some(e);
             }
         }
-        eprintln!("verify: merged output is bit-identical to the serial sweep");
+        streamed += 1;
+        if verify {
+            merged.push(report);
+        }
+    })?;
+    if let Some(e) = write_error {
+        return Err(Box::new(e));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "multi-host sweep: {streamed} scenarios over {n_hosts} host(s) in {elapsed:.2} s \
+         ({:.1}/s; {} job(s), {} wave(s))",
+        streamed as f64 / elapsed.max(1e-12),
+        stats.jobs,
+        stats.waves,
+    );
+    for loss in &stats.hosts_lost {
+        eprintln!(
+            "multi-host sweep: host {} lost ({}); {} spec(s) re-sharded to survivors",
+            loss.addr, loss.message, loss.reassigned
+        );
+    }
+
+    if verify {
+        verify_against_serial(&specs, &merged)?;
     }
     Ok(())
 }
@@ -409,13 +525,32 @@ fn run_harness(scenarios: usize, base_seed: u64) -> Result<(), Box<dyn std::erro
     Ok(())
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cli = parse_cli().map_err(|e| format!("sweep: {e}"))?;
-    match cli.mode {
+fn main() {
+    // Argument errors exit 2 with the grammar; runtime failures exit 1.
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("sweep: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cli.mode {
         Mode::Harness => run_harness(cli.scenarios, cli.base_seed),
         Mode::Worker(shard) => worker_mode(shard, cli.scenarios, cli.base_seed),
         Mode::Coordinator { workers, verify } => {
             coordinator_mode(workers, verify, cli.scenarios, cli.base_seed)
         }
+        Mode::Remote { hosts_path, verify } => remote_mode(
+            &hosts_path,
+            verify,
+            cli.scenarios,
+            cli.base_seed,
+            cli.timeout_secs,
+        ),
+    };
+    if let Err(e) = result {
+        eprintln!("sweep: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,97 @@
+//! `seo-sweepd` — the multi-host sweep worker daemon.
+//!
+//! Listens on a TCP address and serves [`seo_core::transport`] jobs: each
+//! incoming connection carries one length-delimited `job` frame naming a
+//! spec range of the shared sweep grid; the daemon runs those episodes
+//! through the same serial scratch loop every other sweep mode uses and
+//! streams one report frame per episode back, in ascending index order,
+//! ending with a `done` frame. The `sweep --hosts hosts.json` coordinator
+//! on any machine can then merge several daemons' streams into output
+//! bit-identical to a serial sweep.
+//!
+//! ```sh
+//! # On each worker host:
+//! seo-sweepd --listen 0.0.0.0:7641
+//! # On the coordinator (hosts.json lists the workers):
+//! sweep --hosts hosts.json --verify --scenarios 60 > merged.ndjson
+//! ```
+//!
+//! `--listen 127.0.0.1:0` lets the OS pick a free port; the daemon prints
+//! the actual address as its first stdout line
+//! (`seo-sweepd listening on ADDR`) so scripts and tests can scrape it.
+//!
+//! `--fail-after K` is a fault-injection knob for testing the
+//! coordinator's re-sharding: every connection is dropped without a `done`
+//! frame after emitting K reports, exactly like a host dying mid-stream.
+//! Never use it in production pools.
+
+use seo_core::prelude::*;
+use seo_core::transport::WorkerServer;
+use std::io::Write as _;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: sweepd [--listen HOST:PORT] [--fail-after K]\n  \
+    --listen     address to accept coordinator connections on (default 127.0.0.1:7641)\n  \
+    --fail-after drop every connection after K reports, without a done frame \
+    (fault-injection testing only)";
+
+struct Cli {
+    listen: String,
+    fail_after: Option<usize>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut listen = "127.0.0.1:7641".to_owned();
+    let mut fail_after = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--fail-after" => {
+                fail_after = Some(
+                    value("--fail-after")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--fail-after: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Cli { listen, fail_after })
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("sweepd: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let run = || -> Result<(), Box<dyn std::error::Error>> {
+        let config = SeoConfig::paper_defaults();
+        let models = ModelSet::paper_setup(config.tau)?;
+        let runtime = RuntimeLoop::new(config, models, OptimizerKind::Offloading)?;
+        let server = WorkerServer::bind(&cli.listen)?;
+        // First stdout line is machine-readable: scripts scrape the actual
+        // address (essential with `--listen 127.0.0.1:0`).
+        println!("seo-sweepd listening on {}", server.local_addr()?);
+        std::io::stdout().flush()?;
+        if let Some(k) = cli.fail_after {
+            eprintln!(
+                "seo-sweepd: fault injection armed: dropping every connection after {k} report(s)"
+            );
+        }
+        server.serve(Arc::new(runtime), cli.fail_after)?;
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("sweepd: {e}");
+        std::process::exit(1);
+    }
+}

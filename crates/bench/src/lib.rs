@@ -7,6 +7,23 @@
 //!
 //! Run counts default to the paper's 25 successful runs per cell; set
 //! `SEO_RUNS` to trade fidelity for speed (the binaries honor it).
+//!
+//! The distributed sweep surface lives next door: the `sweep` binary's
+//! `--workers` / `--hosts` modes and the `seo-sweepd` worker daemon are thin
+//! CLIs over `seo_core::shard` and `seo_core::transport` (see
+//! `ARCHITECTURE.md` at the repository root, and `docs/benchmarks.md` for
+//! the `BENCH_sweep.json` schema and CI perf gate).
+//!
+//! # Example
+//!
+//! ```
+//! use seo_bench::report::{pct, Table};
+//!
+//! // The aligned-column table every harness binary prints.
+//! let mut table = Table::new(vec!["cell", "gain"]);
+//! table.push_row(vec!["offloading".to_owned(), pct(0.31)]);
+//! assert!(table.render().contains("31.0%"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

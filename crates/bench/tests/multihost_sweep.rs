@@ -1,0 +1,191 @@
+//! Multi-host determinism tests against the real binaries: `seo-sweepd`
+//! daemons on loopback TCP ports plus the `sweep --hosts` coordinator CLI —
+//! actual OS processes speaking the length-delimited frame protocol — with
+//! the merged output asserted **bit-identical** to an in-process
+//! `BatchRunner::run_serial`, clean runs and injected mid-stream host kills
+//! alike. This is the same shape the CI loopback smoke runs.
+
+use seo_core::batch::{BatchRunner, ScenarioSpec};
+use seo_core::prelude::*;
+use seo_core::runtime::RuntimeLoop;
+use seo_core::shard::parse_report_line;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+const SWEEP_BIN: &str = env!("CARGO_BIN_EXE_sweep");
+const SWEEPD_BIN: &str = env!("CARGO_BIN_EXE_sweepd");
+const SCENARIOS: usize = 6;
+const SEED: u64 = 2023;
+
+fn serial_reports() -> Vec<EpisodeReport> {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper models");
+    let runtime =
+        RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
+    BatchRunner::new(runtime).run_serial(&ScenarioSpec::paper_grid(SCENARIOS, SEED))
+}
+
+/// A running `seo-sweepd` child, killed on drop so failed assertions never
+/// leak daemons.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `sweepd --listen 127.0.0.1:0 [extra args…]` and scrapes the
+    /// OS-assigned address from its first stdout line.
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut child = Command::new(SWEEPD_BIN)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("sweepd spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("sweepd announces its address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address on the announce line")
+            .to_owned();
+        assert!(addr.contains(':'), "unexpected announce line: {line:?}");
+        Self { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn write_hosts_file(hosts: &[(&str, u64)]) -> std::path::PathBuf {
+    let entries: Vec<String> = hosts
+        .iter()
+        .map(|(addr, capacity)| format!(r#"{{"addr":"{addr}","capacity":{capacity}}}"#))
+        .collect();
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "seo-hosts-{}-{}.json",
+        std::process::id(),
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::write(
+        &path,
+        format!(r#"{{"v":1,"hosts":[{}]}}"#, entries.join(",")),
+    )
+    .expect("hosts file written");
+    path
+}
+
+/// Runs `sweep --hosts <file> --verify` and returns (stdout, stderr).
+fn run_sweep_hosts(hosts_path: &std::path::Path) -> (String, String) {
+    let output = Command::new(SWEEP_BIN)
+        .args([
+            "--scenarios",
+            &SCENARIOS.to_string(),
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .args(["--hosts".as_ref(), hosts_path.as_os_str()])
+        .args(["--verify", "--timeout-secs", "60"])
+        .output()
+        .expect("sweep --hosts runs");
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    assert!(output.status.success(), "sweep --hosts failed: {stderr}");
+    (
+        String::from_utf8(output.stdout).expect("utf8 stdout"),
+        stderr,
+    )
+}
+
+fn assert_stdout_matches_serial(stdout: &str) {
+    let serial = serial_reports();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), serial.len(), "one wire line per scenario");
+    for (i, line) in lines.iter().enumerate() {
+        let (index, report) = parse_report_line(line).expect("valid wire line");
+        assert_eq!(index, i, "merged lines come out in spec order");
+        assert_eq!(report, serial[i]);
+    }
+}
+
+#[test]
+fn two_daemon_hosts_merge_bit_identical_to_serial() {
+    let a = Daemon::spawn(&[]);
+    let b = Daemon::spawn(&[]);
+    let hosts = write_hosts_file(&[(&a.addr, 2), (&b.addr, 1)]);
+    let (stdout, stderr) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+    assert!(
+        stderr.contains("bit-identical"),
+        "verify note missing: {stderr}"
+    );
+    assert_stdout_matches_serial(&stdout);
+}
+
+#[test]
+fn killed_daemon_mid_stream_is_resharded_and_output_stays_identical() {
+    let healthy = Daemon::spawn(&[]);
+    // This daemon drops every connection after 1 report, without a done
+    // frame — a real process dying mid-stream from the coordinator's view.
+    let doomed = Daemon::spawn(&["--fail-after", "1"]);
+    let hosts = write_hosts_file(&[(&healthy.addr, 1), (&doomed.addr, 2)]);
+    let (stdout, stderr) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+    assert!(
+        stderr.contains("lost") && stderr.contains("re-sharded"),
+        "host loss must be reported on stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("bit-identical"),
+        "verify must still pass after the re-shard: {stderr}"
+    );
+    assert_stdout_matches_serial(&stdout);
+}
+
+#[test]
+fn unrepresentable_timeout_is_an_argument_error_not_a_panic() {
+    // 1e30 s parses as f64 but exceeds what Duration can hold; it must be
+    // rejected at the CLI (exit 2 + usage) instead of panicking at use.
+    for bad in ["1e30", "0", "-5", "inf", "nan"] {
+        let output = Command::new(SWEEP_BIN)
+            .args(["--hosts", "unused.json", "--timeout-secs", bad])
+            .output()
+            .expect("sweep runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "timeout '{bad}' must be an argument error"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--timeout-secs") && stderr.contains("usage:"),
+            "'{bad}': {stderr}"
+        );
+    }
+}
+
+#[test]
+fn invalid_hosts_file_fails_before_any_connection() {
+    let hosts = write_hosts_file(&[("127.0.0.1:1", 0)]); // zero capacity
+    let output = Command::new(SWEEP_BIN)
+        .args(["--hosts".as_ref(), hosts.as_os_str()])
+        .output()
+        .expect("sweep runs");
+    let _ = std::fs::remove_file(&hosts);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("capacity"),
+        "validation error should name the problem: {stderr}"
+    );
+}

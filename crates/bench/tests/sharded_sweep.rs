@@ -136,6 +136,38 @@ fn coordinator_reports_failing_worker_shard() {
 }
 
 #[test]
+fn worker_cli_malformed_range_exits_2_with_usage() {
+    // Reversed, empty, and non-numeric ranges are argument errors: exit
+    // code 2 (not a generic failure), the offending spec named, and the
+    // expected grammar shown.
+    for bad in ["7..3", "3..3", "3-7", "a..b", ".."] {
+        let output = Command::new(SWEEP_BIN)
+            .args(common_args())
+            .args(["--worker", bad])
+            .output()
+            .expect("sweep runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "malformed range '{bad}' must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("START..END"),
+            "'{bad}': expected grammar missing from: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage:"),
+            "'{bad}': usage hint missing from: {stderr}"
+        );
+        assert!(
+            stderr.contains(bad),
+            "'{bad}': offending spec not echoed in: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn coordinator_cli_rejects_too_many_workers() {
     let output = Command::new(SWEEP_BIN)
         .args(common_args())

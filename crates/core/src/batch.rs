@@ -12,6 +12,23 @@
 //! per-spec, and results are returned in spec order — so
 //! [`BatchRunner::run`] is **bit-identical** to [`BatchRunner::run_serial`]
 //! regardless of thread count or scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::batch::{BatchRunner, ScenarioSpec};
+//! use seo_core::prelude::*;
+//!
+//! let config = SeoConfig::paper_defaults();
+//! let models = ModelSet::paper_setup(config.tau)?;
+//! let runner = BatchRunner::new(RuntimeLoop::new(
+//!     config, models, OptimizerKind::Offloading,
+//! )?);
+//! let specs = ScenarioSpec::grid(&[0], 2, 2023); // two obstacle-free cells
+//! let reports = runner.run(&specs);
+//! assert_eq!(reports, runner.run_serial(&specs)); // the determinism invariant
+//! # Ok::<(), seo_core::SeoError>(())
+//! ```
 
 use crate::metrics::EpisodeReport;
 use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
@@ -48,6 +65,18 @@ impl ScenarioSpec {
             }
         }
         specs
+    }
+
+    /// The sweep-harness grid shared by every distributed mode: `scenarios`
+    /// cells spread over the paper's {0, 2, 4} obstacle counts (rounded up
+    /// to a multiple of three). The `sweep` binary's coordinator and
+    /// `--worker` modes, the `seo-sweepd` TCP worker, and
+    /// [`crate::transport::RemoteCoordinator`] all reconstruct the grid
+    /// through here, so `(scenarios, seed)` fully determines the spec list
+    /// on every machine involved.
+    #[must_use]
+    pub fn paper_grid(scenarios: usize, base_seed: u64) -> Vec<Self> {
+        Self::grid(&[0, 2, 4], scenarios.div_ceil(3), base_seed)
     }
 
     /// Generates the world for this spec (deterministic in the seed).

@@ -4,6 +4,22 @@
 //! scenarios until the requested number of **successful** episodes (route
 //! completed, no collision) has been collected — the paper averages over 25
 //! such runs — then aggregate energy gains and δmax statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::prelude::*;
+//!
+//! // One successful obstacle-free run of the paper's offloading cell.
+//! let result = ExperimentConfig::paper_defaults()
+//!     .with_optimizer(OptimizerKind::Offloading)
+//!     .with_obstacles(0)
+//!     .with_runs(1)
+//!     .run()?;
+//! assert_eq!(result.reports.len(), 1);
+//! assert!(result.reports[0].is_success());
+//! # Ok::<(), seo_core::SeoError>(())
+//! ```
 
 use crate::batch::{BatchRunner, ScenarioSpec};
 use crate::config::{ControlMode, EnergyAccounting, SeoConfig};

@@ -12,6 +12,22 @@
 //! the sharded sweep's bit-identical merge guarantee rests on. Non-finite
 //! floats render as `null`; protocols that must carry them (the sweep wire
 //! format) encode them out-of-band as strings.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::json::Json;
+//!
+//! let value = Json::obj(vec![
+//!     ("label", Json::from("sweep")),
+//!     ("ns_per_step", Json::from(0.1)), // floats round-trip exactly
+//!     ("scenarios", Json::from(60usize)),
+//! ]);
+//! let text = value.render();
+//! assert_eq!(text, r#"{"label":"sweep","ns_per_step":0.1,"scenarios":60}"#);
+//! assert_eq!(Json::parse(&text)?, value);
+//! # Ok::<(), seo_core::json::JsonParseError>(())
+//! ```
 
 use std::fmt::Write as _;
 

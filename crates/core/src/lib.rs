@@ -34,8 +34,15 @@
 //! * [`shard`] — multi-process sharded sweeps: shard planning, the
 //!   line-delimited JSON wire format, the streaming deterministic merge, and
 //!   the worker-process coordinator.
+//! * [`transport`] — multi-host sweeps: length-delimited TCP framing over
+//!   the same wire format, validated host pools, the fault-tolerant remote
+//!   coordinator (re-shards lost hosts' work across survivors), and the
+//!   `seo-sweepd` worker server.
 //! * [`json`] — the dependency-free JSON tree (render + parse) the wire
 //!   format and harness dumps are built on.
+//!
+//! The architecture book — crate map, determinism invariant, wire protocol,
+//! extension guide — lives in `ARCHITECTURE.md` at the repository root.
 //!
 //! # Quickstart
 //!
@@ -70,6 +77,7 @@ pub mod optimizer;
 pub mod runtime;
 pub mod scheduler;
 pub mod shard;
+pub mod transport;
 
 pub use error::SeoError;
 
@@ -87,4 +95,7 @@ pub mod prelude {
     pub use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
     pub use crate::shard::{Shard, ShardError, ShardPlan, ShardPlanner, StreamingMerge};
+    pub use crate::transport::{
+        HostPool, HostSpec, RemoteCoordinator, RemoteRunStats, TransportError, WorkerServer,
+    };
 }

@@ -13,6 +13,23 @@
 //!    energy and driving the offload machinery (issue, complete, fall
 //!    back);
 //! 6. advances the vehicle with `u'` and records the safety monitor.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::prelude::*;
+//!
+//! let config = SeoConfig::paper_defaults();
+//! let models = ModelSet::paper_setup(config.tau)?;
+//! let runtime = RuntimeLoop::new(config, models, OptimizerKind::Offloading)?;
+//! // One obstacle-free episode; the report is a pure function of
+//! // (world, seed), which is what every sweep engine builds on.
+//! let spec = ScenarioSpec::new(0, 7);
+//! let report = runtime.run_episode(&spec.world(), spec.seed);
+//! assert!(report.steps > 0);
+//! assert_eq!(report, runtime.run_episode(&spec.world(), spec.seed));
+//! # Ok::<(), seo_core::SeoError>(())
+//! ```
 
 use crate::config::{ControlMode, OffloadFallback, SeoConfig};
 use crate::controller::Controller;

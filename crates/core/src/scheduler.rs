@@ -20,6 +20,22 @@
 //! DESIGN.md: models with `δᵢ >= δmax` are marked `done` at interval start,
 //! because Algorithm 1 as printed never sets their flags (line 18 can only
 //! fire when `n == δmax − δᵢ >= 0`), which would deadlock the interval.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::model::ModelId;
+//! use seo_core::scheduler::{SafeScheduler, SlotKind};
+//!
+//! // Two Λ′ models with discretized periods δ₀ = 1 and δ₁ = 2.
+//! let mut scheduler = SafeScheduler::new(vec![(ModelId(0), 1), (ModelId(1), 2)]);
+//! // A new interval begins: the deadline probe T(x, u) yields δmax = 3.
+//! let plan = scheduler.plan_step(|| 3);
+//! // δ₀ < δmax and slot 0 is before its forced slot n = δmax − δ₀ = 2,
+//! // so model 0 runs its energy-optimized version Ω.
+//! assert_eq!(plan.slot_for(ModelId(0)), Some(SlotKind::Optimized));
+//! assert_eq!(scheduler.delta_max(), 3);
+//! ```
 
 use crate::model::{ModelId, ModelSet};
 use seo_platform::units::Seconds;

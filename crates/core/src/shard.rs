@@ -27,7 +27,28 @@
 //!    anything is spawned.
 //!
 //! The `sweep` binary in `seo-bench` wires this to a CLI: `--workers N`
-//! runs the coordinator, `--worker START..END` runs one shard.
+//! runs the coordinator, `--worker START..END` runs one shard. The
+//! multi-host layer ([`crate::transport`]) ships the same wire lines over
+//! TCP instead of a child process's stdout.
+//!
+//! # Example
+//!
+//! Plan a grid, push each shard's lines through the wire format, and merge —
+//! the composition every distributed mode is built from:
+//!
+//! ```
+//! use seo_core::shard::{parse_spec_line, spec_line, Shard, ShardPlanner};
+//! use seo_core::batch::ScenarioSpec;
+//!
+//! let specs = ScenarioSpec::grid(&[0, 2, 4], 2, 2023); // 6 specs
+//! let plan = ShardPlanner::new(2).plan(specs.len())?;
+//! assert_eq!(plan.shards(), [Shard::new(0, 3), Shard::new(3, 6)]);
+//! // Every spec survives the line-delimited wire format exactly.
+//! for spec in &specs {
+//!     assert_eq!(parse_spec_line(&spec_line(spec))?, *spec);
+//! }
+//! # Ok::<(), seo_core::shard::ShardError>(())
+//! ```
 
 use crate::batch::ScenarioSpec;
 use crate::json::Json;
@@ -193,6 +214,56 @@ impl Shard {
     /// The covered spec indices.
     pub fn indices(&self) -> std::ops::Range<usize> {
         self.start..self.end
+    }
+
+    /// Splits this shard into `weights.len()` contiguous sub-ranges whose
+    /// lengths are proportional to the weights (cumulative rounding), in
+    /// order and covering `[start, end)` exactly. Entries may come back
+    /// empty when the range holds fewer specs than there are weights — or
+    /// when a weight is zero. A zero weight **never** receives specs.
+    ///
+    /// This is the assignment primitive of the multi-host transport: host
+    /// capacities are the weights, both for the initial assignment and for
+    /// re-sharding a lost host's remaining range across survivors. It is a
+    /// pure function of `(self, weights)`, so every participant derives the
+    /// same split.
+    ///
+    /// An all-zero (or empty) weight list yields no sub-ranges; callers
+    /// validate capacities before planning ([`crate::transport::HostPool`]
+    /// rejects zero-capacity hosts up front).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use seo_core::shard::Shard;
+    ///
+    /// let parts = Shard::new(0, 9).split_weighted(&[2, 1]);
+    /// assert_eq!(parts, [Shard::new(0, 6), Shard::new(6, 9)]);
+    /// ```
+    #[must_use]
+    pub fn split_weighted(&self, weights: &[u64]) -> Vec<Shard> {
+        let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let len = self.len() as u128;
+        let mut parts = Vec::with_capacity(weights.len());
+        let mut cumulative: u128 = 0;
+        let mut prev_boundary = self.start;
+        for &w in weights {
+            cumulative += u128::from(w);
+            // round(len * cumulative / total) with integer math; monotonic
+            // in `cumulative`, and exactly `len` when cumulative == total.
+            #[allow(clippy::cast_possible_truncation)]
+            let boundary = self.start + ((len * cumulative * 2 + total) / (total * 2)) as usize;
+            parts.push(Shard::new(prev_boundary, boundary));
+            prev_boundary = boundary;
+        }
+        debug_assert_eq!(
+            prev_boundary, self.end,
+            "weighted split must cover the range"
+        );
+        parts
     }
 }
 
@@ -435,14 +506,14 @@ fn status_from_str(s: &str) -> Result<EpisodeStatus, ShardError> {
 /// Encodes a `u64` for the wire without sign-wrapping: values that fit an
 /// `i64` ride the integer path, larger ones are carried as decimal strings
 /// so a non-Rust consumer never sees a negative seed.
-fn u64_to_wire(v: u64) -> Json {
+pub(crate) fn u64_to_wire(v: u64) -> Json {
     match i64::try_from(v) {
         Ok(small) => Json::Int(small),
         Err(_) => Json::Str(v.to_string()),
     }
 }
 
-fn u64_from_wire(v: &Json, field: &str) -> Result<u64, ShardError> {
+pub(crate) fn u64_from_wire(v: &Json, field: &str) -> Result<u64, ShardError> {
     match v {
         Json::Int(i) => {
             u64::try_from(*i).map_err(|_| wire_err(format!("{field}: must be non-negative")))
@@ -1178,6 +1249,50 @@ mod tests {
         assert!(ShardPlan::from_shards(vec![Shard::new(0, 1)], 0).is_err());
         // Exact cover is accepted.
         assert!(ShardPlan::from_shards(vec![Shard::new(0, 2), Shard::new(2, 3)], 3).is_ok());
+    }
+
+    #[test]
+    fn split_weighted_covers_range_proportionally() {
+        // Capacity 2:1 over 9 specs → 6 + 3.
+        assert_eq!(
+            Shard::new(0, 9).split_weighted(&[2, 1]),
+            [Shard::new(0, 6), Shard::new(6, 9)]
+        );
+        // Non-zero-based ranges split in place (the re-shard case).
+        assert_eq!(
+            Shard::new(10, 14).split_weighted(&[1, 1]),
+            [Shard::new(10, 12), Shard::new(12, 14)]
+        );
+        // Tiny ranges may leave later entries empty, never uncovered.
+        let parts = Shard::new(0, 1).split_weighted(&[1, 1, 1]);
+        assert_eq!(parts.iter().map(Shard::len).sum::<usize>(), 1);
+        // Zero weights receive nothing.
+        let parts = Shard::new(0, 8).split_weighted(&[3, 0, 1]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts.iter().map(Shard::len).sum::<usize>(), 8);
+        // Degenerate weight lists yield no parts.
+        assert!(Shard::new(0, 5).split_weighted(&[]).is_empty());
+        assert!(Shard::new(0, 5).split_weighted(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn split_weighted_is_deterministic_and_contiguous() {
+        for (len, weights) in [
+            (97usize, vec![1u64, 2, 3]),
+            (5, vec![7, 11]),
+            (1000, vec![1, 1, 1, 1, 1]),
+            (13, vec![u64::MAX / 2, u64::MAX / 2]),
+        ] {
+            let range = Shard::new(3, 3 + len);
+            let a = range.split_weighted(&weights);
+            assert_eq!(a, range.split_weighted(&weights), "pure function");
+            let mut expected_start = range.start;
+            for part in &a {
+                assert_eq!(part.start, expected_start, "contiguous in order");
+                expected_start = part.end;
+            }
+            assert_eq!(expected_start, range.end, "exact coverage");
+        }
     }
 
     #[test]

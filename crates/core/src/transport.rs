@@ -1,0 +1,1020 @@
+//! Multi-host sweep transport: length-delimited TCP framing over the v1
+//! NDJSON episode protocol, validated host-pool configuration, and a
+//! fault-tolerant remote coordinator.
+//!
+//! [`crate::shard`] scales a sweep across **processes** on one machine; this
+//! module scales the same grid across **hosts** while keeping the same
+//! invariant: the merged output is bit-identical to
+//! [`crate::batch::BatchRunner::run_serial`] over the whole grid, no matter
+//! how many hosts participate or which of them die mid-stream.
+//!
+//! 1. **Framing** — each message travels as a 4-byte big-endian length
+//!    prefix followed by that many payload bytes ([`write_frame`] /
+//!    [`read_frame`]). Report payloads are byte-for-byte the
+//!    [`crate::shard::report_line`] NDJSON the process-level protocol
+//!    already speaks; TCP merely carries them. Control frames (`job`,
+//!    `done`, `error`) are JSON objects distinguished by a `"type"` field.
+//! 2. **[`HostPool`]** — the `--hosts hosts.json` configuration, parsed and
+//!    validated by [`crate::json`]: duplicate addresses, zero capacities,
+//!    blank addresses, and empty pools are rejected **before** any
+//!    connection is attempted.
+//! 3. **[`RemoteCoordinator`]** — assigns contiguous spec ranges to hosts
+//!    weighted by capacity ([`Shard::split_weighted`]), streams every
+//!    host's reports into one [`StreamingMerge`], and on host loss
+//!    (connection refused/dropped, read timeout, protocol violation)
+//!    re-shards the dead host's **remaining** range across the surviving
+//!    hosts — repeatedly, until the grid completes or no host survives.
+//! 4. **[`WorkerServer`]** — the accept loop behind the `seo-sweepd`
+//!    binary: one job per connection, episodes run through the same serial
+//!    scratch loop as every other sweep mode.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::transport::HostPool;
+//!
+//! let pool = HostPool::parse(
+//!     r#"{"v":1,"hosts":[
+//!         {"addr":"10.0.0.1:7641","capacity":4},
+//!         {"addr":"10.0.0.2:7641","capacity":2}
+//!     ]}"#,
+//! )?;
+//! assert_eq!(pool.total_capacity(), 6);
+//! // Zero-capacity or duplicate hosts never reach the network layer.
+//! assert!(HostPool::parse(
+//!     r#"{"v":1,"hosts":[{"addr":"10.0.0.1:7641","capacity":0}]}"#
+//! ).is_err());
+//! # Ok::<(), seo_core::transport::TransportError>(())
+//! ```
+
+use crate::batch::ScenarioSpec;
+use crate::json::Json;
+use crate::metrics::EpisodeReport;
+use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
+use crate::shard::{self, Shard, ShardError, StreamingMerge};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Upper bound on a single frame's payload, rejecting absurd length
+/// prefixes (a peer speaking a different protocol, or garbage) before any
+/// allocation happens. Real report lines are a few kilobytes.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Default per-connection timeout (connect, read, write). A host that goes
+/// silent longer than this is declared lost and its remaining range is
+/// re-sharded.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Errors raised by the multi-host transport: configuration validation,
+/// framing, socket I/O, merge protocol violations, and fleet exhaustion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// An invalid host-pool configuration (empty pool, duplicate address,
+    /// zero capacity, malformed JSON).
+    Config {
+        /// What was wrong.
+        message: String,
+    },
+    /// A malformed, oversized, or truncated frame.
+    Frame {
+        /// What was wrong.
+        message: String,
+    },
+    /// A socket-level failure.
+    Io {
+        /// What the transport was doing when it failed.
+        context: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// The streaming merge rejected a report (duplicate index, index
+    /// outside the grid, or a hole at the end of the run).
+    Merge(ShardError),
+    /// Every host died before the grid completed; re-sharding has nowhere
+    /// left to go.
+    NoSurvivors {
+        /// Spec indices still unreported when the last host was lost.
+        remaining: usize,
+        /// The failure message of the last host to die.
+        last_error: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config { message } => write!(f, "host pool config error: {message}"),
+            Self::Frame { message } => write!(f, "frame error: {message}"),
+            Self::Io { context, message } => write!(f, "{context}: {message}"),
+            Self::Merge(e) => write!(f, "merge error: {e}"),
+            Self::NoSurvivors {
+                remaining,
+                last_error,
+            } => write!(
+                f,
+                "all hosts lost with {remaining} spec(s) unreported (last failure: {last_error})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<ShardError> for TransportError {
+    fn from(e: ShardError) -> Self {
+        Self::Merge(e)
+    }
+}
+
+fn config_err(message: impl Into<String>) -> TransportError {
+    TransportError::Config {
+        message: message.into(),
+    }
+}
+
+fn frame_err(message: impl Into<String>) -> TransportError {
+    TransportError::Frame {
+        message: message.into(),
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> TransportError {
+    TransportError::Io {
+        context: context.to_owned(),
+        message: e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-delimited frame (4-byte big-endian payload length,
+/// then the payload) and flushes, so the peer sees it immediately.
+///
+/// # Errors
+///
+/// [`TransportError::Frame`] when the payload exceeds [`MAX_FRAME_LEN`],
+/// [`TransportError::Io`] on a socket failure.
+pub fn write_frame(w: &mut dyn Write, payload: &[u8]) -> Result<(), TransportError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            frame_err(format!(
+                "payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap",
+                payload.len()
+            ))
+        })?;
+    w.write_all(&len.to_be_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| io_err("writing frame", &e))
+}
+
+/// Reads one length-delimited frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary — the peer closed the connection between frames.
+///
+/// # Errors
+///
+/// [`TransportError::Frame`] on a truncated frame or a length prefix above
+/// [`MAX_FRAME_LEN`], [`TransportError::Io`] on a socket failure (including
+/// a read timeout).
+pub fn read_frame(r: &mut dyn Read) -> Result<Option<Vec<u8>>, TransportError> {
+    let mut len_buf = [0u8; 4];
+    match read_full(r, &mut len_buf)? {
+        0 => return Ok(None),
+        4 => {}
+        n => return Err(frame_err(format!("truncated length prefix ({n}/4 bytes)"))),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(frame_err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_full(r, &mut payload)?;
+    if got != payload.len() {
+        return Err(frame_err(format!(
+            "truncated frame ({got}/{} payload bytes)",
+            payload.len()
+        )));
+    }
+    Ok(Some(payload))
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read. Unlike
+/// `read_exact`, a clean EOF before the first byte is distinguishable from
+/// a mid-buffer truncation.
+fn read_full(r: &mut dyn Read, buf: &mut [u8]) -> Result<usize, TransportError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("reading frame", &e)),
+        }
+    }
+    Ok(filled)
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+fn get<'a>(obj: &'a Json, field: &str) -> Result<&'a Json, TransportError> {
+    obj.get(field)
+        .ok_or_else(|| frame_err(format!("missing field '{field}'")))
+}
+
+fn get_usize(obj: &Json, field: &str) -> Result<usize, TransportError> {
+    get(obj, field)?
+        .as_i64()
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| frame_err(format!("{field}: expected a non-negative integer")))
+}
+
+fn check_version(obj: &Json) -> Result<(), TransportError> {
+    let v = get(obj, "v")?
+        .as_i64()
+        .ok_or_else(|| frame_err("v: expected an integer"))?;
+    if v != i64::try_from(shard::WIRE_VERSION).unwrap_or(i64::MAX) {
+        return Err(frame_err(format!(
+            "wire version {v} (this build speaks {})",
+            shard::WIRE_VERSION
+        )));
+    }
+    Ok(())
+}
+
+/// One unit of work a coordinator sends a worker: run the shard
+/// `[start, end)` of the grid `ScenarioSpec::paper_grid(scenarios, seed)`
+/// and stream one report frame per episode, **in ascending index order**,
+/// followed by a `done` frame.
+///
+/// The ascending-order requirement is load-bearing for fault tolerance: it
+/// makes a lost host's unreported work a contiguous tail, which is what
+/// [`RemoteCoordinator`] re-shards across survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRequest {
+    /// Grid size parameter (see [`ScenarioSpec::paper_grid`]).
+    pub scenarios: usize,
+    /// Grid base seed.
+    pub seed: u64,
+    /// The spec range to run.
+    pub shard: Shard,
+}
+
+impl JobRequest {
+    /// The full grid this job's shard indexes into — identical on every
+    /// participating machine by construction.
+    #[must_use]
+    pub fn specs(&self) -> Vec<ScenarioSpec> {
+        ScenarioSpec::paper_grid(self.scenarios, self.seed)
+    }
+
+    /// Encodes the request as a control-frame payload.
+    #[must_use]
+    pub fn to_frame(&self) -> Vec<u8> {
+        Json::obj(vec![
+            ("v", shard::WIRE_VERSION.into()),
+            ("type", "job".into()),
+            ("scenarios", self.scenarios.into()),
+            ("seed", shard::u64_to_wire(self.seed)),
+            ("start", self.shard.start.into()),
+            ("end", self.shard.end.into()),
+        ])
+        .render()
+        .into_bytes()
+    }
+
+    /// Decodes a request from a control-frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Frame`] on malformed JSON, a version mismatch, a
+    /// wrong `type`, or an empty/reversed shard range.
+    pub fn from_frame(payload: &[u8]) -> Result<Self, TransportError> {
+        let json = parse_frame_json(payload)?;
+        check_version(&json)?;
+        let kind = get(&json, "type")?
+            .as_str()
+            .ok_or_else(|| frame_err("type: expected a string"))?;
+        if kind != "job" {
+            return Err(frame_err(format!("expected a job frame, got '{kind}'")));
+        }
+        let shard = Shard::new(get_usize(&json, "start")?, get_usize(&json, "end")?);
+        if shard.is_empty() {
+            return Err(frame_err(format!("job shard {shard} covers no specs")));
+        }
+        Ok(Self {
+            scenarios: get_usize(&json, "scenarios")?,
+            seed: shard::u64_from_wire(get(&json, "seed")?, "seed")
+                .map_err(TransportError::from)?,
+            shard,
+        })
+    }
+}
+
+/// A frame sent by a worker back to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerMsg {
+    /// One episode report — the payload is byte-for-byte a
+    /// [`crate::shard::report_line`].
+    Report {
+        /// Global spec index.
+        index: usize,
+        /// The episode's report.
+        report: EpisodeReport,
+    },
+    /// The job completed; `count` episodes were reported.
+    Done {
+        /// Reports the worker claims to have sent.
+        count: usize,
+    },
+    /// The worker could not run (or finish) the job.
+    Error {
+        /// The worker-side failure description.
+        message: String,
+    },
+}
+
+/// Encodes the `done` control frame.
+#[must_use]
+pub fn done_frame(count: usize) -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "done".into()),
+        ("count", count.into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Encodes the `error` control frame.
+#[must_use]
+pub fn error_frame(message: &str) -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "error".into()),
+        ("message", message.into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+fn parse_frame_json(payload: &[u8]) -> Result<Json, TransportError> {
+    let text = std::str::from_utf8(payload).map_err(|e| frame_err(format!("not UTF-8: {e}")))?;
+    Json::parse(text.trim()).map_err(|e| frame_err(e.to_string()))
+}
+
+/// Decodes one worker frame: report payloads are exactly the NDJSON
+/// [`crate::shard::report_line`] (no `"type"` field), control payloads
+/// carry `"type": "done" | "error"`.
+///
+/// # Errors
+///
+/// [`TransportError::Frame`] on malformed payloads or unknown frame types.
+pub fn parse_worker_frame(payload: &[u8]) -> Result<WorkerMsg, TransportError> {
+    let json = parse_frame_json(payload)?;
+    let Some(kind) = json.get("type") else {
+        let text =
+            std::str::from_utf8(payload).map_err(|e| frame_err(format!("not UTF-8: {e}")))?;
+        let (index, report) =
+            shard::parse_report_line(text.trim()).map_err(|e| frame_err(e.to_string()))?;
+        return Ok(WorkerMsg::Report { index, report });
+    };
+    let kind = kind
+        .as_str()
+        .ok_or_else(|| frame_err("type: expected a string"))?;
+    check_version(&json)?;
+    match kind {
+        "done" => Ok(WorkerMsg::Done {
+            count: get_usize(&json, "count")?,
+        }),
+        "error" => Ok(WorkerMsg::Error {
+            message: get(&json, "message")?
+                .as_str()
+                .ok_or_else(|| frame_err("message: expected a string"))?
+                .to_owned(),
+        }),
+        other => Err(frame_err(format!("unknown frame type '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host pool
+// ---------------------------------------------------------------------------
+
+/// One worker host: where to connect and how much work it can take
+/// relative to its peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSpec {
+    /// `host:port` the host's `seo-sweepd` listens on.
+    pub addr: String,
+    /// Relative capacity weight (≥ 1); shard sizes are proportional to it.
+    pub capacity: u64,
+}
+
+/// A validated set of worker hosts (the `--hosts hosts.json` file).
+///
+/// Construction rejects misconfigurations — an empty pool, a blank or
+/// duplicate address, a zero capacity — so a bad fleet fails loudly before
+/// any connection is attempted, mirroring how
+/// [`crate::shard::ShardPlan::from_shards`] validates before any process
+/// spawns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostPool {
+    hosts: Vec<HostSpec>,
+}
+
+impl HostPool {
+    /// Validates an explicit host list.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Config`] naming the first offending host.
+    pub fn new(hosts: Vec<HostSpec>) -> Result<Self, TransportError> {
+        if hosts.is_empty() {
+            return Err(config_err("host pool is empty"));
+        }
+        for (i, host) in hosts.iter().enumerate() {
+            if host.addr.trim().is_empty() {
+                return Err(config_err(format!("host {i}: address is blank")));
+            }
+            if host.capacity == 0 {
+                return Err(config_err(format!(
+                    "host {i} ('{}'): capacity must be at least 1",
+                    host.addr
+                )));
+            }
+            if let Some(dup) = hosts[..i].iter().position(|h| h.addr == host.addr) {
+                return Err(config_err(format!(
+                    "host {i} duplicates host {dup} ('{}')",
+                    host.addr
+                )));
+            }
+        }
+        Ok(Self { hosts })
+    }
+
+    /// Parses and validates the JSON pool format:
+    /// `{"v":1,"hosts":[{"addr":"host:port","capacity":N},…]}`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Config`] on malformed JSON, missing fields, a
+    /// version mismatch, or any [`Self::new`] validation failure.
+    pub fn parse(text: &str) -> Result<Self, TransportError> {
+        let json = Json::parse(text).map_err(|e| config_err(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Decodes a pool from an already-parsed JSON tree (see [`Self::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::parse`].
+    pub fn from_json(json: &Json) -> Result<Self, TransportError> {
+        let version = json
+            .get("v")
+            .ok_or_else(|| config_err("missing field 'v'"))?
+            .as_i64()
+            .ok_or_else(|| config_err("v: expected an integer"))?;
+        if version != i64::try_from(shard::WIRE_VERSION).unwrap_or(i64::MAX) {
+            return Err(config_err(format!(
+                "host pool version {version} (this build speaks {})",
+                shard::WIRE_VERSION
+            )));
+        }
+        let hosts = json
+            .get("hosts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| config_err("missing or non-array field 'hosts'"))?
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let addr = h
+                    .get("addr")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| config_err(format!("host {i}: missing string field 'addr'")))?
+                    .to_owned();
+                let capacity = h
+                    .get("capacity")
+                    .ok_or_else(|| config_err(format!("host {i}: missing field 'capacity'")))
+                    .and_then(|c| {
+                        shard::u64_from_wire(c, "capacity")
+                            .map_err(|e| config_err(format!("host {i}: {e}")))
+                    })?;
+                Ok(HostSpec { addr, capacity })
+            })
+            .collect::<Result<Vec<_>, TransportError>>()?;
+        Self::new(hosts)
+    }
+
+    /// Renders the pool back to its JSON config form (round-trips through
+    /// [`Self::parse`]).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("v", shard::WIRE_VERSION.into()),
+            (
+                "hosts",
+                Json::Arr(
+                    self.hosts
+                        .iter()
+                        .map(|h| {
+                            Json::obj(vec![
+                                ("addr", h.addr.as_str().into()),
+                                ("capacity", shard::u64_to_wire(h.capacity)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The hosts, in config order.
+    #[must_use]
+    pub fn hosts(&self) -> &[HostSpec] {
+        &self.hosts
+    }
+
+    /// Sum of all capacity weights.
+    #[must_use]
+    pub fn total_capacity(&self) -> u64 {
+        self.hosts.iter().map(|h| h.capacity).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote coordinator
+// ---------------------------------------------------------------------------
+
+/// One lost host, as recorded in [`RemoteRunStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostLoss {
+    /// The host's configured address.
+    pub addr: String,
+    /// Why it was declared lost.
+    pub message: String,
+    /// Specs of its job still unreported at the time of loss — the range
+    /// that was re-sharded across survivors.
+    pub reassigned: usize,
+}
+
+/// What a [`RemoteCoordinator`] run did: dispatch counts and every host
+/// loss it survived. A run that returns `Ok` produced complete, correct
+/// output even when `hosts_lost` is non-empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemoteRunStats {
+    /// One entry per failed job (a host failing two jobs appears twice).
+    pub hosts_lost: Vec<HostLoss>,
+    /// Jobs dispatched across all waves (≥ the host count on success).
+    pub jobs: usize,
+    /// Dispatch waves; 1 when no host was lost.
+    pub waves: usize,
+}
+
+/// Shared merge state: the merge plus the streaming sink it feeds, under
+/// one lock so reports are sunk in exactly merge order (the same discipline
+/// as the process-level coordinator).
+struct MergeState<'a> {
+    merge: StreamingMerge,
+    sink: &'a mut (dyn FnMut(usize, EpisodeReport) + Send),
+}
+
+/// A job-level failure: which host, what remains of its shard, and why.
+struct JobFailure {
+    host_index: usize,
+    remaining: Shard,
+    message: String,
+}
+
+/// Distributes a sweep grid across a [`HostPool`] over TCP and merges the
+/// streamed reports deterministically, re-sharding around host losses.
+///
+/// The output contract is identical to the single-machine engines: the
+/// merged reports are **bit-identical** to
+/// [`crate::batch::BatchRunner::run_serial`] over
+/// [`ScenarioSpec::paper_grid`]`(scenarios, seed)` — host count, capacity
+/// skew, and mid-stream host deaths included, because every episode is a
+/// pure function of its spec and the merge orders by spec index.
+///
+/// Work is dispatched in **waves**: the first wave assigns the whole grid
+/// across all hosts proportionally to capacity; each later wave re-shards
+/// the contiguous unreported tails of the hosts lost in the previous wave
+/// across the survivors. A host that fails once is never assigned work
+/// again. When every host is lost with specs still unreported the run
+/// fails with [`TransportError::NoSurvivors`].
+#[derive(Debug, Clone)]
+pub struct RemoteCoordinator {
+    pool: HostPool,
+    timeout: Duration,
+}
+
+impl RemoteCoordinator {
+    /// A coordinator over `pool` with the [`DEFAULT_TIMEOUT`].
+    #[must_use]
+    pub fn new(pool: HostPool) -> Self {
+        Self {
+            pool,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Overrides the connect/read/write timeout (builder style). A host
+    /// silent for longer is declared lost and re-sharded around.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The pool this coordinator dispatches over.
+    #[must_use]
+    pub fn pool(&self) -> &HostPool {
+        &self.pool
+    }
+
+    /// Runs the grid and returns the merged reports in spec order plus the
+    /// run's fault record.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::NoSurvivors`] when every host died with work
+    /// outstanding; [`TransportError::Merge`] on an unfillable hole (a
+    /// protocol violation the re-sharding could not paper over).
+    pub fn run(
+        &self,
+        scenarios: usize,
+        seed: u64,
+    ) -> Result<(Vec<EpisodeReport>, RemoteRunStats), TransportError> {
+        let mut merged = Vec::new();
+        let stats = self.run_streaming(scenarios, seed, |_, report| merged.push(report))?;
+        Ok((merged, stats))
+    }
+
+    /// Like [`Self::run`], but delivers each report to `sink` while hosts
+    /// are still streaming: `sink(spec_index, report)` is invoked strictly
+    /// in spec order as soon as the contiguous prefix up to that index is
+    /// complete.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_streaming(
+        &self,
+        scenarios: usize,
+        seed: u64,
+        mut sink: impl FnMut(usize, EpisodeReport) + Send,
+    ) -> Result<RemoteRunStats, TransportError> {
+        let n_specs = ScenarioSpec::paper_grid(scenarios, seed).len();
+        let mut stats = RemoteRunStats::default();
+        if n_specs == 0 {
+            return Ok(stats);
+        }
+        let state = Mutex::new(MergeState {
+            merge: StreamingMerge::new(n_specs),
+            sink: &mut sink,
+        });
+        let mut alive = vec![true; self.pool.hosts().len()];
+        let mut wave = self.assign(Shard::new(0, n_specs), &alive);
+        loop {
+            stats.waves += 1;
+            stats.jobs += wave.len();
+            let failures = self.run_wave(&wave, scenarios, seed, &state);
+            let mut remnants: Vec<Shard> = Vec::new();
+            let mut last_error = String::new();
+            for failure in failures {
+                alive[failure.host_index] = false;
+                last_error.clone_from(&failure.message);
+                stats.hosts_lost.push(HostLoss {
+                    addr: self.pool.hosts()[failure.host_index].addr.clone(),
+                    message: failure.message,
+                    reassigned: failure.remaining.len(),
+                });
+                if !failure.remaining.is_empty() {
+                    remnants.push(failure.remaining);
+                }
+            }
+            if remnants.is_empty() {
+                break;
+            }
+            if !alive.iter().any(|&a| a) {
+                return Err(TransportError::NoSurvivors {
+                    remaining: remnants.iter().map(Shard::len).sum(),
+                    last_error,
+                });
+            }
+            wave = remnants
+                .iter()
+                .flat_map(|&remnant| self.assign(remnant, &alive))
+                .collect();
+        }
+        // Every accepted report was streamed on arrival; anything left is a
+        // hole, which finish() names.
+        let leftovers = state
+            .into_inner()
+            .expect("merge mutex poisoned")
+            .merge
+            .finish()?;
+        debug_assert!(leftovers.is_empty(), "streamed merge cannot hold a tail");
+        Ok(stats)
+    }
+
+    /// Splits `range` across the live hosts proportionally to capacity,
+    /// dropping empty assignments.
+    fn assign(&self, range: Shard, alive: &[bool]) -> Vec<(usize, Shard)> {
+        let live: Vec<usize> = (0..self.pool.hosts().len()).filter(|&i| alive[i]).collect();
+        let weights: Vec<u64> = live
+            .iter()
+            .map(|&i| self.pool.hosts()[i].capacity)
+            .collect();
+        range
+            .split_weighted(&weights)
+            .into_iter()
+            .zip(live)
+            .filter(|(part, _)| !part.is_empty())
+            .map(|(part, host_index)| (host_index, part))
+            .collect()
+    }
+
+    /// Dispatches one wave of jobs, one thread per job, and collects the
+    /// failures. Successful jobs feed the shared merge as they stream.
+    fn run_wave(
+        &self,
+        wave: &[(usize, Shard)],
+        scenarios: usize,
+        seed: u64,
+        state: &Mutex<MergeState<'_>>,
+    ) -> Vec<JobFailure> {
+        let mut failures = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = wave
+                .iter()
+                .map(|&(host_index, shard)| {
+                    let request = JobRequest {
+                        scenarios,
+                        seed,
+                        shard,
+                    };
+                    scope.spawn(move || self.run_job(host_index, request, state))
+                })
+                .collect();
+            for handle in handles {
+                if let Err(failure) = handle.join().expect("transport job thread panicked") {
+                    failures.push(failure);
+                }
+            }
+        });
+        failures
+    }
+
+    /// Drives one job on one host, reporting how far it got on failure.
+    fn run_job(
+        &self,
+        host_index: usize,
+        request: JobRequest,
+        state: &Mutex<MergeState<'_>>,
+    ) -> Result<(), JobFailure> {
+        let mut next = request.shard.start;
+        self.drive_connection(&self.pool.hosts()[host_index], &request, state, &mut next)
+            .map_err(|message| JobFailure {
+                host_index,
+                remaining: Shard::new(next, request.shard.end),
+                message,
+            })
+    }
+
+    /// The per-connection protocol loop. `next` tracks the lowest index of
+    /// the shard not yet accepted into the merge; because workers must
+    /// stream in ascending order, `[next, shard.end)` is exactly the
+    /// remaining work if the connection dies.
+    fn drive_connection(
+        &self,
+        host: &HostSpec,
+        request: &JobRequest,
+        state: &Mutex<MergeState<'_>>,
+        next: &mut usize,
+    ) -> Result<(), String> {
+        let mut stream = connect(&host.addr, self.timeout)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| format!("socket setup for {}: {e}", host.addr))?;
+        write_frame(&mut stream, &request.to_frame()).map_err(|e| e.to_string())?;
+        loop {
+            let payload = read_frame(&mut stream)
+                .map_err(|e| e.to_string())?
+                .ok_or_else(|| {
+                    format!(
+                        "connection closed mid-shard ({}/{} reports received)",
+                        *next - request.shard.start,
+                        request.shard.len()
+                    )
+                })?;
+            match parse_worker_frame(&payload).map_err(|e| e.to_string())? {
+                WorkerMsg::Report { index, report } => {
+                    if *next >= request.shard.end {
+                        return Err(format!(
+                            "report {index} after shard {} completed",
+                            request.shard
+                        ));
+                    }
+                    if index != *next {
+                        return Err(format!(
+                            "out-of-order report: expected index {next}, got {index} \
+                             (workers must stream their shard in ascending order)"
+                        ));
+                    }
+                    let mut guard = state.lock().expect("merge mutex poisoned");
+                    let MergeState { merge, sink } = &mut *guard;
+                    merge
+                        .accept(index, report)
+                        .map_err(|e| format!("protocol violation: {e}"))?;
+                    let base = merge.next_index();
+                    for (offset, ready) in merge.drain_ready().into_iter().enumerate() {
+                        sink(base + offset, ready);
+                    }
+                    drop(guard);
+                    *next += 1;
+                }
+                WorkerMsg::Done { count } => {
+                    if *next != request.shard.end {
+                        return Err(format!(
+                            "done after {}/{} reports",
+                            *next - request.shard.start,
+                            request.shard.len()
+                        ));
+                    }
+                    if count != request.shard.len() {
+                        return Err(format!(
+                            "done frame claims {count} reports for shard {} of {}",
+                            request.shard,
+                            request.shard.len()
+                        ));
+                    }
+                    return Ok(());
+                }
+                WorkerMsg::Error { message } => return Err(format!("worker error: {message}")),
+            }
+        }
+    }
+}
+
+/// Connects to `addr`, trying **every** address it resolves to before
+/// giving up — on a dual-stack machine `localhost` may resolve to `::1`
+/// first while the daemon listens on `127.0.0.1`, and one refused family
+/// must not condemn a reachable host.
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let resolved: Vec<SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve '{addr}': {e}"))?
+        .collect();
+    let mut last_error = format!("'{addr}' resolved to no addresses");
+    for candidate in resolved {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_error = format!("connect to {addr} ({candidate}): {e}"),
+        }
+    }
+    Err(last_error)
+}
+
+// ---------------------------------------------------------------------------
+// Worker server
+// ---------------------------------------------------------------------------
+
+/// Serves one coordinator connection end to end: reads the job frame, runs
+/// the requested shard through the same serial scratch loop every other
+/// sweep mode uses, streams one report frame per episode in ascending index
+/// order, and finishes with a `done` frame.
+///
+/// `fail_after` is the fault-injection hook the loopback tests and the
+/// `seo-sweepd --fail-after` flag use: after emitting that many reports the
+/// connection is dropped **without** a `done` frame, exactly like a host
+/// dying mid-stream. `None` disables it.
+///
+/// The connection gets the [`DEFAULT_TIMEOUT`] for reads and writes, so a
+/// coordinator that connects and goes silent (or stops draining its
+/// socket) cannot pin a daemon thread forever — the connection errors out
+/// and the thread exits.
+///
+/// # Errors
+///
+/// [`TransportError`] on a malformed job frame (an `error` frame is sent
+/// back best-effort), a shard outside the grid, or a socket failure.
+pub fn serve_connection(
+    mut stream: TcpStream,
+    runtime: &RuntimeLoop,
+    fail_after: Option<usize>,
+) -> Result<(), TransportError> {
+    stream
+        .set_read_timeout(Some(DEFAULT_TIMEOUT))
+        .and_then(|()| stream.set_write_timeout(Some(DEFAULT_TIMEOUT)))
+        .and_then(|()| stream.set_nodelay(true))
+        .map_err(|e| io_err("worker socket setup", &e))?;
+    let request = match read_frame(&mut stream)? {
+        Some(payload) => match JobRequest::from_frame(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &error_frame(&e.to_string()));
+                return Err(e);
+            }
+        },
+        None => return Ok(()), // peer connected and left; nothing to do
+    };
+    let specs = request.specs();
+    if request.shard.end > specs.len() {
+        let e = frame_err(format!(
+            "job shard {} reaches outside the {}-spec grid",
+            request.shard,
+            specs.len()
+        ));
+        let _ = write_frame(&mut stream, &error_frame(&e.to_string()));
+        return Err(e);
+    }
+    let mut scratch = EpisodeScratch::new();
+    let mut emitted = 0usize;
+    for i in request.shard.indices() {
+        if fail_after == Some(emitted) {
+            return Ok(()); // injected mid-stream death: vanish without `done`
+        }
+        let spec = specs[i];
+        let world = spec.world();
+        let report = runtime.run_with(WorldSource::Static(&world), spec.seed, &mut scratch);
+        write_frame(&mut stream, shard::report_line(i, &report).as_bytes())?;
+        emitted += 1;
+    }
+    if fail_after == Some(emitted) {
+        return Ok(());
+    }
+    write_frame(&mut stream, &done_frame(emitted))
+}
+
+/// The accept loop behind `seo-sweepd`: binds a listener and serves each
+/// incoming connection (= one [`JobRequest`]) on its own thread, so a
+/// coordinator can land several re-shard jobs on the same host
+/// concurrently.
+#[derive(Debug)]
+pub struct WorkerServer {
+    listener: TcpListener,
+}
+
+impl WorkerServer {
+    /// Binds the listener. Use port `0` to let the OS pick (then read the
+    /// actual address back via [`Self::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str) -> Result<Self, TransportError> {
+        Ok(Self {
+            listener: TcpListener::bind(addr).map_err(|e| io_err(&format!("bind {addr}"), &e))?,
+        })
+    }
+
+    /// The bound address (the one to put in `hosts.json`).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] when the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, TransportError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| io_err("local_addr", &e))
+    }
+
+    /// Accepts and serves connections until the process exits, one thread
+    /// per connection. Per-connection failures are reported to stderr and
+    /// do not stop the loop — a daemon must survive a misbehaving
+    /// coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] when `accept` itself fails.
+    pub fn serve(
+        &self,
+        runtime: Arc<RuntimeLoop>,
+        fail_after: Option<usize>,
+    ) -> Result<(), TransportError> {
+        loop {
+            let (stream, peer) = self.listener.accept().map_err(|e| io_err("accept", &e))?;
+            let runtime = Arc::clone(&runtime);
+            std::thread::spawn(move || {
+                if let Err(e) = serve_connection(stream, &runtime, fail_after) {
+                    eprintln!("seo-sweepd: connection from {peer}: {e}");
+                }
+            });
+        }
+    }
+}

@@ -146,6 +146,90 @@ fn planner_merge_composition_reproduces_serial_sweep() {
 }
 
 #[test]
+fn merge_rejects_duplicate_index_and_keeps_the_original() {
+    let runner = runner(OptimizerKind::Offloading);
+    let specs = ScenarioSpec::grid(&[0, 2], 1, 5);
+    let reports = runner.run_serial(&specs);
+    assert_ne!(reports[0], reports[1], "distinct reports for the test");
+
+    let mut merge = StreamingMerge::new(specs.len());
+    merge.accept(0, reports[0].clone()).expect("first accept");
+    // A duplicate is a protocol violation — NOT a silent last-write-wins:
+    // re-sending index 0 with a *different* report must be rejected…
+    assert_eq!(
+        merge.accept(0, reports[1].clone()),
+        Err(ShardError::DuplicateIndex { index: 0 })
+    );
+    // …and must not bump the received count.
+    assert_eq!(merge.received(), 1);
+    merge.accept(1, reports[1].clone()).expect("second accept");
+    // The original report survived the duplicate attempt untouched.
+    assert_eq!(merge.finish().expect("complete"), reports);
+}
+
+#[test]
+fn merge_rejects_duplicates_even_after_draining() {
+    let runner = runner(OptimizerKind::Offloading);
+    let specs = ScenarioSpec::grid(&[0], 2, 9);
+    let reports = runner.run_serial(&specs);
+    let mut merge = StreamingMerge::new(specs.len());
+    merge.accept(0, reports[0].clone()).expect("ok");
+    assert_eq!(merge.drain_ready().len(), 1, "prefix released");
+    // The slot is gone, but the index is still remembered as taken.
+    assert_eq!(
+        merge.accept(0, reports[1].clone()),
+        Err(ShardError::DuplicateIndex { index: 0 })
+    );
+}
+
+#[test]
+fn merge_rejects_out_of_range_index_without_corrupting_state() {
+    let runner = runner(OptimizerKind::Offloading);
+    let specs = ScenarioSpec::grid(&[0], 2, 3);
+    let reports = runner.run_serial(&specs);
+    let mut merge = StreamingMerge::new(specs.len());
+    // One-past-the-end and far-out indices are both named violations.
+    for bad in [specs.len(), specs.len() + 100] {
+        assert_eq!(
+            merge.accept(bad, reports[0].clone()),
+            Err(ShardError::IndexOutOfRange {
+                index: bad,
+                total: specs.len()
+            })
+        );
+    }
+    // The rejected reports left no trace: the merge still completes with
+    // exactly the in-range accepts.
+    assert_eq!(merge.received(), 0);
+    merge.accept(0, reports[0].clone()).expect("ok");
+    merge.accept(1, reports[1].clone()).expect("ok");
+    assert_eq!(merge.finish().expect("complete"), reports);
+}
+
+#[test]
+fn duplicate_wire_lines_surface_as_protocol_violations() {
+    // End to end through the wire format: a worker stream that repeats an
+    // index must fail the merge loudly, never overwrite silently.
+    let runner = runner(OptimizerKind::Offloading);
+    let specs = ScenarioSpec::grid(&[0, 2], 1, 2023);
+    let mut buf = Vec::new();
+    run_worker_shard(runner.runtime(), &specs, Shard::new(0, 2), &mut buf).expect("runs");
+    let text = String::from_utf8(buf).expect("utf8");
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.push(lines[0]); // replayed line, as a buggy transport might
+
+    let mut merge = StreamingMerge::new(specs.len());
+    let mut violation = None;
+    for line in lines {
+        let (index, report) = parse_report_line(line).expect("valid line");
+        if let Err(e) = merge.accept(index, report) {
+            violation = Some(e);
+        }
+    }
+    assert_eq!(violation, Some(ShardError::DuplicateIndex { index: 0 }));
+}
+
+#[test]
 fn merge_streams_prefixes_incrementally() {
     let runner = runner(OptimizerKind::ModelGating);
     let specs = ScenarioSpec::grid(&[0, 2], 2, 11);

@@ -1,0 +1,338 @@
+//! Loopback-TCP properties of the multi-host sweep transport: host-pool
+//! validation, frame round-trips, capacity-weighted assignment, and the
+//! tentpole guarantee — the remote merge is bit-identical to
+//! `BatchRunner::run_serial` under 1/2/3 hosts, uneven capacities, and
+//! injected mid-stream host failures (kills, dead hosts, stalls).
+
+use seo_core::batch::{BatchRunner, ScenarioSpec};
+use seo_core::prelude::*;
+use seo_core::runtime::RuntimeLoop;
+use seo_core::shard::report_line;
+use seo_core::transport::{
+    done_frame, error_frame, parse_worker_frame, read_frame, write_frame, HostPool, HostSpec,
+    JobRequest, RemoteCoordinator, TransportError, WorkerMsg, WorkerServer,
+};
+use std::io::Cursor;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SCENARIOS: usize = 6;
+const SEED: u64 = 2023;
+
+fn paper_runtime() -> RuntimeLoop {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper models");
+    RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime")
+}
+
+fn serial_reports() -> Vec<EpisodeReport> {
+    BatchRunner::new(paper_runtime()).run_serial(&ScenarioSpec::paper_grid(SCENARIOS, SEED))
+}
+
+/// Starts an in-process worker server on an OS-assigned loopback port and
+/// returns its address. `fail_after` injects a mid-stream connection drop
+/// after that many reports on **every** job the host serves.
+fn spawn_worker(fail_after: Option<usize>) -> SocketAddr {
+    let server = WorkerServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let runtime = Arc::new(paper_runtime());
+    std::thread::spawn(move || {
+        let _ = server.serve(runtime, fail_after);
+    });
+    addr
+}
+
+fn pool_of(hosts: &[(SocketAddr, u64)]) -> HostPool {
+    HostPool::new(
+        hosts
+            .iter()
+            .map(|&(addr, capacity)| HostSpec {
+                addr: addr.to_string(),
+                capacity,
+            })
+            .collect(),
+    )
+    .expect("valid pool")
+}
+
+#[test]
+fn host_pool_rejects_misconfigurations_before_any_connection() {
+    let ok = |addr: &str, capacity| HostSpec {
+        addr: addr.to_owned(),
+        capacity,
+    };
+    assert!(matches!(
+        HostPool::new(vec![]),
+        Err(TransportError::Config { .. })
+    ));
+    assert!(matches!(
+        HostPool::new(vec![ok("a:1", 1), ok("a:1", 2)]),
+        Err(TransportError::Config { .. })
+    ));
+    assert!(matches!(
+        HostPool::new(vec![ok("a:1", 0)]),
+        Err(TransportError::Config { .. })
+    ));
+    assert!(matches!(
+        HostPool::new(vec![ok("  ", 1)]),
+        Err(TransportError::Config { .. })
+    ));
+    // The error names the offending host.
+    let err = HostPool::new(vec![ok("a:1", 1), ok("b:2", 0)]).expect_err("zero capacity");
+    assert!(err.to_string().contains("b:2"), "{err}");
+}
+
+#[test]
+fn host_pool_json_round_trips_and_validates() {
+    let text = r#"{"v":1,"hosts":[
+        {"addr":"10.0.0.1:7641","capacity":4},
+        {"addr":"10.0.0.2:7641","capacity":1}
+    ]}"#;
+    let pool = HostPool::parse(text).expect("valid pool");
+    assert_eq!(pool.hosts().len(), 2);
+    assert_eq!(pool.total_capacity(), 5);
+    let reparsed = HostPool::parse(&pool.to_json().render()).expect("round-trips");
+    assert_eq!(reparsed, pool);
+
+    // Validation happens at parse time, not connect time.
+    for bad in [
+        r#"{"hosts":[{"addr":"a:1","capacity":1}]}"#, // missing version
+        r#"{"v":9,"hosts":[{"addr":"a:1","capacity":1}]}"#, // foreign version
+        r#"{"v":1,"hosts":[]}"#,                      // empty pool
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":0}]}"#, // zero capacity
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1},{"addr":"a:1","capacity":1}]}"#, // dup
+        r#"{"v":1,"hosts":[{"capacity":1}]}"#,        // missing addr
+        "not json",
+    ] {
+        assert!(
+            matches!(HostPool::parse(bad), Err(TransportError::Config { .. })),
+            "{bad} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn frames_round_trip_and_reject_garbage() {
+    // Payload round-trip through an in-memory stream.
+    let mut buf = Vec::new();
+    write_frame(&mut buf, b"hello frame").expect("writes");
+    write_frame(&mut buf, b"").expect("empty payload is legal");
+    let mut cursor = Cursor::new(buf);
+    assert_eq!(
+        read_frame(&mut cursor).expect("reads").as_deref(),
+        Some(b"hello frame".as_slice())
+    );
+    assert_eq!(
+        read_frame(&mut cursor).expect("reads").as_deref(),
+        Some(&[] as &[u8])
+    );
+    // Clean EOF at a frame boundary is None, not an error.
+    assert_eq!(read_frame(&mut cursor).expect("clean eof"), None);
+
+    // A length prefix above the cap is rejected before allocation.
+    let mut absurd = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+    assert!(matches!(
+        read_frame(&mut absurd),
+        Err(TransportError::Frame { .. })
+    ));
+    // Truncation mid-payload and mid-prefix are named errors.
+    let mut truncated = Cursor::new(vec![0, 0, 0, 9, b'x', b'y']);
+    assert!(matches!(
+        read_frame(&mut truncated),
+        Err(TransportError::Frame { .. })
+    ));
+    let mut half_prefix = Cursor::new(vec![0, 0]);
+    assert!(matches!(
+        read_frame(&mut half_prefix),
+        Err(TransportError::Frame { .. })
+    ));
+}
+
+#[test]
+fn protocol_frames_round_trip() {
+    let request = JobRequest {
+        scenarios: 60,
+        seed: u64::MAX, // string-encoded seed path included
+        shard: seo_core::shard::Shard::new(15, 30),
+    };
+    assert_eq!(
+        JobRequest::from_frame(&request.to_frame()).expect("round-trips"),
+        request
+    );
+    assert!(JobRequest::from_frame(b"{}").is_err());
+    assert!(
+        JobRequest::from_frame(&done_frame(3)).is_err(),
+        "wrong type"
+    );
+
+    match parse_worker_frame(&done_frame(7)).expect("parses") {
+        WorkerMsg::Done { count } => assert_eq!(count, 7),
+        other => panic!("expected done, got {other:?}"),
+    }
+    match parse_worker_frame(&error_frame("boom")).expect("parses") {
+        WorkerMsg::Error { message } => assert_eq!(message, "boom"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    // A report frame is byte-for-byte the NDJSON report line.
+    let report = paper_runtime().run_episode(&ScenarioSpec::new(0, 1).world(), 1);
+    let payload = report_line(3, &report).into_bytes();
+    match parse_worker_frame(&payload).expect("parses") {
+        WorkerMsg::Report {
+            index,
+            report: back,
+        } => {
+            assert_eq!(index, 3);
+            assert_eq!(back, report);
+        }
+        other => panic!("expected report, got {other:?}"),
+    }
+    assert!(parse_worker_frame(b"\xff\xfe").is_err(), "not UTF-8");
+    assert!(
+        parse_worker_frame(br#"{"v":1,"type":"mystery"}"#).is_err(),
+        "unknown type"
+    );
+}
+
+/// The tentpole property: 1/2/3 loopback hosts with uneven capacities all
+/// reproduce the serial sweep bit-for-bit, field-wise and on the wire.
+#[test]
+fn multi_host_merge_is_bit_identical_to_serial() {
+    let serial = serial_reports();
+    for capacities in [vec![1u64], vec![3, 1], vec![1, 2, 1]] {
+        let hosts: Vec<(SocketAddr, u64)> = capacities
+            .iter()
+            .map(|&c| (spawn_worker(None), c))
+            .collect();
+        let coordinator = RemoteCoordinator::new(pool_of(&hosts));
+        let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("runs");
+        assert!(stats.hosts_lost.is_empty(), "no losses expected");
+        assert_eq!(stats.waves, 1);
+        assert_eq!(
+            merged,
+            serial,
+            "{} host(s) with capacities {capacities:?} must reproduce the serial sweep",
+            capacities.len()
+        );
+        for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
+            assert_eq!(report_line(i, m), report_line(i, s), "wire line {i}");
+        }
+    }
+}
+
+#[test]
+fn streaming_sink_sees_reports_strictly_in_spec_order() {
+    let serial = serial_reports();
+    let hosts = [(spawn_worker(None), 1), (spawn_worker(None), 1)];
+    let coordinator = RemoteCoordinator::new(pool_of(&hosts));
+    let mut seen = Vec::new();
+    coordinator
+        .run_streaming(SCENARIOS, SEED, |i, report| seen.push((i, report)))
+        .expect("streams");
+    assert_eq!(seen.len(), serial.len());
+    for (k, (i, report)) in seen.iter().enumerate() {
+        assert_eq!(*i, k, "sink called strictly in spec order");
+        assert_eq!(*report, serial[k]);
+    }
+}
+
+/// Injected mid-stream host kill: the victim drops its connection after one
+/// report; its remaining range must be re-sharded across survivors and the
+/// merged output must still be bit-identical.
+#[test]
+fn mid_stream_host_kill_reshards_to_survivors() {
+    let serial = serial_reports();
+    let healthy = spawn_worker(None);
+    let doomed = spawn_worker(Some(1));
+    // The doomed host gets the bigger capacity so its death really strands work.
+    let coordinator = RemoteCoordinator::new(pool_of(&[(healthy, 1), (doomed, 2)]));
+    let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("survives the kill");
+    assert_eq!(merged, serial, "re-sharded merge must stay bit-identical");
+    assert_eq!(stats.hosts_lost.len(), 1, "exactly one host lost");
+    assert_eq!(stats.hosts_lost[0].addr, doomed.to_string());
+    assert!(stats.waves >= 2, "the remnant needs a re-dispatch wave");
+    assert!(
+        stats.hosts_lost[0].reassigned > 0,
+        "the kill must strand specs for re-sharding"
+    );
+}
+
+/// A host that is down from the start (nothing listening) is just another
+/// loss: its whole range re-shards to the survivor.
+#[test]
+fn dead_on_arrival_host_is_resharded_around() {
+    let serial = serial_reports();
+    // Grab a loopback port and release it so connects are refused.
+    let dead_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let healthy = spawn_worker(None);
+    let coordinator = RemoteCoordinator::new(pool_of(&[(dead_addr, 2), (healthy, 1)]))
+        .with_timeout(Duration::from_secs(5));
+    let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("survives");
+    assert_eq!(merged, serial);
+    assert_eq!(stats.hosts_lost.len(), 1);
+    assert_eq!(stats.hosts_lost[0].addr, dead_addr.to_string());
+}
+
+/// A host that accepts the connection and then goes silent is declared lost
+/// by the read timeout and re-sharded around.
+#[test]
+fn stalled_host_times_out_and_is_resharded_around() {
+    let serial = serial_reports();
+    // A "tar pit": accepts connections, reads nothing, answers nothing, and
+    // keeps the sockets open so the coordinator sees silence, not EOF.
+    let stall_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                held.push(stream);
+            }
+        });
+        addr
+    };
+    let healthy = spawn_worker(None);
+    let coordinator = RemoteCoordinator::new(pool_of(&[(stall_addr, 1), (healthy, 1)]))
+        .with_timeout(Duration::from_millis(400));
+    let (merged, stats) = coordinator
+        .run(SCENARIOS, SEED)
+        .expect("survives the stall");
+    assert_eq!(merged, serial);
+    assert_eq!(stats.hosts_lost.len(), 1);
+    assert_eq!(stats.hosts_lost[0].addr, stall_addr.to_string());
+}
+
+/// When every host dies with work outstanding there is nowhere left to
+/// re-shard: the run must fail loudly, naming the stranded spec count.
+#[test]
+fn losing_every_host_fails_with_no_survivors() {
+    let coordinator = RemoteCoordinator::new(pool_of(&[
+        (spawn_worker(Some(0)), 1),
+        (spawn_worker(Some(1)), 1),
+    ]));
+    match coordinator.run(SCENARIOS, SEED) {
+        Err(TransportError::NoSurvivors { remaining, .. }) => {
+            assert!(remaining > 0, "stranded specs must be counted");
+        }
+        other => panic!("expected NoSurvivors, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_grid_completes_without_touching_the_network() {
+    // An unreachable pool is fine when there is nothing to run.
+    let pool = HostPool::new(vec![HostSpec {
+        addr: "203.0.113.1:9".to_owned(), // TEST-NET, never connected to
+        capacity: 1,
+    }])
+    .expect("valid pool");
+    let (merged, stats) = RemoteCoordinator::new(pool)
+        .run(0, SEED)
+        .expect("empty run");
+    assert!(merged.is_empty());
+    assert_eq!(stats.jobs, 0);
+    assert_eq!(stats.waves, 0);
+}
