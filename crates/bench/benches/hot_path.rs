@@ -6,13 +6,38 @@
 //! is the heap traffic the `InferenceScratch` rework eliminated.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use seo_bench::timing::bench;
 use seo_core::prelude::*;
+use seo_nn::kernel::{BlockedKernel, ScalarKernel};
 use seo_nn::mlp::InferenceScratch;
 use seo_nn::policy::{DrivingPolicy, PolicyFeatures};
+use seo_nn::tensor::Matrix;
 use seo_sim::scenario::ScenarioConfig;
 use std::hint::black_box;
+
+/// Times one matvec shape on both kernel backends, asserts they are
+/// bit-identical, and prints the blocked-over-scalar speedup.
+fn bench_matvec_backends(rows: usize, cols: usize, rng: &mut StdRng) {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let m = Matrix::from_flat(rows, cols, data);
+    let mut out = vec![0.0; rows];
+    let scalar = bench(&format!("hot_path/matvec_{rows}x{cols}_scalar"), || {
+        m.matvec_into_with::<ScalarKernel>(black_box(&x), &mut out);
+        out[rows - 1]
+    });
+    let scalar_out = out.clone();
+    let blocked = bench(&format!("hot_path/matvec_{rows}x{cols}_blocked"), || {
+        m.matvec_into_with::<BlockedKernel>(black_box(&x), &mut out);
+        out[rows - 1]
+    });
+    assert_eq!(scalar_out, out, "backends must be bit-identical");
+    println!(
+        "  -> blocked kernel {:.2}x vs scalar at {rows}x{cols}",
+        scalar.ns_per_iter / blocked.ns_per_iter.max(1e-9)
+    );
+}
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2023);
@@ -39,6 +64,30 @@ fn main() {
         "  -> scratch path saves {:.1} ns/step ({:.2}x)",
         alloc.ns_per_iter - fast.ns_per_iter,
         alloc.ns_per_iter / fast.ns_per_iter.max(1e-9)
+    );
+
+    // Kernel backends head to head: the three dense shapes of the paper's
+    // policy topology (7 -> 16 -> 16 -> 2), one cell per backend, plus the
+    // full policy forward pass on each backend. Outputs are asserted
+    // bit-identical — the backend contract the property tests enforce —
+    // so the deltas here are pure speed.
+    for (rows, cols) in [(16, PolicyFeatures::DIM), (16, 16), (2, 16)] {
+        bench_matvec_backends(rows, cols, &mut rng);
+    }
+    let scalar_policy = bench("hot_path/policy_forward_scratch_scalar", || {
+        policy.act_scratch_with::<ScalarKernel>(black_box(&features), &mut scratch)
+    });
+    let blocked_policy = bench("hot_path/policy_forward_scratch_blocked", || {
+        policy.act_scratch_with::<BlockedKernel>(black_box(&features), &mut scratch)
+    });
+    assert_eq!(
+        policy.act_scratch_with::<ScalarKernel>(&features, &mut scratch),
+        policy.act_scratch_with::<BlockedKernel>(&features, &mut scratch),
+        "backends must be bit-identical"
+    );
+    println!(
+        "  -> blocked kernel {:.2}x vs scalar on the full policy forward",
+        scalar_policy.ns_per_iter / blocked_policy.ns_per_iter.max(1e-9)
     );
 
     // Scheduler planning: allocating vs reusable StepPlan.

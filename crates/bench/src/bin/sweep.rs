@@ -23,7 +23,10 @@
 //! print the merged lines to stdout; `--verify` additionally reruns the
 //! grid serially in-process and exits non-zero unless the merged output is
 //! bit-identical. `--worker START..END` runs one shard. `--scenarios` /
-//! `--seed` fix the grid on every side.
+//! `--seed` fix the grid on every side. `--kernel NAME` (default
+//! `SEO_KERNEL`, then `scalar`) selects the inference kernel backend in
+//! every mode — backends are bit-identical by the `seo_nn::kernel`
+//! contract, so this is a pure speed knob (see `docs/kernels.md`).
 //!
 //! ```sh
 //! sweep --workers 4 --verify --scenarios 60 > merged.ndjson
@@ -45,10 +48,10 @@ use seo_wireless::link::WirelessLink;
 use std::io::Write as _;
 use std::time::Instant;
 
-fn paper_runtime(optimizer: OptimizerKind) -> Result<RuntimeLoop, SeoError> {
+fn paper_runtime(optimizer: OptimizerKind, kernel: KernelBackend) -> Result<RuntimeLoop, SeoError> {
     let config = SeoConfig::paper_defaults();
     let models = ModelSet::paper_setup(config.tau)?;
-    RuntimeLoop::new(config, models, optimizer)
+    Ok(RuntimeLoop::new(config, models, optimizer)?.with_kernel(kernel))
 }
 
 struct SweepTiming {
@@ -113,12 +116,17 @@ fn grid(scenarios: usize, base_seed: u64) -> Vec<ScenarioSpec> {
     ScenarioSpec::paper_grid(scenarios, base_seed)
 }
 
-fn throughput_phase(scenarios: usize, base_seed: u64) -> Result<Json, SeoError> {
-    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
+fn throughput_phase(
+    scenarios: usize,
+    base_seed: u64,
+    kernel: KernelBackend,
+) -> Result<Json, SeoError> {
+    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading, kernel)?);
     let specs = grid(scenarios, base_seed);
     let per_count = specs.len() / 3;
     println!(
-        "sweep throughput: {} scenarios ({} per obstacle count) on {} worker(s)\n",
+        "sweep throughput: {} scenarios ({} per obstacle count) on {} worker(s), \
+         kernel backend '{kernel}'\n",
         specs.len(),
         per_count,
         runner.threads()
@@ -145,12 +153,55 @@ fn throughput_phase(scenarios: usize, base_seed: u64) -> Result<Json, SeoError> 
     let speedup = serial.elapsed_secs / parallel.elapsed_secs.max(1e-12);
     println!("parallel speedup: {speedup:.2}x, bit-identical: {identical}\n");
 
+    // Per-backend cells: the harness default is the potential-field
+    // controller, which contains no dense kernels — so these cells rerun
+    // the same grid serially under a fixed-seed *neural* controller, once
+    // per kernel backend, putting the backend genuinely in the per-step
+    // loop. Policy seed 0 is an initialization known to complete routes
+    // untrained, so the cells time full-length episodes rather than
+    // fail-fast crashes. The first backend (scalar) is the bit-exactness
+    // reference; the gated serial/parallel rows above keep the chosen
+    // backend.
+    let mut backend_cells = Vec::new();
+    let mut backend_table = Table::new(vec!["kernel", "scenarios/s", "ns/step", "elapsed"]);
+    let mut reference: Option<Vec<EpisodeReport>> = None;
+    for backend in KernelBackend::ALL {
+        let backend_runner = BatchRunner::new(
+            paper_runtime(OptimizerKind::Offloading, backend)?
+                .with_controller(Controller::seeded_neural(0)),
+        );
+        let label = format!("neural/{}", backend.name());
+        let (timing, reports) = timed_sweep(&label, &backend_runner, &specs, true);
+        match &reference {
+            None => reference = Some(reports),
+            Some(expected) => assert!(
+                *expected == reports,
+                "kernel backend '{backend}' must be bit-identical to '{}'",
+                KernelBackend::ALL[0]
+            ),
+        }
+        backend_table.push_row(vec![
+            backend.name().to_owned(),
+            format!("{:.1}", timing.scenarios_per_sec()),
+            format!("{:.0}", timing.ns_per_step()),
+            format!("{:.2} s", timing.elapsed_secs),
+        ]);
+        let Json::Obj(mut cell) = timing.to_json() else {
+            unreachable!("to_json returns an object")
+        };
+        cell.push(("kernel".to_owned(), backend.name().into()));
+        backend_cells.push(Json::Obj(cell));
+    }
+    println!("per-backend serial sweeps, neural controller (all bit-identical)\n{backend_table}");
+
     Ok(Json::obj(vec![
         ("threads", runner.threads().into()),
+        ("kernel", kernel.name().into()),
         ("serial", serial.to_json()),
         ("parallel", parallel.to_json()),
         ("speedup", speedup.into()),
         ("bit_identical", identical.into()),
+        ("kernels", Json::Arr(backend_cells)),
         (
             // A static design claim, not a runtime measurement (no counting
             // allocator in this offline build): the per-step heap
@@ -169,8 +220,12 @@ fn throughput_phase(scenarios: usize, base_seed: u64) -> Result<Json, SeoError> 
     ]))
 }
 
-fn gains_with_link(link: WirelessLink, runs: usize) -> Result<f64, SeoError> {
-    let runtime = paper_runtime(OptimizerKind::Offloading)?.with_link(link);
+fn gains_with_link(
+    link: WirelessLink,
+    runs: usize,
+    kernel: KernelBackend,
+) -> Result<f64, SeoError> {
+    let runtime = paper_runtime(OptimizerKind::Offloading, kernel)?.with_link(link);
     let mut optimized = seo_platform::energy::EnergyLedger::new();
     let mut baseline = seo_platform::energy::EnergyLedger::new();
     let mut scratch = EpisodeScratch::new();
@@ -208,10 +263,13 @@ struct Cli {
     scenarios: usize,
     base_seed: u64,
     timeout_secs: f64,
+    kernel: KernelBackend,
 }
 
-/// The CLI grammar, printed with exit code 2 on any argument error.
-const USAGE: &str = "usage: sweep [MODE] [--scenarios N] [--seed S]\n\
+/// The CLI grammar template, printed with exit code 2 on any argument
+/// error; `%KERNELS%` is filled from [`KernelBackend::valid_names`] so the
+/// usage text can never go stale against the enum.
+const USAGE_TEMPLATE: &str = "usage: sweep [MODE] [--scenarios N] [--seed S]\n\
     modes:\n  \
     (none)                  throughput + sensitivity harness, writes BENCH_sweep.json\n  \
     --workers N [--verify]  multi-process coordinator over N local worker processes\n  \
@@ -222,6 +280,9 @@ const USAGE: &str = "usage: sweep [MODE] [--scenarios N] [--seed S]\n\
     options:\n  \
     --scenarios N           grid size (default 60, or SEO_SWEEP_SCENARIOS)\n  \
     --seed S                grid base seed (default 2023)\n  \
+    --kernel NAME           inference kernel backend: %KERNELS%\n                          \
+    (default scalar, or SEO_KERNEL; bit-identical output,\n                          \
+    see docs/kernels.md)\n  \
     --timeout-secs T        multi-host connect/read timeout (default 30)\n  \
     --verify                rerun the grid serially in-process and fail unless\n                          \
     the merged output is bit-identical";
@@ -236,6 +297,10 @@ fn parse_cli() -> Result<Cli, String> {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(60);
     let mut base_seed = 2023u64;
+    // `--kernel` defaults to the SEO_KERNEL environment variable; an unknown
+    // env value is as much an argument error as an unknown flag value.
+    let mut kernel =
+        KernelBackend::from_env().map_err(|e| format!("{}: {e}", KernelBackend::ENV_VAR))?;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -282,6 +347,11 @@ fn parse_cli() -> Result<Cli, String> {
                     .parse::<u64>()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--kernel" => {
+                kernel = value("--kernel")?
+                    .parse::<KernelBackend>()
+                    .map_err(|e| format!("--kernel: {e}"))?;
+            }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -300,6 +370,7 @@ fn parse_cli() -> Result<Cli, String> {
         scenarios: scenarios.max(3),
         base_seed,
         timeout_secs,
+        kernel,
     })
 }
 
@@ -310,8 +381,9 @@ fn worker_mode(
     shard: Shard,
     scenarios: usize,
     base_seed: u64,
+    kernel: KernelBackend,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let runtime = paper_runtime(OptimizerKind::Offloading)?;
+    let runtime = paper_runtime(OptimizerKind::Offloading, kernel)?;
     let specs = grid(scenarios, base_seed);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -330,17 +402,23 @@ fn coordinator_mode(
     verify: bool,
     scenarios: usize,
     base_seed: u64,
+    kernel: KernelBackend,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let specs = grid(scenarios, base_seed);
     // Validates worker count vs grid, shard coverage, and emptiness before
     // any process spawns.
     let plan = ShardPlanner::new(workers).plan(specs.len())?;
     let program = std::env::current_exe()?;
+    // `--kernel` is forwarded like the grid parameters: backends are
+    // bit-identical so it cannot change the merge, but the worker processes
+    // should run the backend the operator asked for.
     let coordinator = Coordinator::new(program).with_args([
         "--scenarios".to_owned(),
         scenarios.to_string(),
         "--seed".to_owned(),
         base_seed.to_string(),
+        "--kernel".to_owned(),
+        kernel.name().to_owned(),
     ]);
 
     let start = Instant::now();
@@ -375,18 +453,21 @@ fn coordinator_mode(
     );
 
     if verify {
-        verify_against_serial(&specs, &merged)?;
+        verify_against_serial(&specs, &merged, kernel)?;
     }
     Ok(())
 }
 
 /// Reruns the grid serially in-process and fails unless `merged` matches it
-/// field-for-field **and** byte-for-byte on the wire.
+/// field-for-field **and** byte-for-byte on the wire. The rerun uses this
+/// process's own kernel backend, so a fleet on a different backend (or a
+/// mixed fleet) is held to cross-backend bit-identity too.
 fn verify_against_serial(
     specs: &[ScenarioSpec],
     merged: &[EpisodeReport],
+    kernel: KernelBackend,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading)?);
+    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading, kernel)?);
     let serial = runner.run_serial(specs);
     if serial != merged {
         return Err("distributed merge is NOT bit-identical to the serial sweep".into());
@@ -415,6 +496,7 @@ fn remote_mode(
     scenarios: usize,
     base_seed: u64,
     timeout_secs: f64,
+    kernel: KernelBackend,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(hosts_path).map_err(|e| format!("{hosts_path}: {e}"))?;
     let pool = HostPool::parse(&text).map_err(|e| format!("{hosts_path}: {e}"))?;
@@ -460,16 +542,20 @@ fn remote_mode(
     }
 
     if verify {
-        verify_against_serial(&specs, &merged)?;
+        verify_against_serial(&specs, &merged, kernel)?;
     }
     Ok(())
 }
 
-fn run_harness(scenarios: usize, base_seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+fn run_harness(
+    scenarios: usize,
+    base_seed: u64,
+    kernel: KernelBackend,
+) -> Result<(), Box<dyn std::error::Error>> {
     let runs = runs_from_env().min(10);
 
     // Phase 1: sweep throughput + BENCH_sweep.json.
-    let throughput = throughput_phase(scenarios, base_seed)?;
+    let throughput = throughput_phase(scenarios, base_seed, kernel)?;
     let dump = Json::obj(vec![
         ("schema", "seo-bench-sweep/v1".into()),
         ("throughput", throughput),
@@ -491,7 +577,7 @@ fn run_harness(scenarios: usize, base_seed: u64) -> Result<(), Box<dyn std::erro
         )?;
         table.push_row(vec![
             format!("{mbps:.0} Mbps"),
-            pct(gains_with_link(link, runs)?),
+            pct(gains_with_link(link, runs, kernel)?),
         ]);
     }
     println!("{table}");
@@ -503,7 +589,7 @@ fn run_harness(scenarios: usize, base_seed: u64) -> Result<(), Box<dyn std::erro
         let link = WirelessLink::paper_default()?.with_payload(Bits::from_kilobytes(kb))?;
         table.push_row(vec![
             format!("{kb:.0} kB"),
-            pct(gains_with_link(link, runs)?),
+            pct(gains_with_link(link, runs, kernel)?),
         ]);
     }
     println!("{table}");
@@ -531,15 +617,18 @@ fn main() {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("sweep: {e}");
-            eprintln!("{USAGE}");
+            eprintln!(
+                "{}",
+                USAGE_TEMPLATE.replace("%KERNELS%", &KernelBackend::valid_names())
+            );
             std::process::exit(2);
         }
     };
     let result = match cli.mode {
-        Mode::Harness => run_harness(cli.scenarios, cli.base_seed),
-        Mode::Worker(shard) => worker_mode(shard, cli.scenarios, cli.base_seed),
+        Mode::Harness => run_harness(cli.scenarios, cli.base_seed, cli.kernel),
+        Mode::Worker(shard) => worker_mode(shard, cli.scenarios, cli.base_seed, cli.kernel),
         Mode::Coordinator { workers, verify } => {
-            coordinator_mode(workers, verify, cli.scenarios, cli.base_seed)
+            coordinator_mode(workers, verify, cli.scenarios, cli.base_seed, cli.kernel)
         }
         Mode::Remote { hosts_path, verify } => remote_mode(
             &hosts_path,
@@ -547,6 +636,7 @@ fn main() {
             cli.scenarios,
             cli.base_seed,
             cli.timeout_secs,
+            cli.kernel,
         ),
     };
     if let Err(e) = result {

@@ -20,6 +20,11 @@
 //! the actual address as its first stdout line
 //! (`seo-sweepd listening on ADDR`) so scripts and tests can scrape it.
 //!
+//! `--kernel NAME` (default `SEO_KERNEL`, then `scalar`) selects the
+//! inference kernel backend the daemon runs episodes with. Backends are
+//! bit-identical by the `seo_nn::kernel` contract, so hosts in one pool may
+//! run different backends without breaking the merge (see `docs/kernels.md`).
+//!
 //! `--fail-after K` is a fault-injection knob for testing the
 //! coordinator's re-sharding: every connection is dropped without a `done`
 //! frame after emitting K reports, exactly like a host dying mid-stream.
@@ -30,19 +35,28 @@ use seo_core::transport::WorkerServer;
 use std::io::Write as _;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: sweepd [--listen HOST:PORT] [--fail-after K]\n  \
+/// `%KERNELS%` is filled from [`KernelBackend::valid_names`] so the usage
+/// text can never go stale against the enum.
+const USAGE_TEMPLATE: &str =
+    "usage: sweepd [--listen HOST:PORT] [--kernel NAME] [--fail-after K]\n  \
     --listen     address to accept coordinator connections on (default 127.0.0.1:7641)\n  \
+    --kernel     inference kernel backend: %KERNELS% (default scalar, or\n               \
+    SEO_KERNEL; bit-identical output, see docs/kernels.md)\n  \
     --fail-after drop every connection after K reports, without a done frame \
     (fault-injection testing only)";
 
 struct Cli {
     listen: String,
     fail_after: Option<usize>,
+    kernel: KernelBackend,
 }
 
 fn parse_cli() -> Result<Cli, String> {
     let mut listen = "127.0.0.1:7641".to_owned();
     let mut fail_after = None;
+    // An unknown SEO_KERNEL value is an argument error, same as --kernel.
+    let mut kernel =
+        KernelBackend::from_env().map_err(|e| format!("{}: {e}", KernelBackend::ENV_VAR))?;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -51,6 +65,11 @@ fn parse_cli() -> Result<Cli, String> {
         };
         match arg.as_str() {
             "--listen" => listen = value("--listen")?,
+            "--kernel" => {
+                kernel = value("--kernel")?
+                    .parse::<KernelBackend>()
+                    .map_err(|e| format!("--kernel: {e}"))?;
+            }
             "--fail-after" => {
                 fail_after = Some(
                     value("--fail-after")?
@@ -61,7 +80,11 @@ fn parse_cli() -> Result<Cli, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(Cli { listen, fail_after })
+    Ok(Cli {
+        listen,
+        fail_after,
+        kernel,
+    })
 }
 
 fn main() {
@@ -69,15 +92,22 @@ fn main() {
         Ok(cli) => cli,
         Err(e) => {
             eprintln!("sweepd: {e}");
-            eprintln!("{USAGE}");
+            eprintln!(
+                "{}",
+                USAGE_TEMPLATE.replace("%KERNELS%", &KernelBackend::valid_names())
+            );
             std::process::exit(2);
         }
     };
     let run = || -> Result<(), Box<dyn std::error::Error>> {
         let config = SeoConfig::paper_defaults();
         let models = ModelSet::paper_setup(config.tau)?;
-        let runtime = RuntimeLoop::new(config, models, OptimizerKind::Offloading)?;
+        let runtime =
+            RuntimeLoop::new(config, models, OptimizerKind::Offloading)?.with_kernel(cli.kernel);
         let server = WorkerServer::bind(&cli.listen)?;
+        // Backends are bit-identical by contract, so a mixed fleet is fine;
+        // the note is purely informational.
+        eprintln!("seo-sweepd: kernel backend '{}'", cli.kernel);
         // First stdout line is machine-readable: scripts scrape the actual
         // address (essential with `--listen 127.0.0.1:0`).
         println!("seo-sweepd listening on {}", server.local_addr()?);

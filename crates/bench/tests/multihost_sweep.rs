@@ -153,6 +153,52 @@ fn killed_daemon_mid_stream_is_resharded_and_output_stays_identical() {
 }
 
 #[test]
+fn multi_host_verify_sweep_is_kernel_backend_invariant() {
+    // One daemon per backend — a deliberately *mixed* fleet — while the
+    // coordinator's --verify rerun uses its own default (scalar) backend.
+    // The run only passes if every backend produces byte-identical wire
+    // lines, so this is the full multi-host backend-invariance check.
+    let scalar_host = Daemon::spawn(&["--kernel", "scalar"]);
+    let blocked_host = Daemon::spawn(&["--kernel", "blocked"]);
+    let hosts = write_hosts_file(&[(&scalar_host.addr, 1), (&blocked_host.addr, 1)]);
+    let (stdout, stderr) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+    assert!(
+        stderr.contains("bit-identical"),
+        "verify note missing: {stderr}"
+    );
+    assert_stdout_matches_serial(&stdout);
+}
+
+#[test]
+fn sweepd_rejects_unknown_kernel_with_exit_2() {
+    // Flag and environment variable use the same error grammar as sweep:
+    // exit 2, offending value echoed, valid names listed, usage shown.
+    let output = Command::new(SWEEPD_BIN)
+        .args(["--kernel", "quantum"])
+        .output()
+        .expect("sweepd runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("'quantum'") && stderr.contains("scalar, blocked"),
+        "value and valid names must be shown: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "usage missing: {stderr}");
+
+    let output = Command::new(SWEEPD_BIN)
+        .env("SEO_KERNEL", "quantum")
+        .output()
+        .expect("sweepd runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("SEO_KERNEL") && stderr.contains("'quantum'"),
+        "variable must be named: {stderr}"
+    );
+}
+
+#[test]
 fn unrepresentable_timeout_is_an_argument_error_not_a_panic() {
     // 1e30 s parses as f64 but exceeds what Duration can hold; it must be
     // rejected at the CLI (exit 2 + usage) instead of panicking at use.

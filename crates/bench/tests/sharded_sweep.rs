@@ -168,6 +168,94 @@ fn worker_cli_malformed_range_exits_2_with_usage() {
 }
 
 #[test]
+fn unknown_kernel_flag_exits_2_with_valid_names() {
+    // Same error grammar as the malformed `--worker` ranges: exit code 2,
+    // the offending value echoed, the valid names listed, and the usage
+    // shown.
+    for bad in ["simd", "SCALAR", "avx512", ""] {
+        let output = Command::new(SWEEP_BIN)
+            .args(common_args())
+            .args(["--kernel", bad])
+            .output()
+            .expect("sweep runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "unknown kernel '{bad}' must exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(&format!("'{bad}'")),
+            "'{bad}': offending value not echoed in: {stderr}"
+        );
+        assert!(
+            stderr.contains("scalar, blocked"),
+            "'{bad}': valid names missing from: {stderr}"
+        );
+        assert!(
+            stderr.contains("usage:"),
+            "'{bad}': usage hint missing from: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_kernel_env_exits_2_and_names_the_variable() {
+    // An unparsable SEO_KERNEL must be rejected as loudly as the flag —
+    // never silently fall back to a default backend.
+    let output = Command::new(SWEEP_BIN)
+        .env("SEO_KERNEL", "warp9")
+        .args(common_args())
+        .args(["--worker", "0..2"])
+        .output()
+        .expect("sweep runs");
+    assert_eq!(output.status.code(), Some(2), "bad SEO_KERNEL must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("SEO_KERNEL") && stderr.contains("'warp9'"),
+        "variable and value must be named: {stderr}"
+    );
+    assert!(
+        stderr.contains("scalar, blocked"),
+        "valid names missing from: {stderr}"
+    );
+
+    // The flag still wins over a valid env value, and a valid env value
+    // works on its own.
+    let output = Command::new(SWEEP_BIN)
+        .env("SEO_KERNEL", "blocked")
+        .args(common_args())
+        .args(["--worker", "0..2"])
+        .output()
+        .expect("sweep runs");
+    assert!(output.status.success(), "valid SEO_KERNEL must run");
+}
+
+#[test]
+fn blocked_kernel_worker_output_is_bit_identical_on_the_wire() {
+    // A worker on the blocked backend must stream byte-for-byte the same
+    // lines as the (scalar) in-process serial reference — the cross-backend
+    // half of the determinism invariant, at the process level.
+    let serial = serial_reports();
+    let output = Command::new(SWEEP_BIN)
+        .args(common_args())
+        .args(["--worker", "0..6", "--kernel", "blocked"])
+        .output()
+        .expect("sweep --worker runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), serial.len());
+    for (i, line) in lines.iter().enumerate() {
+        assert_eq!(
+            *line,
+            report_line(i, &serial[i]),
+            "blocked-kernel wire line {i} differs from the scalar serial run"
+        );
+    }
+}
+
+#[test]
 fn coordinator_cli_rejects_too_many_workers() {
     let output = Command::new(SWEEP_BIN)
         .args(common_args())

@@ -298,6 +298,28 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_are_kernel_backend_invariant() {
+        use crate::controller::Controller;
+        use seo_nn::kernel::KernelBackend;
+        // Neural controller so the kernel backend is actually exercised.
+        let config = SeoConfig::paper_defaults();
+        let models = ModelSet::paper_setup(config.tau).expect("valid");
+        let runtime = RuntimeLoop::new(config, models, OptimizerKind::Offloading)
+            .expect("valid runtime")
+            .with_controller(Controller::seeded_neural(5));
+        let specs = ScenarioSpec::grid(&[0, 2], 3, 2023);
+        let reference = BatchRunner::new(runtime.clone()).run_serial(&specs);
+        for backend in KernelBackend::ALL {
+            let runner = BatchRunner::new(runtime.clone().with_kernel(backend)).with_threads(3);
+            assert_eq!(
+                runner.run(&specs),
+                reference,
+                "{backend} sweep diverged from the scalar serial loop"
+            );
+        }
+    }
+
+    #[test]
     fn seo_threads_override_parsing() {
         // Pure-function test: mutating the process environment would race
         // with every other test that constructs a BatchRunner.

@@ -12,6 +12,7 @@
 //! SEO itself is agnostic: it schedules the *perception* models around π,
 //! whichever family π belongs to.
 
+use seo_nn::kernel::{Kernel, ScalarKernel};
 use seo_nn::policy::{DrivingPolicy, PolicyFeatures, PotentialFieldController};
 use seo_sim::vehicle::Control;
 use std::fmt;
@@ -39,6 +40,19 @@ impl Controller {
         })
     }
 
+    /// A deterministic fixed-seed neural policy (no training run): the
+    /// controller kernel benches and the sweep harness's per-backend cells
+    /// use this when they need the dense-kernel hot path in the loop — the
+    /// potential-field controllers contain no dense kernels, so they cannot
+    /// exercise a [`Kernel`] backend.
+    #[must_use]
+    pub fn seeded_neural(seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::Neural(DrivingPolicy::new(&mut rng).expect("fixed topology"))
+    }
+
     /// Computes the control action for the given features.
     #[must_use]
     pub fn act(&self, features: &PolicyFeatures) -> Control {
@@ -57,9 +71,23 @@ impl Controller {
         features: &PolicyFeatures,
         scratch: &mut seo_nn::InferenceScratch,
     ) -> Control {
+        self.act_scratch_with::<ScalarKernel>(features, scratch)
+    }
+
+    /// [`Self::act_scratch`] over an explicit [`Kernel`] backend — what the
+    /// runtime's monomorphized episode loop calls. Bit-identical across
+    /// backends by the kernel contract (`seo_nn::kernel`); the
+    /// potential-field controller contains no dense kernels, so the backend
+    /// only matters for the neural policy.
+    #[must_use]
+    pub fn act_scratch_with<K: Kernel>(
+        &self,
+        features: &PolicyFeatures,
+        scratch: &mut seo_nn::InferenceScratch,
+    ) -> Control {
         match self {
             Self::PotentialField(pf) => pf.act(features),
-            Self::Neural(policy) => policy.act_scratch(features, scratch),
+            Self::Neural(policy) => policy.act_scratch_with::<K>(features, scratch),
         }
     }
 

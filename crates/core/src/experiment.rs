@@ -29,6 +29,7 @@ use crate::metrics::{EpisodeReport, ExperimentSummary};
 use crate::model::ModelSet;
 use crate::optimizer::OptimizerKind;
 use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
+use seo_nn::kernel::KernelBackend;
 use seo_platform::units::Seconds;
 use seo_sim::scenario::ScenarioConfig;
 use std::fmt;
@@ -54,6 +55,9 @@ pub struct ExperimentConfig {
     pub models: ModelSet,
     /// The driving controller.
     pub controller: Controller,
+    /// The inference kernel backend (bit-identical across backends by the
+    /// `seo_nn::kernel` contract; affects wall-clock only).
+    pub kernel: KernelBackend,
 }
 
 impl ExperimentConfig {
@@ -83,7 +87,17 @@ impl ExperimentConfig {
             max_attempts: 200,
             models,
             controller: Controller::tight_margin_potential_field(),
+            kernel: KernelBackend::default(),
         }
+    }
+
+    /// Sets the inference kernel backend (builder style). Because backends
+    /// are bit-identical, this cannot change any experiment summary — only
+    /// how fast it is produced.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Sets the optimizer (builder style).
@@ -154,6 +168,13 @@ impl ExperimentConfig {
         self
     }
 
+    /// Replaces the driving controller (builder style).
+    #[must_use]
+    pub fn with_controller(mut self, controller: Controller) -> Self {
+        self.controller = controller;
+        self
+    }
+
     /// Runs the experiment: collects `runs` successful episodes and
     /// aggregates them.
     ///
@@ -164,7 +185,8 @@ impl ExperimentConfig {
     /// error from [`RuntimeLoop::new`].
     pub fn run(&self) -> Result<ExperimentResult, SeoError> {
         let runtime = RuntimeLoop::new(self.seo, self.models.clone(), self.optimizer)?
-            .with_controller(self.controller.clone());
+            .with_controller(self.controller.clone())
+            .with_kernel(self.kernel);
         let mut scratch = EpisodeScratch::new();
         let mut successes: Vec<EpisodeReport> = Vec::with_capacity(self.runs);
         let mut attempts = 0usize;
@@ -211,7 +233,8 @@ impl ExperimentConfig {
     /// Same as [`Self::run`].
     pub fn run_parallel(&self, threads: usize) -> Result<ExperimentResult, SeoError> {
         let runtime = RuntimeLoop::new(self.seo, self.models.clone(), self.optimizer)?
-            .with_controller(self.controller.clone());
+            .with_controller(self.controller.clone())
+            .with_kernel(self.kernel);
         let runner = BatchRunner::new(runtime).with_threads(threads);
         // Slightly over-provision each wave for expected failures so most
         // experiments finish in a single wave.
@@ -426,6 +449,30 @@ mod tests {
             "parallel must reproduce the protocol"
         );
         assert_eq!(seq.failures, par.failures);
+    }
+
+    #[test]
+    fn kernel_backend_cannot_change_a_summary() {
+        // The experiment protocol must be backend-invariant even with the
+        // neural controller in the loop (the default potential-field agent
+        // would make this vacuous).
+        // Policy seed 0 is a fixed initialization known to complete
+        // obstacle-free routes without training.
+        let base = quick(OptimizerKind::Offloading, 0, ControlMode::Filtered);
+        let mut config = base.clone().with_controller(Controller::seeded_neural(0));
+        config.max_attempts = 60;
+        config.runs = 2;
+        let scalar = config
+            .clone()
+            .with_kernel(KernelBackend::Scalar)
+            .run()
+            .expect("scalar runs");
+        let blocked = config
+            .with_kernel(KernelBackend::Blocked)
+            .run()
+            .expect("blocked runs");
+        assert_eq!(scalar.reports, blocked.reports);
+        assert_eq!(scalar.summary, blocked.summary);
     }
 
     #[test]

@@ -98,4 +98,5 @@ pub mod prelude {
     pub use crate::transport::{
         HostPool, HostSpec, RemoteCoordinator, RemoteRunStats, TransportError, WorkerServer,
     };
+    pub use seo_nn::kernel::{BlockedKernel, Kernel, KernelBackend, ScalarKernel};
 }

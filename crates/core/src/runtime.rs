@@ -41,6 +41,7 @@ use crate::optimizer::{full_slot_cost, optimized_slot_cost, OptimizerKind};
 use crate::scheduler::{SafeScheduler, SlotKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use seo_nn::kernel::{BlockedKernel, Kernel, KernelBackend, ScalarKernel};
 use seo_nn::policy::PolicyFeatures;
 use seo_nn::InferenceScratch;
 use seo_platform::energy::{EnergyCategory, EnergyLedger};
@@ -95,6 +96,7 @@ pub struct RuntimeLoop {
     table: DeadlineTable,
     link: WirelessLink,
     server: EdgeServer,
+    kernel: KernelBackend,
 }
 
 /// Where episode worlds come from: a fixed snapshot or a moving-obstacle
@@ -162,7 +164,19 @@ impl RuntimeLoop {
             table,
             link: WirelessLink::paper_default()?,
             server: EdgeServer::paper_default()?,
+            kernel: KernelBackend::default(),
         })
+    }
+
+    /// Selects the inference kernel backend (builder style). Backends are
+    /// **bit-identical by contract** (`seo_nn::kernel`, property-tested), so
+    /// this changes episode wall-clock only — never a report. The episode
+    /// loop monomorphizes on the choice once per episode; the hot loop
+    /// itself carries no dispatch.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// Replaces the driving controller (builder style).
@@ -210,6 +224,12 @@ impl RuntimeLoop {
         &self.table
     }
 
+    /// The selected inference kernel backend.
+    #[must_use]
+    pub fn kernel(&self) -> KernelBackend {
+        self.kernel
+    }
+
     /// Runs one closed-loop episode in `world` (borrowed — no clone),
     /// seeding the stochastic wireless channel with `seed`.
     ///
@@ -236,10 +256,28 @@ impl RuntimeLoop {
     /// sweep engine. Once the scratch has reached its high-water mark the
     /// per-control-step loop performs zero heap allocations.
     ///
-    /// Reports are **bit-identical** across serial and parallel callers:
-    /// every stochastic draw comes from a [`StdRng`] derived from `seed`,
-    /// and the scratch never influences results.
+    /// Reports are **bit-identical** across serial and parallel callers —
+    /// and across kernel backends ([`Self::with_kernel`]): every stochastic
+    /// draw comes from a [`StdRng`] derived from `seed`, the scratch never
+    /// influences results, and every backend upholds the `seo_nn::kernel`
+    /// ordering contract.
     pub fn run_with(
+        &self,
+        source: WorldSource<'_>,
+        seed: u64,
+        scratch: &mut EpisodeScratch,
+    ) -> EpisodeReport {
+        // The one runtime-to-compile-time hop: the enum chosen at the API
+        // boundary selects a fully monomorphized episode loop, so the
+        // per-control-step code is branch-free on the backend.
+        match self.kernel {
+            KernelBackend::Scalar => self.episode_loop::<ScalarKernel>(source, seed, scratch),
+            KernelBackend::Blocked => self.episode_loop::<BlockedKernel>(source, seed, scratch),
+        }
+    }
+
+    /// The closed episode loop, monomorphized over the kernel backend `K`.
+    fn episode_loop<K: Kernel>(
         &self,
         source: WorldSource<'_>,
         seed: u64,
@@ -300,7 +338,9 @@ impl RuntimeLoop {
             // 2. Main control.
             let features =
                 PolicyFeatures::from_observation(&state, &ahead, road.length, road.width);
-            let raw = self.controller.act_scratch(&features, &mut scratch.nn);
+            let raw = self
+                .controller
+                .act_scratch_with::<K>(&features, &mut scratch.nn);
             // 3. Safe control.
             let (control, decision) = match self.config.control_mode {
                 ControlMode::Filtered => self.filter.filter(episode.world(), &state, raw),
@@ -690,5 +730,36 @@ mod tests {
         assert_eq!(rt.config().tau.as_millis(), 20.0);
         assert_eq!(rt.models().normal().count(), 2);
         assert!(!rt.deadline_table().is_empty());
+        assert_eq!(rt.kernel(), KernelBackend::Scalar);
+        assert_eq!(
+            rt.with_kernel(KernelBackend::Blocked).kernel(),
+            KernelBackend::Blocked
+        );
+    }
+
+    #[test]
+    fn kernel_backends_produce_bit_identical_reports() {
+        // A *neural* controller puts the dense kernels in the per-step loop
+        // (the potential-field default contains none); every backend must
+        // then reproduce the scalar episode report exactly — the invariant
+        // the whole distributed stack assumes when mixing backends.
+        for optimizer in [OptimizerKind::Offloading, OptimizerKind::ModelGating] {
+            let base =
+                runtime(optimizer).with_controller(crate::controller::Controller::seeded_neural(7));
+            for seed in [3u64, 17] {
+                let world = ScenarioConfig::new(2).with_seed(seed).generate();
+                let reference = base
+                    .clone()
+                    .with_kernel(KernelBackend::Scalar)
+                    .run_episode(&world, seed);
+                for backend in KernelBackend::ALL {
+                    let report = base.clone().with_kernel(backend).run_episode(&world, seed);
+                    assert_eq!(
+                        report, reference,
+                        "{backend} episode diverged (seed {seed})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! serves as the Θ″ features in the SEO runtime.
 
 use crate::error::NnError;
+use crate::kernel::{Kernel, ScalarKernel};
 use crate::layer::Activation;
 use crate::mlp::{InferenceScratch, Mlp};
 use crate::train::sgd_epoch;
@@ -110,7 +111,21 @@ impl Autoencoder {
     ///
     /// Panics if `scan.len() != input_dim()`.
     pub fn encode_into<'s>(&self, scan: &[f64], scratch: &'s mut InferenceScratch) -> &'s [f64] {
-        self.encoder.forward_into(scan, scratch)
+        self.encode_into_with::<ScalarKernel>(scan, scratch)
+    }
+
+    /// [`Self::encode_into`] over an explicit [`Kernel`] backend
+    /// (bit-identical across backends by contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan.len() != input_dim()`.
+    pub fn encode_into_with<'s, K: Kernel>(
+        &self,
+        scan: &[f64],
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f64] {
+        self.encoder.forward_into_with::<K>(scan, scratch)
     }
 
     /// Allocation-free [`Self::reconstruct`]: encoder and decoder run
@@ -125,8 +140,22 @@ impl Autoencoder {
         scan: &[f64],
         scratch: &'s mut InferenceScratch,
     ) -> &'s [f64] {
-        let _ = self.encoder.forward_into(scan, scratch);
-        self.decoder.forward_from_cur(scratch)
+        self.reconstruct_into_with::<ScalarKernel>(scan, scratch)
+    }
+
+    /// [`Self::reconstruct_into`] over an explicit [`Kernel`] backend
+    /// (bit-identical across backends by contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scan.len() != input_dim()`.
+    pub fn reconstruct_into_with<'s, K: Kernel>(
+        &self,
+        scan: &[f64],
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f64] {
+        let _ = self.encoder.forward_into_with::<K>(scan, scratch);
+        self.decoder.forward_from_cur_with::<K>(scratch)
     }
 
     /// Mean squared reconstruction error on one scan.

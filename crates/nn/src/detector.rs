@@ -7,6 +7,7 @@
 //! offloads the model its published output becomes **stale** — exactly the
 //! accuracy/energy trade the paper's deadline machinery manages.
 
+use crate::kernel::{Kernel, ScalarKernel};
 use seo_sim::sensing::RangeScanner;
 use seo_sim::vehicle::VehicleState;
 use seo_sim::world::World;
@@ -121,6 +122,22 @@ impl ObjectDetector {
     /// in `scratch`, and the published output reuses the detector's own
     /// buffer. Returns a borrow of the fresh output. Bit-identical to `run`.
     pub fn run_scratch(
+        &mut self,
+        world: &World,
+        vehicle: &VehicleState,
+        scratch: &mut DetectorScratch,
+    ) -> &DetectionSet {
+        self.run_scratch_with::<ScalarKernel>(world, vehicle, scratch)
+    }
+
+    /// [`Self::run_scratch`] over an explicit [`Kernel`] backend — the
+    /// detector's slot in the kernel-generic inference pipeline. The
+    /// simulated detector's scan-and-cluster pipeline contains no dense
+    /// kernels today, so every backend runs the identical code; the generic
+    /// exists so a learned detector (the paper's ResNet-152 role) drops into
+    /// the same seam without touching any caller, exactly like
+    /// [`DrivingPolicy::act_scratch_with`](crate::policy::DrivingPolicy::act_scratch_with).
+    pub fn run_scratch_with<K: Kernel>(
         &mut self,
         world: &World,
         vehicle: &VehicleState,

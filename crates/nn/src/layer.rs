@@ -1,6 +1,7 @@
 //! Dense layers and activations with manual backprop.
 
 use crate::error::NnError;
+use crate::kernel::{Kernel, ScalarKernel};
 use crate::tensor::Matrix;
 use rand::Rng;
 
@@ -150,10 +151,35 @@ impl Dense {
     ///
     /// Panics if `input.len() != input_dim` or `out.len() != output_dim`.
     pub fn forward_into(&self, input: &[f64], out: &mut [f64]) {
-        self.weights.matvec_into(input, out);
-        for (o, b) in out.iter_mut().zip(&self.biases) {
-            *o = self.activation.apply(*o + b);
-        }
+        self.forward_into_with::<ScalarKernel>(input, out);
+    }
+
+    /// [`Self::forward_into`] over an explicit [`Kernel`] backend, running
+    /// the backend's **fused** matvec + bias + activation primitive. All
+    /// backends are bit-identical by contract (see [`crate::kernel`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim` or `out.len() != output_dim`.
+    pub fn forward_into_with<K: Kernel>(&self, input: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "dense input dimension mismatch"
+        );
+        assert_eq!(
+            out.len(),
+            self.output_dim(),
+            "dense output dimension mismatch"
+        );
+        K::matvec_bias_act(
+            self.weights.cols(),
+            self.weights.as_slice(),
+            input,
+            &self.biases,
+            self.activation,
+            out,
+        );
     }
 
     /// Forward pass that also returns the cache needed for backprop.

@@ -17,6 +17,10 @@
 //!
 //! * [`tensor`] — dense matrices/vectors with the handful of BLAS-like ops
 //!   an MLP needs.
+//! * [`kernel`] — pluggable compute backends under every `*_into` hot path:
+//!   the [`Kernel`] trait, the scalar reference, and the
+//!   blocked/unrolled backend, all bit-identical by contract (the backend
+//!   book is `docs/kernels.md`).
 //! * [`layer`] / [`mlp`] — fully-connected layers with activations, forward
 //!   inference, manual backprop, and flat parameter (de)serialization.
 //! * [`train`] — gradient-descent (for the autoencoder) and Cross-Entropy
@@ -49,6 +53,7 @@
 pub mod autoencoder;
 pub mod detector;
 pub mod error;
+pub mod kernel;
 pub mod layer;
 pub mod mlp;
 pub mod policy;
@@ -56,5 +61,6 @@ pub mod tensor;
 pub mod train;
 
 pub use error::NnError;
+pub use kernel::{BlockedKernel, Kernel, KernelBackend, ScalarKernel};
 pub use mlp::{InferenceScratch, Mlp};
 pub use policy::DrivingPolicy;

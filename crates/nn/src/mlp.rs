@@ -3,6 +3,7 @@
 //! Cross-Entropy Method trainer).
 
 use crate::error::NnError;
+use crate::kernel::{Kernel, ScalarKernel};
 use crate::layer::{Activation, Dense, LayerCache};
 use rand::Rng;
 use std::fmt;
@@ -153,6 +154,22 @@ impl Mlp {
     ///
     /// Panics if `input.len() != input_dim()`.
     pub fn forward_into<'s>(&self, input: &[f64], scratch: &'s mut InferenceScratch) -> &'s [f64] {
+        self.forward_into_with::<ScalarKernel>(input, scratch)
+    }
+
+    /// [`Self::forward_into`] over an explicit [`Kernel`] backend. All
+    /// backends produce bit-identical output by contract (see
+    /// [`crate::kernel`]); the backend only changes how fast each dense
+    /// layer's fused matvec + bias + activation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_dim()`.
+    pub fn forward_into_with<'s, K: Kernel>(
+        &self,
+        input: &[f64],
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f64] {
         assert_eq!(
             input.len(),
             self.input_dim(),
@@ -160,7 +177,7 @@ impl Mlp {
         );
         scratch.cur.clear();
         scratch.cur.extend_from_slice(input);
-        self.forward_from_cur(scratch)
+        self.forward_from_cur_with::<K>(scratch)
     }
 
     /// Continues a forward pass from whatever activation is already in
@@ -170,7 +187,10 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if the resident activation length differs from `input_dim()`.
-    pub(crate) fn forward_from_cur<'s>(&self, scratch: &'s mut InferenceScratch) -> &'s [f64] {
+    pub(crate) fn forward_from_cur_with<'s, K: Kernel>(
+        &self,
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f64] {
         assert_eq!(
             scratch.cur.len(),
             self.input_dim(),
@@ -178,7 +198,7 @@ impl Mlp {
         );
         for layer in &self.layers {
             scratch.nxt.resize(layer.output_dim(), 0.0);
-            layer.forward_into(&scratch.cur, &mut scratch.nxt);
+            layer.forward_into_with::<K>(&scratch.cur, &mut scratch.nxt);
             std::mem::swap(&mut scratch.cur, &mut scratch.nxt);
         }
         &scratch.cur

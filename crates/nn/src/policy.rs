@@ -14,6 +14,7 @@
 //!   competent controller produces `u`).
 
 use crate::error::NnError;
+use crate::kernel::{Kernel, ScalarKernel};
 use crate::layer::Activation;
 use crate::mlp::{InferenceScratch, Mlp};
 use crate::train::{CemConfig, CemTrainer, Generation};
@@ -166,7 +167,21 @@ impl DrivingPolicy {
         features: &PolicyFeatures,
         scratch: &mut InferenceScratch,
     ) -> Control {
-        let out = self.net.forward_into(&features.to_array(), scratch);
+        self.act_scratch_with::<ScalarKernel>(features, scratch)
+    }
+
+    /// [`Self::act_scratch`] over an explicit [`Kernel`] backend — the form
+    /// the SEO runtime's monomorphized episode loop calls. Bit-identical
+    /// across backends by the kernel contract (see [`crate::kernel`]).
+    #[must_use]
+    pub fn act_scratch_with<K: Kernel>(
+        &self,
+        features: &PolicyFeatures,
+        scratch: &mut InferenceScratch,
+    ) -> Control {
+        let out = self
+            .net
+            .forward_into_with::<K>(&features.to_array(), scratch);
         Control::new(out[0], 0.5 + 0.5 * out[1])
     }
 }

@@ -3,6 +3,11 @@
 //! A deliberately small surface: row-major [`Matrix`] with matrix–vector
 //! products, outer products, and elementwise helpers — exactly what forward
 //! inference and backprop over dense layers need.
+//!
+//! The compute itself lives one layer down in [`crate::kernel`]: the
+//! `*_with::<K>` variants here are generic over a [`Kernel`] backend, and the
+//! plain forms are shorthands for the scalar reference backend.
+use crate::kernel::{Kernel, ScalarKernel};
 use std::fmt;
 
 /// A row-major dense matrix of `f64`.
@@ -144,11 +149,20 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols` or `out.len() != rows`.
     pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.matvec_into_with::<ScalarKernel>(x, out);
+    }
+
+    /// [`Self::matvec_into`] over an explicit [`Kernel`] backend. All
+    /// backends are bit-identical by contract (see [`crate::kernel`]); the
+    /// choice only affects speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec_into_with<K: Kernel>(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(out.len(), self.rows, "matvec output dimension mismatch");
-        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
-            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
+        K::matvec(self.cols, &self.data, x, out);
     }
 
     /// Transposed matrix–vector product `Mᵀ * y`.
@@ -233,10 +247,18 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics on length mismatch.
 pub fn axpy(a: &mut [f64], b: &[f64], alpha: f64) {
+    axpy_with::<ScalarKernel>(a, b, alpha);
+}
+
+/// [`axpy`] over an explicit [`Kernel`] backend (bit-identical across
+/// backends by contract).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn axpy_with<K: Kernel>(a: &mut [f64], b: &[f64], alpha: f64) {
     assert_eq!(a.len(), b.len(), "axpy length mismatch");
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x += alpha * y;
-    }
+    K::axpy(a, b, alpha);
 }
 
 /// Mean squared error between two equal-length slices.

@@ -239,6 +239,155 @@ fn act_scratch_matches_act_exactly() {
     }
 }
 
+// --- Kernel backends must match the scalar reference bit-for-bit ---
+
+#[test]
+fn blocked_matvec_is_bit_identical_across_shapes() {
+    use seo_nn::kernel::{BlockedKernel, ScalarKernel};
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    // Deliberate coverage of non-multiple-of-block-width shapes: odd rows
+    // and cols, single-row (1xN), single-column (Nx1), every rows % 4 and
+    // cols % 4 residue — plus random shapes.
+    let mut shapes = vec![
+        (1, 1),
+        (1, 9),
+        (9, 1),
+        (2, 16),
+        (3, 3),
+        (5, 5),
+        (6, 7),
+        (7, 6),
+        (16, 7),
+        (16, 16),
+        (17, 13),
+    ];
+    for _ in 0..CASES {
+        shapes.push((rng.gen_range(1usize..24), rng.gen_range(1usize..24)));
+    }
+    for (rows, cols) in shapes {
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let m = Matrix::from_flat(rows, cols, data);
+        let x = small_vec(&mut rng, cols);
+        let mut scalar = vec![f64::NAN; rows];
+        let mut blocked = vec![f64::NAN; rows];
+        m.matvec_into_with::<ScalarKernel>(&x, &mut scalar);
+        m.matvec_into_with::<BlockedKernel>(&x, &mut blocked);
+        assert_eq!(scalar, blocked, "{rows}x{cols}: blocked must be exact");
+        // And both must equal the long-standing plain path.
+        assert_eq!(blocked, m.matvec(&x), "{rows}x{cols}: plain path differs");
+    }
+}
+
+#[test]
+fn kernel_empty_shapes_are_consistent() {
+    use seo_nn::kernel::{BlockedKernel, Kernel, ScalarKernel};
+    // `Matrix` forbids zero dimensions, so the degenerate shapes are pinned
+    // at the kernel layer directly: zero rows writes nothing, zero cols
+    // writes the empty sum.
+    let mut none: [f64; 0] = [];
+    ScalarKernel::matvec(3, &[], &[1.0, 2.0, 3.0], &mut none);
+    BlockedKernel::matvec(3, &[], &[1.0, 2.0, 3.0], &mut none);
+    for n in 1usize..6 {
+        let mut scalar = vec![f64::NAN; n];
+        let mut blocked = vec![f64::NAN; n];
+        ScalarKernel::matvec(0, &[], &[], &mut scalar);
+        BlockedKernel::matvec(0, &[], &[], &mut blocked);
+        assert_eq!(scalar, vec![0.0; n]);
+        assert_eq!(blocked, vec![0.0; n]);
+    }
+}
+
+#[test]
+fn blocked_axpy_is_bit_identical() {
+    use seo_nn::kernel::{BlockedKernel, ScalarKernel};
+    use seo_nn::tensor::axpy_with;
+    let mut rng = StdRng::seed_from_u64(0xA897);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..40);
+        let alpha = rng.gen_range(-2.0..2.0);
+        let b = small_vec(&mut rng, n);
+        let mut scalar = small_vec(&mut rng, n);
+        let mut blocked = scalar.clone();
+        axpy_with::<ScalarKernel>(&mut scalar, &b, alpha);
+        axpy_with::<BlockedKernel>(&mut blocked, &b, alpha);
+        assert_eq!(scalar, blocked, "axpy n={n} diverged");
+    }
+}
+
+#[test]
+fn every_backend_reproduces_mlp_and_policy_outputs() {
+    use seo_nn::kernel::{BlockedKernel, KernelBackend, ScalarKernel};
+    use seo_nn::mlp::InferenceScratch;
+    // Exercised through the enum so a future backend added to ALL fails
+    // here until its generic path is wired up everywhere.
+    let mut case_rng = StdRng::seed_from_u64(0xD15);
+    for case in 0..30 {
+        let mut rng = StdRng::seed_from_u64(case);
+        // 7 -> 16 -> 16 -> 2 is the paper policy topology; 5 -> 11 -> 3
+        // adds odd widths.
+        for sizes in [&[7usize, 16, 16, 2][..], &[5, 11, 3][..]] {
+            let net = Mlp::new(sizes, Activation::Tanh, Activation::Tanh, &mut rng)
+                .expect("valid topology");
+            let input = small_vec(&mut case_rng, sizes[0]);
+            let mut scratch = InferenceScratch::for_mlp(&net);
+            let reference = net.forward(&input);
+            for backend in KernelBackend::ALL {
+                let got = match backend {
+                    KernelBackend::Scalar => {
+                        net.forward_into_with::<ScalarKernel>(&input, &mut scratch)
+                    }
+                    KernelBackend::Blocked => {
+                        net.forward_into_with::<BlockedKernel>(&input, &mut scratch)
+                    }
+                };
+                assert_eq!(got, reference.as_slice(), "{backend} diverged on mlp");
+            }
+        }
+        let policy = DrivingPolicy::new(&mut rng).expect("fixed topology");
+        let f = PolicyFeatures {
+            lateral: case_rng.gen_range(-1.5..1.5),
+            heading: case_rng.gen_range(-1.5..1.5),
+            speed: case_rng.gen_range(0.0..1.0),
+            obstacle_proximity: case_rng.gen_range(0.0..1.0),
+            obstacle_bearing: case_rng.gen_range(-3.0..3.0),
+            obstacle_lateral: case_rng.gen_range(-1.0..1.0),
+            progress: case_rng.gen_range(0.0..1.0),
+        };
+        let mut scratch = InferenceScratch::new();
+        let reference = policy.act(&f);
+        assert_eq!(
+            policy.act_scratch_with::<ScalarKernel>(&f, &mut scratch),
+            reference
+        );
+        assert_eq!(
+            policy.act_scratch_with::<BlockedKernel>(&f, &mut scratch),
+            reference
+        );
+    }
+}
+
+#[test]
+fn blocked_autoencoder_paths_match_exactly() {
+    use seo_nn::autoencoder::Autoencoder;
+    use seo_nn::kernel::BlockedKernel;
+    use seo_nn::mlp::InferenceScratch;
+    let mut case_rng = StdRng::seed_from_u64(0xAEB);
+    for case in 0..20 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let ae = Autoencoder::new(13, 5, &mut rng).expect("valid dims");
+        let mut scratch = InferenceScratch::new();
+        let scan: Vec<f64> = (0..13).map(|_| case_rng.gen_range(0.0..1.0)).collect();
+        assert_eq!(
+            ae.encode_into_with::<BlockedKernel>(&scan, &mut scratch),
+            ae.encode(&scan).as_slice()
+        );
+        assert_eq!(
+            ae.reconstruct_into_with::<BlockedKernel>(&scan, &mut scratch),
+            ae.reconstruct(&scan).as_slice()
+        );
+    }
+}
+
 #[test]
 fn autoencoder_scratch_paths_match_exactly() {
     use seo_nn::autoencoder::Autoencoder;
