@@ -1,45 +1,52 @@
-//! The scenario-sweep throughput harness plus parameter sweeps beyond the
-//! paper's reported cells.
+//! The scenario-sweep harness: every run mode is sugar over one declarative
+//! [`SweepPlan`] (see `seo_core::plan` and `docs/plans.md`).
 //!
-//! Phase 1 — **throughput**: fans a scenario × seed grid through
+//! **Plan mode** (the primary entry point): `--plan plan.json` loads a
+//! versioned, validated plan file describing the multi-axis grid
+//! (obstacles × τ × gating × control mode × optimizer × controller × seeds)
+//! and the execution machinery (serial / threads / worker processes / TCP
+//! hosts), runs it, and streams the merged NDJSON report lines to stdout.
+//! `--check` validates and summarizes a plan without running anything.
+//! Committed presets live in `examples/plans/`.
+//!
+//! **Legacy flags desugar into plans**: `--workers N` / `--hosts FILE` /
+//! `--worker START..END` with `--scenarios`/`--seed` build the paper-preset
+//! plan (`SweepPlan::paper`) and run it through the same engines, so their
+//! output is byte-identical to what they produced before plans existed.
+//!
+//! **Harness mode** (no mode flag) keeps the original two phases:
+//!
+//! Phase 1 — **throughput**: fans the paper-preset grid through
 //! [`BatchRunner`] serially and on all cores, verifies the parallel output
 //! is bit-identical to the serial loop, and writes `BENCH_sweep.json`
-//! (scenarios/sec, ns/step, speedup, allocation audit) so later PRs have a
-//! perf trajectory to compare against.
+//! (scenarios/sec, ns/step, speedup, grid-point provenance) so later PRs
+//! have a perf trajectory to compare against.
 //!
 //! Phase 2 — **sensitivity**: channel quality, offload payload size, and
 //! gating level, each printed as one series.
 //!
 //! ```sh
+//! sweep --plan examples/plans/paper.json --verify > merged.ndjson
+//! sweep --workers 4 --verify --scenarios 60 > merged.ndjson
+//! sweep --hosts hosts.json --verify --scenarios 60 > merged.ndjson
 //! SEO_RUNS=5 cargo run --release -p seo-bench --bin sweep
 //! ```
 //!
-//! **Distributed modes** (see `seo_core::shard` and `seo_core::transport`):
-//! `--workers N` runs the same grid as a coordinator over N worker
-//! *processes* (this binary re-invoked with `--worker`); `--hosts FILE`
-//! runs it as a coordinator over the TCP worker *hosts* (`seo-sweepd`
-//! daemons) listed in the JSON host pool, re-sharding around host losses.
-//! Both stream line-delimited JSON reports into a deterministic merge and
-//! print the merged lines to stdout; `--verify` additionally reruns the
-//! grid serially in-process and exits non-zero unless the merged output is
-//! bit-identical. `--worker START..END` runs one shard. `--scenarios` /
-//! `--seed` fix the grid on every side. `--kernel NAME` (default
-//! `SEO_KERNEL`, then `scalar`) selects the inference kernel backend in
-//! every mode — backends are bit-identical by the `seo_nn::kernel`
-//! contract, so this is a pure speed knob (see `docs/kernels.md`).
-//!
-//! ```sh
-//! sweep --workers 4 --verify --scenarios 60 > merged.ndjson
-//! sweep --hosts hosts.json --verify --scenarios 60 > merged.ndjson
-//! ```
+//! `--verify` (or `"verify": true` in the plan) reruns the grid serially
+//! in-process and exits non-zero unless the merged output is bit-identical.
+//! `--kernel NAME` selects the inference kernel backend (default: the
+//! plan's `exec.kernel` in plan mode, else `SEO_KERNEL`, then `scalar`);
+//! backends are bit-identical by the `seo_nn::kernel` contract, so this is
+//! a pure speed knob (see `docs/kernels.md`).
 
 use seo_bench::json::Json;
 use seo_bench::report::{pct, runs_from_env, Table};
 use seo_core::batch::{BatchRunner, ScenarioSpec};
+use seo_core::plan::{ExecMode, SweepPlan};
 use seo_core::prelude::*;
 use seo_core::runtime::RuntimeLoop;
 use seo_core::shard::{self, Coordinator, ShardPlanner};
-use seo_core::transport::{HostPool, RemoteCoordinator};
+use seo_core::transport::RemoteCoordinator;
 use seo_platform::units::Bits;
 use seo_platform::units::BitsPerSecond;
 use seo_sim::scenario::ScenarioConfig;
@@ -107,22 +114,16 @@ fn timed_sweep(
     )
 }
 
-/// The sweep grid shared by the throughput phase and the distributed modes:
-/// `scenarios` cells spread over the paper's {0, 2, 4} obstacle counts.
-/// Coordinator and workers (process- and host-level — `seo-sweepd` builds
-/// the same grid) must use identical arguments, which is why the
-/// coordinator forwards `--scenarios` / `--seed` verbatim.
-fn grid(scenarios: usize, base_seed: u64) -> Vec<ScenarioSpec> {
-    ScenarioSpec::paper_grid(scenarios, base_seed)
-}
-
 fn throughput_phase(
     scenarios: usize,
     base_seed: u64,
     kernel: KernelBackend,
 ) -> Result<Json, SeoError> {
+    // The throughput grid is the paper-preset plan; its JSON rides along in
+    // BENCH_sweep.json as grid-point provenance for every row below.
+    let plan = SweepPlan::paper(scenarios, base_seed).with_kernel(kernel);
     let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading, kernel)?);
-    let specs = grid(scenarios, base_seed);
+    let specs = ScenarioSpec::paper_grid(scenarios, base_seed);
     let per_count = specs.len() / 3;
     println!(
         "sweep throughput: {} scenarios ({} per obstacle count) on {} worker(s), \
@@ -161,15 +162,16 @@ fn throughput_phase(
     // untrained, so the cells time full-length episodes rather than
     // fail-fast crashes. The first backend (scalar) is the bit-exactness
     // reference; the gated serial/parallel rows above keep the chosen
-    // backend.
+    // backend. Each cell records the grid cell it ran as provenance.
+    let neural_cell = seo_core::plan::CellConfig {
+        controller: ControllerKind::SeededNeural(0),
+        ..plan.cells()[0].0
+    };
     let mut backend_cells = Vec::new();
     let mut backend_table = Table::new(vec!["kernel", "scenarios/s", "ns/step", "elapsed"]);
     let mut reference: Option<Vec<EpisodeReport>> = None;
     for backend in KernelBackend::ALL {
-        let backend_runner = BatchRunner::new(
-            paper_runtime(OptimizerKind::Offloading, backend)?
-                .with_controller(Controller::seeded_neural(0)),
-        );
+        let backend_runner = BatchRunner::new(neural_cell.runtime(backend)?);
         let label = format!("neural/{}", backend.name());
         let (timing, reports) = timed_sweep(&label, &backend_runner, &specs, true);
         match &reference {
@@ -190,15 +192,28 @@ fn throughput_phase(
             unreachable!("to_json returns an object")
         };
         cell.push(("kernel".to_owned(), backend.name().into()));
+        cell.push(("grid".to_owned(), neural_cell.to_json()));
         backend_cells.push(Json::Obj(cell));
     }
     println!("per-backend serial sweeps, neural controller (all bit-identical)\n{backend_table}");
 
+    let Json::Obj(mut serial_row) = serial.to_json() else {
+        unreachable!("to_json returns an object")
+    };
+    serial_row.push(("grid".to_owned(), plan.cells()[0].0.to_json()));
+    let Json::Obj(mut parallel_row) = parallel.to_json() else {
+        unreachable!("to_json returns an object")
+    };
+    parallel_row.push(("grid".to_owned(), plan.cells()[0].0.to_json()));
+
     Ok(Json::obj(vec![
         ("threads", runner.threads().into()),
         ("kernel", kernel.name().into()),
-        ("serial", serial.to_json()),
-        ("parallel", parallel.to_json()),
+        // The plan whose expanded grid produced every row in this dump —
+        // grid-point provenance for the perf trajectory.
+        ("plan", plan.to_json()),
+        ("serial", Json::Obj(serial_row)),
+        ("parallel", Json::Obj(parallel_row)),
         ("speedup", speedup.into()),
         ("bit_identical", identical.into()),
         ("kernels", Json::Arr(backend_cells)),
@@ -246,61 +261,94 @@ fn gains_with_link(
     Ok(optimized.gain_over(&baseline)?)
 }
 
-/// Which of the binary's entry points to run.
+/// Which of the binary's entry points to run. Every variant except
+/// `Harness` executes through the effective [`SweepPlan`].
 enum Mode {
     /// The original throughput + sensitivity harness.
     Harness,
-    /// One shard of the grid, streaming wire lines to stdout.
+    /// One shard of the effective plan's grid, streaming wire lines to
+    /// stdout.
     Worker(Shard),
-    /// Multi-process coordinator over `workers` shards.
-    Coordinator { workers: usize, verify: bool },
-    /// Multi-host coordinator over the `seo-sweepd` pool in a hosts file.
-    Remote { hosts_path: String, verify: bool },
+    /// Run the effective plan (loaded from `--plan`, or desugared from
+    /// `--workers` / `--hosts`).
+    Plan,
 }
 
 struct Cli {
     mode: Mode,
+    /// The effective plan every mode executes (or validates).
+    plan: SweepPlan,
+    /// Where the plan file lives when loaded via `--plan` (worker processes
+    /// reload it from here).
+    plan_path: Option<String>,
+    /// Validate and summarize the plan, run nothing.
+    check: bool,
+    verify: bool,
+    kernel: KernelBackend,
     scenarios: usize,
     base_seed: u64,
-    timeout_secs: f64,
-    kernel: KernelBackend,
 }
 
-/// The CLI grammar template, printed with exit code 2 on any argument
-/// error; `%KERNELS%` is filled from [`KernelBackend::valid_names`] so the
-/// usage text can never go stale against the enum.
-const USAGE_TEMPLATE: &str = "usage: sweep [MODE] [--scenarios N] [--seed S]\n\
+/// The CLI grammar template, printed with exit code 0 on `--help` and exit
+/// code 2 on any argument error; `%KERNELS%` is filled from
+/// [`KernelBackend::valid_names`] so the usage text can never go stale
+/// against the enum.
+const USAGE_TEMPLATE: &str = "usage: sweep [MODE] [OPTIONS]\n\
     modes:\n  \
     (none)                  throughput + sensitivity harness, writes BENCH_sweep.json\n  \
+    --plan FILE             run the sweep plan in FILE (serial / threads / processes /\n                          \
+    hosts per its exec section); see docs/plans.md and\n                          \
+    examples/plans/\n  \
     --workers N [--verify]  multi-process coordinator over N local worker processes\n  \
     --hosts FILE [--verify] multi-host coordinator over the seo-sweepd pool in FILE\n                          \
     (JSON: {\"v\":1,\"hosts\":[{\"addr\":\"host:port\",\"capacity\":N},...]})\n  \
     --worker START..END     run one shard; the range is half-open, decimal,\n                          \
     START < END (e.g. --worker 0..15)\n\
     options:\n  \
-    --scenarios N           grid size (default 60, or SEO_SWEEP_SCENARIOS)\n  \
-    --seed S                grid base seed (default 2023)\n  \
+    --check                 validate and summarize the plan, run nothing (exit 0\n                          \
+    when valid, 2 with every problem named otherwise)\n  \
+    --scenarios N           paper-grid size for flag modes (default 60, or\n                          \
+    SEO_SWEEP_SCENARIOS; ignored with --plan)\n  \
+    --seed S                paper-grid base seed for flag modes (default 2023)\n  \
     --kernel NAME           inference kernel backend: %KERNELS%\n                          \
-    (default scalar, or SEO_KERNEL; bit-identical output,\n                          \
-    see docs/kernels.md)\n  \
-    --timeout-secs T        multi-host connect/read timeout (default 30)\n  \
+    (default: the plan's exec.kernel with --plan, else SEO_KERNEL,\n                          \
+    then scalar; bit-identical output, see docs/kernels.md)\n  \
+    --timeout-secs T        multi-host connect/read timeout (default 30, or the\n                          \
+    plan's exec.timeout_secs)\n  \
     --verify                rerun the grid serially in-process and fail unless\n                          \
-    the merged output is bit-identical";
+    the merged output is bit-identical\n  \
+    --help, -h              print this usage and exit 0";
 
-fn parse_cli() -> Result<Cli, String> {
-    let mut mode = Mode::Harness;
+fn usage() -> String {
+    USAGE_TEMPLATE.replace("%KERNELS%", &KernelBackend::valid_names())
+}
+
+/// Everything `parse_cli` can ask `main` to do besides running a mode.
+enum CliOutcome {
+    Run(Box<Cli>),
+    Help,
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_cli() -> Result<CliOutcome, String> {
+    enum ModeFlag {
+        None,
+        Worker(Shard),
+        Workers(usize),
+        Hosts(String),
+    }
+    let mut mode_flag = ModeFlag::None;
     let mut verify = false;
-    let mut timeout_secs = 30.0f64;
+    let mut check = false;
+    let mut plan_path: Option<String> = None;
+    let mut timeout_flag: Option<f64> = None;
+    let mut kernel_flag: Option<KernelBackend> = None;
     // `--scenarios` defaults to the env knob the CI smoke already uses.
     let mut scenarios = std::env::var("SEO_SWEEP_SCENARIOS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(60);
     let mut base_seed = 2023u64;
-    // `--kernel` defaults to the SEO_KERNEL environment variable; an unknown
-    // env value is as much an argument error as an unknown flag value.
-    let mut kernel =
-        KernelBackend::from_env().map_err(|e| format!("{}: {e}", KernelBackend::ENV_VAR))?;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -309,32 +357,32 @@ fn parse_cli() -> Result<Cli, String> {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
+            "--help" | "-h" => return Ok(CliOutcome::Help),
+            "--plan" => plan_path = Some(value("--plan")?),
+            "--check" => check = true,
             "--workers" => {
                 let n = value("--workers")?
                     .parse::<usize>()
                     .map_err(|e| format!("--workers: {e}"))?;
-                mode = Mode::Coordinator { workers: n, verify };
+                mode_flag = ModeFlag::Workers(n);
             }
             "--worker" => {
                 let shard = value("--worker")?.parse::<Shard>().map_err(|e| {
                     format!("--worker: {e} (expected a half-open decimal range START..END with START < END)")
                 })?;
-                mode = Mode::Worker(shard);
+                mode_flag = ModeFlag::Worker(shard);
             }
-            "--hosts" => {
-                mode = Mode::Remote {
-                    hosts_path: value("--hosts")?,
-                    verify,
-                };
-            }
+            "--hosts" => mode_flag = ModeFlag::Hosts(value("--hosts")?),
             "--timeout-secs" => {
                 // try_from_secs_f64 also rules out values Duration cannot
                 // represent, which would otherwise panic at use.
-                timeout_secs = value("--timeout-secs")?
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|t| *t > 0.0 && std::time::Duration::try_from_secs_f64(*t).is_ok())
-                    .ok_or("--timeout-secs: expected a positive number of seconds")?;
+                timeout_flag = Some(
+                    value("--timeout-secs")?
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|t| *t > 0.0 && std::time::Duration::try_from_secs_f64(*t).is_ok())
+                        .ok_or("--timeout-secs: expected a positive number of seconds")?,
+                );
             }
             "--verify" => verify = true,
             "--scenarios" => {
@@ -348,88 +396,140 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--kernel" => {
-                kernel = value("--kernel")?
-                    .parse::<KernelBackend>()
-                    .map_err(|e| format!("--kernel: {e}"))?;
+                kernel_flag = Some(
+                    value("--kernel")?
+                        .parse::<KernelBackend>()
+                        .map_err(|e| format!("--kernel: {e}"))?,
+                );
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    // `--verify` may appear before or after the mode flag; re-apply it.
-    match mode {
-        Mode::Coordinator { workers, .. } => mode = Mode::Coordinator { workers, verify },
-        Mode::Remote { hosts_path, .. } => mode = Mode::Remote { hosts_path, verify },
-        Mode::Harness | Mode::Worker(_) => {
-            if verify {
-                return Err("--verify only applies to --workers / --hosts modes".to_owned());
+    scenarios = scenarios.max(3);
+    // An unknown SEO_KERNEL value is as much an argument error as an
+    // unknown flag value — never silently fall back. Plans are
+    // self-contained, so with --plan the env default is not consulted
+    // (the explicit --kernel flag still overrides either source).
+    let env_kernel =
+        || KernelBackend::from_env().map_err(|e| format!("{}: {e}", KernelBackend::ENV_VAR));
+
+    // Build the effective plan: loaded from --plan, or the paper preset the
+    // legacy flags have always described.
+    let (mut plan, mode) = if let Some(path) = &plan_path {
+        if matches!(mode_flag, ModeFlag::Workers(_) | ModeFlag::Hosts(_)) {
+            return Err(
+                "--plan carries its own execution mode; drop --workers / --hosts".to_owned(),
+            );
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("--plan {path}: {e}"))?;
+        let plan = SweepPlan::parse(&text).map_err(|e| format!("--plan {path}: {e}"))?;
+        let mode = match mode_flag {
+            ModeFlag::Worker(shard) => Mode::Worker(shard),
+            _ => Mode::Plan,
+        };
+        (plan, mode)
+    } else {
+        let paper = SweepPlan::paper(scenarios, base_seed).with_kernel(env_kernel()?);
+        match mode_flag {
+            ModeFlag::None if check => (paper, Mode::Plan),
+            ModeFlag::None => (paper, Mode::Harness),
+            ModeFlag::Worker(shard) => (paper, Mode::Worker(shard)),
+            ModeFlag::Workers(n) => (paper.with_mode(ExecMode::Processes(n)), Mode::Plan),
+            ModeFlag::Hosts(path) => {
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                let pool = HostPool::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                (paper.with_mode(ExecMode::Hosts(pool)), Mode::Plan)
             }
         }
+    };
+    // Explicit flags override the plan's execution section.
+    if let Some(kernel) = kernel_flag {
+        plan = plan.with_kernel(kernel);
     }
-    Ok(Cli {
+    if let Some(timeout) = timeout_flag {
+        plan = plan.with_timeout_secs(timeout);
+    }
+    if verify {
+        plan = plan.with_verify(true);
+    }
+    if matches!(mode, Mode::Harness | Mode::Worker(_)) && verify {
+        return Err("--verify only applies to plan / --workers / --hosts modes".to_owned());
+    }
+    plan.validate().map_err(|e| e.to_string())?;
+    let kernel = plan.kernel;
+    let verify = plan.verify;
+    Ok(CliOutcome::Run(Box::new(Cli {
         mode,
-        scenarios: scenarios.max(3),
-        base_seed,
-        timeout_secs,
+        plan,
+        plan_path,
+        check,
+        verify,
         kernel,
-    })
+        scenarios,
+        base_seed,
+    })))
 }
 
-/// `--worker START..END`: run one shard of the grid through the same serial
-/// scratch loop `run_serial` uses, streaming one wire line per episode.
-/// Stdout carries **only** protocol lines; anything human goes to stderr.
-fn worker_mode(
-    shard: Shard,
-    scenarios: usize,
-    base_seed: u64,
-    kernel: KernelBackend,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let runtime = paper_runtime(OptimizerKind::Offloading, kernel)?;
-    let specs = grid(scenarios, base_seed);
+/// `--worker START..END`: run one shard of the effective plan's grid
+/// through the same serial scratch loop every mode uses, streaming one wire
+/// line per episode. Stdout carries **only** protocol lines; anything human
+/// goes to stderr.
+fn worker_mode(cli: &Cli, shard: Shard) -> Result<(), Box<dyn std::error::Error>> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    shard::run_worker_shard(&runtime, &specs, shard, &mut out)?;
+    let mut write_error: Option<std::io::Error> = None;
+    // A failed write (e.g. the coordinator died and the pipe broke) stops
+    // the shard immediately — no point computing episodes nobody reads.
+    cli.plan.run_range(shard, cli.kernel, |i, report| {
+        let result = writeln!(out, "{}", shard::report_line(i, &report)).and_then(|()| out.flush());
+        match result {
+            Ok(()) => true,
+            Err(e) => {
+                write_error = Some(e);
+                false
+            }
+        }
+    })?;
+    if let Some(e) = write_error {
+        return Err(Box::new(e));
+    }
     Ok(())
 }
 
-/// `--workers N`: plan shards, spawn N copies of this binary as worker
-/// processes, stream-merge their reports deterministically, and emit each
-/// merged wire line to stdout **as soon as its spec-index prefix is
-/// complete** (not after the slowest worker). With `--verify`, rerun the
-/// grid serially in-process and fail (non-zero exit) unless the merge is
-/// bit-identical.
-fn coordinator_mode(
-    workers: usize,
-    verify: bool,
-    scenarios: usize,
-    base_seed: u64,
-    kernel: KernelBackend,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let specs = grid(scenarios, base_seed);
-    // Validates worker count vs grid, shard coverage, and emptiness before
-    // any process spawns.
-    let plan = ShardPlanner::new(workers).plan(specs.len())?;
-    let program = std::env::current_exe()?;
-    // `--kernel` is forwarded like the grid parameters: backends are
-    // bit-identical so it cannot change the merge, but the worker processes
-    // should run the backend the operator asked for.
-    let coordinator = Coordinator::new(program).with_args([
-        "--scenarios".to_owned(),
-        scenarios.to_string(),
-        "--seed".to_owned(),
-        base_seed.to_string(),
-        "--kernel".to_owned(),
-        kernel.name().to_owned(),
-    ]);
+/// `--check`: validate (already done at parse time) and summarize the plan.
+fn check_mode(cli: &Cli) {
+    let plan = &cli.plan;
+    println!("plan OK: {plan}");
+    println!(
+        "  grid: {} spec(s) in {} cell(s)",
+        plan.n_specs(),
+        plan.cells().len()
+    );
+    for (cell, range) in plan.cells() {
+        println!("    [{}..{}) {cell}", range.start, range.end);
+    }
+    println!(
+        "  exec: {}, kernel '{}', timeout {} s, verify {}",
+        plan.mode, plan.kernel, plan.timeout_secs, plan.verify
+    );
+}
 
+/// Runs the effective plan per its execution mode, streaming merged wire
+/// lines to stdout, then verifies against the in-process serial rerun when
+/// asked. One function, four engines — the tentpole of the plan API.
+fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let plan = &cli.plan;
     let start = Instant::now();
-    // `&Stdout` is Write and Sync, unlike StdoutLock which cannot cross the
-    // Send bound the streaming sink carries. Reports are only retained when
-    // --verify needs them; otherwise the sweep stays O(1) in grid size.
     let stdout = std::io::stdout();
-    let mut merged: Vec<EpisodeReport> = Vec::with_capacity(if verify { specs.len() } else { 0 });
+    let mut merged: Vec<EpisodeReport> =
+        Vec::with_capacity(if cli.verify { plan.n_specs() } else { 0 });
     let mut streamed = 0usize;
     let mut write_error: Option<std::io::Error> = None;
-    coordinator.run_streaming(&plan, |i, report| {
+    // Returns the keep-going flag `run_range` understands: the serial path
+    // stops computing as soon as stdout breaks (`sweep --plan … | head`
+    // must not run the whole grid); the distributed paths drain their
+    // merges but stop writing.
+    let mut sink = |i: usize, report: EpisodeReport| -> bool {
         if write_error.is_none() {
             let result = writeln!(&stdout, "{}", shard::report_line(i, &report))
                 .and_then(|()| (&stdout).flush());
@@ -438,39 +538,95 @@ fn coordinator_mode(
             }
         }
         streamed += 1;
-        if verify {
+        if cli.verify {
             merged.push(report);
         }
-    })?;
+        write_error.is_none()
+    };
+
+    let label: String = match &plan.mode {
+        ExecMode::Serial => {
+            plan.run_range(Shard::new(0, plan.n_specs()), plan.kernel, &mut sink)?;
+            "serially".to_owned()
+        }
+        ExecMode::Threads(threads) => {
+            for (i, report) in plan.run_threads(*threads)?.into_iter().enumerate() {
+                if !sink(i, report) {
+                    break;
+                }
+            }
+            format!("over {threads} thread(s)")
+        }
+        ExecMode::Processes(workers) => {
+            // Re-invoke this binary as worker processes. A file-loaded plan
+            // is passed by path (workers reload and expand the identical
+            // grid); the desugared paper plan travels as the legacy grid
+            // flags it came from. Either way the coordinator forwards the
+            // effective kernel so workers run the backend the operator
+            // chose.
+            let shard_plan = ShardPlanner::new(*workers).plan(plan.n_specs())?;
+            let program = std::env::current_exe()?;
+            let mut args: Vec<String> = match &cli.plan_path {
+                Some(path) => vec!["--plan".to_owned(), path.clone()],
+                None => vec![
+                    "--scenarios".to_owned(),
+                    cli.scenarios.to_string(),
+                    "--seed".to_owned(),
+                    cli.base_seed.to_string(),
+                ],
+            };
+            args.extend(["--kernel".to_owned(), plan.kernel.name().to_owned()]);
+            let coordinator = Coordinator::new(program).with_args(args);
+            coordinator.run_streaming(&shard_plan, |i, report| {
+                sink(i, report);
+            })?;
+            format!("over {} worker process(es)", shard_plan.shards().len())
+        }
+        ExecMode::Hosts(pool) => {
+            let coordinator = RemoteCoordinator::new(pool.clone())
+                .with_timeout(std::time::Duration::from_secs_f64(plan.timeout_secs));
+            let stats = coordinator.run_plan_streaming(plan, |i, report| {
+                sink(i, report);
+            })?;
+            let n_hosts = pool.hosts().len();
+            for loss in &stats.hosts_lost {
+                eprintln!(
+                    "sweep: host {} lost ({}); {} spec(s) re-sharded to survivors",
+                    loss.addr, loss.message, loss.reassigned
+                );
+            }
+            format!(
+                "over {n_hosts} host(s) ({} job(s), {} wave(s))",
+                stats.jobs, stats.waves
+            )
+        }
+    };
     if let Some(e) = write_error {
         return Err(Box::new(e));
     }
     let elapsed = start.elapsed().as_secs_f64();
     eprintln!(
-        "sharded sweep: {streamed} scenarios over {} worker process(es) in {elapsed:.2} s ({:.1}/s)",
-        plan.shards().len(),
+        "plan sweep: {streamed} scenario(s) {label} in {elapsed:.2} s ({:.1}/s)",
         streamed as f64 / elapsed.max(1e-12),
     );
 
-    if verify {
-        verify_against_serial(&specs, &merged, kernel)?;
+    if cli.verify {
+        verify_against_plan_serial(plan, &merged)?;
     }
     Ok(())
 }
 
-/// Reruns the grid serially in-process and fails unless `merged` matches it
-/// field-for-field **and** byte-for-byte on the wire. The rerun uses this
-/// process's own kernel backend, so a fleet on a different backend (or a
-/// mixed fleet) is held to cross-backend bit-identity too.
-fn verify_against_serial(
-    specs: &[ScenarioSpec],
+/// Reruns the plan's grid serially in-process and fails unless `merged`
+/// matches it field-for-field **and** byte-for-byte on the wire. The rerun
+/// uses this process's effective kernel backend, so a fleet on a different
+/// backend (or a mixed fleet) is held to cross-backend bit-identity too.
+fn verify_against_plan_serial(
+    plan: &SweepPlan,
     merged: &[EpisodeReport],
-    kernel: KernelBackend,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let runner = BatchRunner::new(paper_runtime(OptimizerKind::Offloading, kernel)?);
-    let serial = runner.run_serial(specs);
+    let serial = plan.run_serial()?;
     if serial != merged {
-        return Err("distributed merge is NOT bit-identical to the serial sweep".into());
+        return Err("merged output is NOT bit-identical to the serial sweep".into());
     }
     // Belt and braces: the serialized wire bytes must match too.
     for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
@@ -479,71 +635,6 @@ fn verify_against_serial(
         }
     }
     eprintln!("verify: merged output is bit-identical to the serial sweep");
-    Ok(())
-}
-
-/// `--hosts FILE`: parse and validate the host pool, fan the grid out over
-/// the `seo-sweepd` daemons it lists (shards weighted by capacity), merge
-/// their TCP report streams deterministically, and emit each merged wire
-/// line to stdout as soon as its spec-index prefix is complete. Host losses
-/// are re-sharded across survivors and reported on stderr; the run only
-/// fails when **every** host is lost with work outstanding. With
-/// `--verify`, rerun the grid serially in-process and fail (non-zero exit)
-/// unless the merge is bit-identical.
-fn remote_mode(
-    hosts_path: &str,
-    verify: bool,
-    scenarios: usize,
-    base_seed: u64,
-    timeout_secs: f64,
-    kernel: KernelBackend,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(hosts_path).map_err(|e| format!("{hosts_path}: {e}"))?;
-    let pool = HostPool::parse(&text).map_err(|e| format!("{hosts_path}: {e}"))?;
-    let n_hosts = pool.hosts().len();
-    let coordinator =
-        RemoteCoordinator::new(pool).with_timeout(std::time::Duration::from_secs_f64(timeout_secs));
-    let specs = grid(scenarios, base_seed);
-
-    let start = Instant::now();
-    let stdout = std::io::stdout();
-    let mut merged: Vec<EpisodeReport> = Vec::with_capacity(if verify { specs.len() } else { 0 });
-    let mut streamed = 0usize;
-    let mut write_error: Option<std::io::Error> = None;
-    let stats = coordinator.run_streaming(scenarios, base_seed, |i, report| {
-        if write_error.is_none() {
-            let result = writeln!(&stdout, "{}", shard::report_line(i, &report))
-                .and_then(|()| (&stdout).flush());
-            if let Err(e) = result {
-                write_error = Some(e);
-            }
-        }
-        streamed += 1;
-        if verify {
-            merged.push(report);
-        }
-    })?;
-    if let Some(e) = write_error {
-        return Err(Box::new(e));
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    eprintln!(
-        "multi-host sweep: {streamed} scenarios over {n_hosts} host(s) in {elapsed:.2} s \
-         ({:.1}/s; {} job(s), {} wave(s))",
-        streamed as f64 / elapsed.max(1e-12),
-        stats.jobs,
-        stats.waves,
-    );
-    for loss in &stats.hosts_lost {
-        eprintln!(
-            "multi-host sweep: host {} lost ({}); {} spec(s) re-sharded to survivors",
-            loss.addr, loss.message, loss.reassigned
-        );
-    }
-
-    if verify {
-        verify_against_serial(&specs, &merged, kernel)?;
-    }
     Ok(())
 }
 
@@ -612,32 +703,28 @@ fn run_harness(
 }
 
 fn main() {
-    // Argument errors exit 2 with the grammar; runtime failures exit 1.
+    // Argument/plan errors exit 2 with the grammar; --help exits 0; runtime
+    // failures exit 1.
     let cli = match parse_cli() {
-        Ok(cli) => cli,
+        Ok(CliOutcome::Run(cli)) => cli,
+        Ok(CliOutcome::Help) => {
+            println!("{}", usage());
+            return;
+        }
         Err(e) => {
             eprintln!("sweep: {e}");
-            eprintln!(
-                "{}",
-                USAGE_TEMPLATE.replace("%KERNELS%", &KernelBackend::valid_names())
-            );
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
     };
+    if cli.check {
+        check_mode(&cli);
+        return;
+    }
     let result = match cli.mode {
         Mode::Harness => run_harness(cli.scenarios, cli.base_seed, cli.kernel),
-        Mode::Worker(shard) => worker_mode(shard, cli.scenarios, cli.base_seed, cli.kernel),
-        Mode::Coordinator { workers, verify } => {
-            coordinator_mode(workers, verify, cli.scenarios, cli.base_seed, cli.kernel)
-        }
-        Mode::Remote { hosts_path, verify } => remote_mode(
-            &hosts_path,
-            verify,
-            cli.scenarios,
-            cli.base_seed,
-            cli.timeout_secs,
-            cli.kernel,
-        ),
+        Mode::Worker(shard) => worker_mode(&cli, shard),
+        Mode::Plan => run_plan_mode(&cli),
     };
     if let Err(e) = result {
         eprintln!("sweep: {e}");

@@ -36,14 +36,16 @@ use std::io::Write as _;
 use std::sync::Arc;
 
 /// `%KERNELS%` is filled from [`KernelBackend::valid_names`] so the usage
-/// text can never go stale against the enum.
+/// text can never go stale against the enum. Printed with exit code 0 on
+/// `--help` and exit code 2 on any argument error.
 const USAGE_TEMPLATE: &str =
     "usage: sweepd [--listen HOST:PORT] [--kernel NAME] [--fail-after K]\n  \
     --listen     address to accept coordinator connections on (default 127.0.0.1:7641)\n  \
     --kernel     inference kernel backend: %KERNELS% (default scalar, or\n               \
     SEO_KERNEL; bit-identical output, see docs/kernels.md)\n  \
     --fail-after drop every connection after K reports, without a done frame \
-    (fault-injection testing only)";
+    (fault-injection testing only)\n  \
+    --help, -h   print this usage and exit 0";
 
 struct Cli {
     listen: String,
@@ -51,7 +53,13 @@ struct Cli {
     kernel: KernelBackend,
 }
 
-fn parse_cli() -> Result<Cli, String> {
+/// Everything `parse_cli` can ask `main` to do besides serving.
+enum CliOutcome {
+    Run(Cli),
+    Help,
+}
+
+fn parse_cli() -> Result<CliOutcome, String> {
     let mut listen = "127.0.0.1:7641".to_owned();
     let mut fail_after = None;
     // An unknown SEO_KERNEL value is an argument error, same as --kernel.
@@ -64,6 +72,7 @@ fn parse_cli() -> Result<Cli, String> {
                 .ok_or_else(|| format!("{flag} requires a value"))
         };
         match arg.as_str() {
+            "--help" | "-h" => return Ok(CliOutcome::Help),
             "--listen" => listen = value("--listen")?,
             "--kernel" => {
                 kernel = value("--kernel")?
@@ -80,16 +89,23 @@ fn parse_cli() -> Result<Cli, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(Cli {
+    Ok(CliOutcome::Run(Cli {
         listen,
         fail_after,
         kernel,
-    })
+    }))
 }
 
 fn main() {
     let cli = match parse_cli() {
-        Ok(cli) => cli,
+        Ok(CliOutcome::Run(cli)) => cli,
+        Ok(CliOutcome::Help) => {
+            println!(
+                "{}",
+                USAGE_TEMPLATE.replace("%KERNELS%", &KernelBackend::valid_names())
+            );
+            return;
+        }
         Err(e) => {
             eprintln!("sweepd: {e}");
             eprintln!(

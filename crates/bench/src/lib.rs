@@ -8,11 +8,13 @@
 //! Run counts default to the paper's 25 successful runs per cell; set
 //! `SEO_RUNS` to trade fidelity for speed (the binaries honor it).
 //!
-//! The distributed sweep surface lives next door: the `sweep` binary's
-//! `--workers` / `--hosts` modes and the `seo-sweepd` worker daemon are thin
-//! CLIs over `seo_core::shard` and `seo_core::transport` (see
-//! `ARCHITECTURE.md` at the repository root, and `docs/benchmarks.md` for
-//! the `BENCH_sweep.json` schema and CI perf gate).
+//! The distributed sweep surface lives next door: the `sweep` binary runs
+//! declarative `seo_core::plan::SweepPlan` files (`--plan plan.json`; the
+//! legacy `--workers` / `--hosts` flags desugar into plans), and the
+//! `seo-sweepd` worker daemon serves plan-bearing jobs over
+//! `seo_core::transport` (see `ARCHITECTURE.md` at the repository root,
+//! `docs/plans.md` for the plan schema, and `docs/benchmarks.md` for the
+//! `BENCH_sweep.json` schema and CI perf gate).
 //!
 //! # Example
 //!

@@ -171,6 +171,55 @@ fn multi_host_verify_sweep_is_kernel_backend_invariant() {
 }
 
 #[test]
+fn hosts_plan_file_matches_the_legacy_hosts_flags_byte_for_byte() {
+    // The hosts run mode described *inside a plan file* must reproduce the
+    // legacy `--hosts` flag run exactly — the plan is the description, the
+    // engines are shared. The daemons here receive the plan inline over
+    // the wire (no plan file on the "remote" side).
+    let a = Daemon::spawn(&[]);
+    let b = Daemon::spawn(&["--kernel", "blocked"]); // mixed fleet stays legal
+    let hosts = write_hosts_file(&[(&a.addr, 2), (&b.addr, 1)]);
+    let (legacy_stdout, _) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+
+    let plan = seo_core::plan::SweepPlan::paper(SCENARIOS, SEED)
+        .with_mode(seo_core::plan::ExecMode::Hosts(
+            seo_core::transport::HostPool::new(vec![
+                HostSpec {
+                    addr: a.addr.clone(),
+                    capacity: 2,
+                },
+                HostSpec {
+                    addr: b.addr.clone(),
+                    capacity: 1,
+                },
+            ])
+            .expect("valid pool"),
+        ))
+        .with_timeout_secs(60.0)
+        .with_verify(true);
+    let path = std::env::temp_dir().join(format!("seo-hosts-plan-{}.json", std::process::id()));
+    std::fs::write(&path, plan.to_json().render_pretty()).expect("plan written");
+    let output = Command::new(SWEEP_BIN)
+        .args(["--plan".as_ref(), path.as_os_str()])
+        .output()
+        .expect("sweep --plan runs");
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "plan hosts run failed: {stderr}");
+    assert!(
+        stderr.contains("bit-identical"),
+        "verify note missing: {stderr}"
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf8 stdout");
+    assert_eq!(
+        stdout, legacy_stdout,
+        "plan-file hosts mode must stream byte-identical merged lines"
+    );
+    assert_stdout_matches_serial(&stdout);
+}
+
+#[test]
 fn sweepd_rejects_unknown_kernel_with_exit_2() {
     // Flag and environment variable use the same error grammar as sweep:
     // exit 2, offending value echoed, valid names listed, usage shown.

@@ -1,0 +1,219 @@
+//! CLI-level properties of the unified plan surface: `--help` exits 0 on
+//! both binaries, `--plan --check` validates with field-named errors,
+//! legacy flags desugar into plans with byte-identical output, and the
+//! paper-preset plan reproduces the legacy grid across run modes (the
+//! multi-host mode is covered against real daemons in
+//! `multihost_sweep.rs` / `tests/transport.rs`).
+
+use seo_core::plan::{ExecMode, SweepPlan};
+use seo_core::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+const SWEEP_BIN: &str = env!("CARGO_BIN_EXE_sweep");
+const SWEEPD_BIN: &str = env!("CARGO_BIN_EXE_sweepd");
+
+/// Writes a plan to a unique temp file and returns its path.
+fn write_plan(name: &str, plan: &SweepPlan) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("seo-plan-cli-{}-{name}.json", std::process::id()));
+    std::fs::write(&path, plan.to_json().render_pretty()).expect("plan written");
+    path
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero_on_both_binaries() {
+    for (bin, needle) in [(SWEEP_BIN, "usage: sweep"), (SWEEPD_BIN, "usage: sweepd")] {
+        for flag in ["--help", "-h"] {
+            let output = Command::new(bin).arg(flag).output().expect("binary runs");
+            assert_eq!(
+                output.status.code(),
+                Some(0),
+                "{bin} {flag} must exit 0 (stderr: {})",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            let stdout = String::from_utf8_lossy(&output.stdout);
+            assert!(stdout.contains(needle), "{bin} {flag}: {stdout}");
+            assert!(
+                stdout.contains("scalar, blocked"),
+                "{bin} {flag} must list kernels: {stdout}"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_check_validates_and_summarizes() {
+    let path = write_plan("check-ok", &SweepPlan::paper(6, 2023));
+    let output = Command::new(SWEEP_BIN)
+        .args(["--plan", path.to_str().expect("utf8 path"), "--check"])
+        .output()
+        .expect("sweep runs");
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("plan OK"), "{stdout}");
+    assert!(stdout.contains("6 spec(s)"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn invalid_plan_exits_2_naming_every_offending_field() {
+    let path = std::env::temp_dir().join(format!("seo-plan-cli-{}-bad.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{"v":1,"axes":{"gating_levels":[1.5],"obstacles":[]},"exec":{"kernel":"warp9"}}"#,
+    )
+    .expect("plan written");
+    let output = Command::new(SWEEP_BIN)
+        .args(["--plan", path.to_str().expect("utf8 path"), "--check"])
+        .output()
+        .expect("sweep runs");
+    assert_eq!(output.status.code(), Some(2), "invalid plan must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    for field in ["axes.gating_levels", "axes.obstacles", "exec.kernel"] {
+        assert!(stderr.contains(field), "'{field}' missing from: {stderr}");
+    }
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+/// The desugaring equivalence: `--workers 2 --kernel blocked` produces
+/// byte-for-byte the stdout of running the corresponding plan file, and
+/// both match the serial plan run.
+#[test]
+fn legacy_flags_are_equivalent_to_the_corresponding_plan_file() {
+    let flags = Command::new(SWEEP_BIN)
+        .args(["--scenarios", "6", "--seed", "2023"])
+        .args(["--workers", "2", "--kernel", "blocked", "--verify"])
+        .output()
+        .expect("sweep runs");
+    assert!(
+        flags.status.success(),
+        "flags run failed: {}",
+        String::from_utf8_lossy(&flags.stderr)
+    );
+
+    let plan = SweepPlan::paper(6, 2023)
+        .with_mode(ExecMode::Processes(2))
+        .with_kernel(KernelBackend::Blocked)
+        .with_verify(true);
+    let path = write_plan("desugar", &plan);
+    let from_plan = Command::new(SWEEP_BIN)
+        .args(["--plan", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("sweep runs");
+    assert!(
+        from_plan.status.success(),
+        "plan run failed: {}",
+        String::from_utf8_lossy(&from_plan.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&flags.stdout),
+        String::from_utf8_lossy(&from_plan.stdout),
+        "flag and plan runs must stream identical merged lines"
+    );
+
+    let serial = write_plan(
+        "desugar-serial",
+        &SweepPlan::paper(6, 2023).with_verify(true),
+    );
+    let serial_out = Command::new(SWEEP_BIN)
+        .args(["--plan", serial.to_str().expect("utf8 path")])
+        .output()
+        .expect("sweep runs");
+    assert!(serial_out.status.success());
+    assert_eq!(
+        from_plan.stdout, serial_out.stdout,
+        "process mode must be byte-identical to the serial plan run"
+    );
+    for p in [path, serial] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// A multi-axis plan runs end to end through the CLI in threads mode, with
+/// `--verify` holding the pool to the serial reference, and streams one
+/// line per grid point in index order.
+#[test]
+fn multi_axis_plan_runs_and_verifies_in_threads_mode() {
+    let plan = SweepPlan::paper(3, 2023)
+        .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::ModelGating])
+        .with_mode(ExecMode::Threads(2))
+        .with_verify(true);
+    let path = write_plan("threads", &plan);
+    let output = Command::new(SWEEP_BIN)
+        .args(["--plan", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("sweep runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(output.status.success(), "{stderr}");
+    assert!(stderr.contains("bit-identical"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "one wire line per grid point");
+    for (i, line) in lines.iter().enumerate() {
+        let (index, _) = seo_core::shard::parse_report_line(line).expect("valid wire line");
+        assert_eq!(index, i, "merged lines come out in spec order");
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// `--plan` with `--worker START..END` runs one shard of the plan's grid —
+/// what the process-mode coordinator spawns under the hood.
+#[test]
+fn plan_worker_mode_emits_exactly_its_shard() {
+    let plan = SweepPlan::paper(6, 2023);
+    let serial = plan.run_serial().expect("plan runs");
+    let path = write_plan("worker", &plan);
+    let output = Command::new(SWEEP_BIN)
+        .args([
+            "--plan",
+            path.to_str().expect("utf8 path"),
+            "--worker",
+            "2..5",
+        ])
+        .output()
+        .expect("sweep runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let parsed: Vec<(usize, EpisodeReport)> = stdout
+        .lines()
+        .map(|l| seo_core::shard::parse_report_line(l).expect("valid wire line"))
+        .collect();
+    assert_eq!(parsed.len(), 3);
+    for (offset, (index, report)) in parsed.iter().enumerate() {
+        assert_eq!(*index, 2 + offset);
+        assert_eq!(*report, serial[*index]);
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// The committed example plans validate through the real CLI (`--check`),
+/// so schema drift in either direction fails loudly here and in CI.
+#[test]
+fn committed_example_plans_pass_cli_check() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/plans");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("examples/plans exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let output = Command::new(SWEEP_BIN)
+            .args(["--plan", path.to_str().expect("utf8 path"), "--check"])
+            .output()
+            .expect("sweep runs");
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        seen += 1;
+    }
+    assert!(
+        seen >= 3,
+        "expected the committed preset plans, found {seen}"
+    );
+}

@@ -74,6 +74,11 @@ impl ScenarioSpec {
     /// [`crate::transport::RemoteCoordinator`] all reconstruct the grid
     /// through here, so `(scenarios, seed)` fully determines the spec list
     /// on every machine involved.
+    ///
+    /// The declarative form of this grid is the named paper preset
+    /// [`crate::plan::SweepPlan::paper`], whose expansion is **byte-
+    /// identical** to this function (property-tested); multi-axis grids
+    /// beyond obstacles × seed are described there.
     #[must_use]
     pub fn paper_grid(scenarios: usize, base_seed: u64) -> Vec<Self> {
         Self::grid(&[0, 2, 4], scenarios.div_ceil(3), base_seed)

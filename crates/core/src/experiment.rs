@@ -91,6 +91,31 @@ impl ExperimentConfig {
         }
     }
 
+    /// Builds the experiment cell corresponding to one sweep-plan grid
+    /// cell: τ (with the paper model set rebuilt on it), gating level,
+    /// control mode, optimizer, and controller all come from the cell, the
+    /// evaluation protocol (runs, base seed, attempt budget) from
+    /// [`Self::paper_defaults`]. This is the bridge from the declarative
+    /// [`crate::plan::SweepPlan`] axes — which promoted these previously
+    /// builder-buried knobs into sweepable grid dimensions — back into the
+    /// successful-runs protocol this harness implements.
+    ///
+    /// # Errors
+    ///
+    /// Any model-construction error from [`ModelSet::paper_setup`] on the
+    /// cell's τ.
+    pub fn from_cell(cell: &crate::plan::CellConfig) -> Result<Self, SeoError> {
+        let seo = cell.seo_config();
+        let models = ModelSet::paper_setup(seo.tau)?;
+        Ok(Self {
+            seo,
+            models,
+            optimizer: cell.optimizer,
+            controller: cell.controller.build(),
+            ..Self::paper_defaults()
+        })
+    }
+
     /// Sets the inference kernel backend (builder style). Because backends
     /// are bit-identical, this cannot change any experiment summary — only
     /// how fast it is produced.
@@ -506,5 +531,35 @@ mod tests {
         let config = quick(OptimizerKind::SensorGating, 4, ControlMode::Unfiltered);
         let back = config.clone();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn from_cell_mirrors_the_grid_cell() {
+        use crate::plan::{CellConfig, ControllerKind};
+        use seo_platform::units::Seconds;
+        let cell = CellConfig {
+            tau_ms: 25.0,
+            gating_level: 0.25,
+            control_mode: ControlMode::Unfiltered,
+            optimizer: OptimizerKind::ModelGating,
+            controller: ControllerKind::TightMargin,
+        };
+        let config = ExperimentConfig::from_cell(&cell).expect("valid cell");
+        assert_eq!(config.seo.tau, Seconds::from_millis(25.0));
+        assert_eq!(config.seo.gating_level, 0.25);
+        assert_eq!(config.seo.control_mode, ControlMode::Unfiltered);
+        assert_eq!(config.optimizer, OptimizerKind::ModelGating);
+        assert_eq!(
+            config.controller,
+            Controller::tight_margin_potential_field()
+        );
+        // Protocol knobs stay on the paper defaults.
+        assert_eq!(config.runs, 25);
+        assert_eq!(config.base_seed, 2023);
+        // The model set is rebuilt on the cell's tau, not the paper's.
+        assert_eq!(
+            config.models,
+            ModelSet::paper_setup(Seconds::from_millis(25.0)).expect("models")
+        );
     }
 }

@@ -31,6 +31,10 @@
 //!   δmax histograms, safety evidence).
 //! * [`experiment`] — paper-experiment harness: builds the exact setups of
 //!   Figures 1/5/6 and Tables I/II/III.
+//! * [`plan`] — the unified [`plan::SweepPlan`]: one declarative, validated,
+//!   versioned description of a run (multi-axis scenario grid + execution
+//!   section) that every sweep mode — serial, threads, worker processes,
+//!   TCP hosts — consumes.
 //! * [`shard`] — multi-process sharded sweeps: shard planning, the
 //!   line-delimited JSON wire format, the streaming deterministic merge, and
 //!   the worker-process coordinator.
@@ -74,6 +78,7 @@ pub mod json;
 pub mod metrics;
 pub mod model;
 pub mod optimizer;
+pub mod plan;
 pub mod runtime;
 pub mod scheduler;
 pub mod shard;
@@ -92,6 +97,9 @@ pub mod prelude {
     pub use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
     pub use crate::model::{Criticality, ModelId, ModelSet, PipelineModel};
     pub use crate::optimizer::OptimizerKind;
+    pub use crate::plan::{
+        CellConfig, ControllerKind, ExecMode, GridAxes, GridPoint, PlanError, SeedRange, SweepPlan,
+    };
     pub use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
     pub use crate::shard::{Shard, ShardError, ShardPlan, ShardPlanner, StreamingMerge};

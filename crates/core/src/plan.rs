@@ -1,0 +1,1425 @@
+//! The unified sweep plan: one declarative, validated description of a run.
+//!
+//! Before this module, "what does this sweep run, and how?" was smeared
+//! across four surfaces: [`crate::experiment::ExperimentConfig`] builders,
+//! [`ScenarioSpec::paper_grid`] (hard-coded to obstacles × seed), the
+//! `sweep` / `seo-sweepd` CLI flags, and environment variables. A
+//! [`SweepPlan`] replaces all of them with a single typed, versioned value:
+//!
+//! * a **multi-axis scenario grid** ([`GridAxes`]) — obstacles × τ × gating
+//!   level × control mode × optimizer × controller × seed range, expanded as
+//!   a cartesian product into the existing [`ScenarioSpec`] stream with
+//!   **stable spec indices** (the same indices the sharded and multi-host
+//!   wire protocols already merge on), and
+//! * an **execution section** — [`ExecMode`] (serial, threads, worker
+//!   processes, or a TCP host pool), the inference kernel backend, the
+//!   transport timeout, and whether to verify the merged output against an
+//!   in-process serial rerun.
+//!
+//! Plans are **files**: [`SweepPlan::to_json`] / [`SweepPlan::parse`] give a
+//! versioned (`"v":1`) JSON form you can commit, diff, and ship to hosts
+//! (see `docs/plans.md` for the schema and `examples/plans/` for committed
+//! presets). Validation is exhaustive and **collected**, not first-fail:
+//! every problem names the offending field ([`PlanError`]).
+//!
+//! The expansion order is cell-major: all *runtime* axes (τ, gating,
+//! control mode, optimizer, controller) vary in the outer loops, so each
+//! [`CellConfig`] owns one contiguous index range and a runtime is built
+//! once per cell, never per episode. With every runtime axis left at its
+//! single paper-default value, the expansion is **byte-identical** to
+//! [`ScenarioSpec::paper_grid`] — that invariant is what lets every legacy
+//! CLI flag desugar into a plan.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::plan::SweepPlan;
+//!
+//! // The paper preset expands exactly like ScenarioSpec::paper_grid(6, 2023).
+//! let plan = SweepPlan::paper(6, 2023);
+//! assert_eq!(plan.n_specs(), 6);
+//! plan.validate()?;
+//!
+//! // Plans round-trip through their committed JSON form losslessly.
+//! let reloaded = SweepPlan::parse(&plan.to_json().render())?;
+//! assert_eq!(reloaded, plan);
+//! assert_eq!(reloaded.expand(), plan.expand());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::batch::{BatchRunner, ScenarioSpec};
+use crate::config::{ControlMode, SeoConfig};
+use crate::controller::Controller;
+use crate::error::SeoError;
+use crate::json::Json;
+use crate::metrics::EpisodeReport;
+use crate::model::ModelSet;
+use crate::optimizer::OptimizerKind;
+use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
+use crate::shard::{self, Shard};
+use crate::transport::HostPool;
+use seo_nn::kernel::KernelBackend;
+use seo_platform::units::Seconds;
+use std::fmt;
+
+/// Plan schema version stamped on every saved plan (`"v":1`). Bumped
+/// whenever the JSON shape changes so a host never silently runs a plan
+/// written by an incompatible build.
+pub const PLAN_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// One validation (or parse) problem, naming the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanProblem {
+    /// Dotted path of the offending field (e.g. `axes.gating_levels`,
+    /// `exec.workers`).
+    pub field: String,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for PlanProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+/// An invalid sweep plan: **every** problem found, not just the first, each
+/// naming the offending field — so a plan with three bad axes is fixed in
+/// one edit, not three round trips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// All problems found, in field order.
+    pub problems: Vec<PlanProblem>,
+}
+
+impl PlanError {
+    fn new(problems: Vec<PlanProblem>) -> Self {
+        Self { problems }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid sweep plan ({} problem(s)):",
+            self.problems.len()
+        )?;
+        for p in &self.problems {
+            write!(f, "\n  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Collected-problem accumulator shared by validation and parsing.
+#[derive(Debug, Default)]
+struct Problems(Vec<PlanProblem>);
+
+impl Problems {
+    fn push(&mut self, field: &str, message: impl Into<String>) {
+        self.0.push(PlanProblem {
+            field: field.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    fn into_result<T>(self, value: T) -> Result<T, PlanError> {
+        if self.0.is_empty() {
+            Ok(value)
+        } else {
+            Err(PlanError::new(self.0))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controllers as a sweepable, serializable axis
+// ---------------------------------------------------------------------------
+
+/// A *named* driving controller — the serializable form of
+/// [`Controller`] that a plan axis can sweep and a JSON file can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerKind {
+    /// [`Controller::default`]: the stock potential-field agent — what every
+    /// sweep mode has always run, and therefore the paper preset's value.
+    PotentialField,
+    /// [`Controller::tight_margin_potential_field`]: the experiment
+    /// harness's tight-margin tuning (passes obstacles closer, so the
+    /// filtered/unfiltered contrast is measurable).
+    TightMargin,
+    /// [`Controller::seeded_neural`]: a fixed-seed neural policy — the only
+    /// controller family whose episodes exercise the dense-kernel hot path.
+    SeededNeural(
+        /// Policy initialization seed.
+        u64,
+    ),
+}
+
+impl ControllerKind {
+    /// Builds the runnable controller this name stands for.
+    #[must_use]
+    pub fn build(&self) -> Controller {
+        match self {
+            Self::PotentialField => Controller::default(),
+            Self::TightMargin => Controller::tight_margin_potential_field(),
+            Self::SeededNeural(seed) => Controller::seeded_neural(*seed),
+        }
+    }
+
+    /// The canonical plan-file name (`potential-field`, `tight-margin`,
+    /// `neural:SEED`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Self::PotentialField => "potential-field".to_owned(),
+            Self::TightMargin => "tight-margin".to_owned(),
+            Self::SeededNeural(seed) => format!("neural:{seed}"),
+        }
+    }
+
+    /// Parses a canonical name back into a kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message listing the valid grammar.
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "potential-field" => Ok(Self::PotentialField),
+            "tight-margin" => Ok(Self::TightMargin),
+            other => {
+                if let Some(seed) = other.strip_prefix("neural:") {
+                    return seed.parse::<u64>().map(Self::SeededNeural).map_err(|_| {
+                        format!("'{other}': the neural seed must be a non-negative integer")
+                    });
+                }
+                Err(format!(
+                    "unknown controller '{other}' (valid: potential-field, tight-margin, neural:SEED)"
+                ))
+            }
+        }
+    }
+}
+
+impl fmt::Display for ControllerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grid axes
+// ---------------------------------------------------------------------------
+
+/// The seed axis: run `k` of each scenario cell uses seed `base + k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedRange {
+    /// Seed of run 0.
+    pub base: u64,
+    /// Seeds per (cell × obstacle count) pairing.
+    pub runs: usize,
+}
+
+/// The multi-axis scenario grid: every combination of these axes is one
+/// grid point. Axes with a single value simply pin that knob; the paper
+/// preset pins every runtime axis and sweeps obstacles × seeds, which is
+/// exactly [`ScenarioSpec::paper_grid`].
+///
+/// The first five axes were previously buried as `ExperimentConfig`
+/// defaults (τ, gating level, control mode) or CLI-only choices (optimizer,
+/// controller); promoting them here is what lets one plan sweep them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridAxes {
+    /// Obstacle counts on the route (the paper sweeps {0, 2, 4}).
+    pub obstacles: Vec<usize>,
+    /// Base periods τ in milliseconds (the paper's Table I sweeps
+    /// {20, 25}).
+    pub tau_ms: Vec<f64>,
+    /// Gating levels `g` in `[0, 1]` (the Fig. 1 knob).
+    pub gating_levels: Vec<f64>,
+    /// Safety filter in or out of the loop.
+    pub control_modes: Vec<ControlMode>,
+    /// Ω instantiations.
+    pub optimizers: Vec<OptimizerKind>,
+    /// Driving controllers.
+    pub controllers: Vec<ControllerKind>,
+    /// The seed range appended innermost to every scenario cell.
+    pub seeds: SeedRange,
+}
+
+impl GridAxes {
+    /// The paper grid as axes: obstacles {0, 2, 4} ×
+    /// `scenarios.div_ceil(3)` seeds from `base_seed`, every runtime axis at
+    /// its paper-default single value. Expands **byte-identically** to
+    /// [`ScenarioSpec::paper_grid`]`(scenarios, base_seed)`.
+    #[must_use]
+    pub fn paper(scenarios: usize, base_seed: u64) -> Self {
+        Self {
+            obstacles: vec![0, 2, 4],
+            tau_ms: vec![20.0],
+            gating_levels: vec![0.5],
+            control_modes: vec![ControlMode::Filtered],
+            optimizers: vec![OptimizerKind::Offloading],
+            controllers: vec![ControllerKind::PotentialField],
+            seeds: SeedRange {
+                base: base_seed,
+                runs: scenarios.div_ceil(3),
+            },
+        }
+    }
+
+    /// Runtime cells in the grid (product of the five runtime axes).
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.tau_ms.len()
+            * self.gating_levels.len()
+            * self.control_modes.len()
+            * self.optimizers.len()
+            * self.controllers.len()
+    }
+
+    /// Scenario points per runtime cell (obstacles × seeds).
+    #[must_use]
+    pub fn specs_per_cell(&self) -> usize {
+        self.obstacles.len() * self.seeds.runs
+    }
+
+    /// Total grid points.
+    #[must_use]
+    pub fn n_specs(&self) -> usize {
+        self.n_cells() * self.specs_per_cell()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cells and grid points
+// ---------------------------------------------------------------------------
+
+/// One *runtime cell* of the grid: the combination of every axis that
+/// changes how episodes run (as opposed to which world/seed they run on).
+/// All grid points of a cell share one [`RuntimeLoop`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellConfig {
+    /// Base period τ in milliseconds.
+    pub tau_ms: f64,
+    /// Gating level `g`.
+    pub gating_level: f64,
+    /// Safety filter in or out of the loop.
+    pub control_mode: ControlMode,
+    /// Ω instantiation.
+    pub optimizer: OptimizerKind,
+    /// Driving controller.
+    pub controller: ControllerKind,
+}
+
+impl CellConfig {
+    /// The framework configuration this cell pins (paper defaults with the
+    /// cell's τ, gating level, and control mode applied).
+    #[must_use]
+    pub fn seo_config(&self) -> SeoConfig {
+        SeoConfig::paper_defaults()
+            .with_tau(Seconds::from_millis(self.tau_ms))
+            .with_gating_level(self.gating_level)
+            .with_control_mode(self.control_mode)
+    }
+
+    /// Builds the cell's runtime: paper model set rebuilt on the cell's τ,
+    /// the cell's optimizer and controller, and the given kernel backend.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration error from [`RuntimeLoop::new`] or
+    /// [`ModelSet::paper_setup`].
+    pub fn runtime(&self, kernel: KernelBackend) -> Result<RuntimeLoop, SeoError> {
+        let config = self.seo_config();
+        let models = ModelSet::paper_setup(config.tau)?;
+        Ok(RuntimeLoop::new(config, models, self.optimizer)?
+            .with_controller(self.controller.build())
+            .with_kernel(kernel))
+    }
+
+    /// Encodes the cell for provenance records (`BENCH_sweep.json` rows and
+    /// tooling that must say which grid point produced a result).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tau_ms", self.tau_ms.into()),
+            ("gating_level", self.gating_level.into()),
+            ("control_mode", self.control_mode.to_string().into()),
+            ("optimizer", self.optimizer.to_string().into()),
+            ("controller", self.controller.name().into()),
+        ])
+    }
+}
+
+impl fmt::Display for CellConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tau={} ms, gating={}, {}, {}, {}",
+            self.tau_ms, self.gating_level, self.control_mode, self.optimizer, self.controller
+        )
+    }
+}
+
+/// One expanded grid point: its stable spec index, the scenario spec the
+/// existing engines consume, and the runtime cell it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Stable index in the expanded grid — the index the wire protocols
+    /// stamp on report lines and the merge orders by.
+    pub index: usize,
+    /// The scenario spec (obstacle count + seed).
+    pub spec: ScenarioSpec,
+    /// The runtime cell.
+    pub cell: CellConfig,
+}
+
+// ---------------------------------------------------------------------------
+// Execution section
+// ---------------------------------------------------------------------------
+
+/// How the expanded grid is executed. Every mode produces output
+/// bit-identical to [`SweepPlan::run_serial`]; the mode chooses only the
+/// machinery (and therefore the wall-clock).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecMode {
+    /// One thread, one scratch — the reference loop.
+    Serial,
+    /// [`BatchRunner`] worker threads in this process.
+    Threads(
+        /// Worker thread count.
+        usize,
+    ),
+    /// `sweep --worker` child processes via [`crate::shard::Coordinator`].
+    Processes(
+        /// Worker process count.
+        usize,
+    ),
+    /// `seo-sweepd` TCP daemons via
+    /// [`crate::transport::RemoteCoordinator`].
+    Hosts(
+        /// The validated worker pool.
+        HostPool,
+    ),
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Serial => f.write_str("serial"),
+            Self::Threads(n) => write!(f, "{n} thread(s)"),
+            Self::Processes(n) => write!(f, "{n} worker process(es)"),
+            Self::Hosts(pool) => write!(f, "{} host(s)", pool.hosts().len()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The plan
+// ---------------------------------------------------------------------------
+
+/// A complete, self-contained description of one sweep run: the grid and
+/// how to execute it. See the [module docs](self) for the design and
+/// `docs/plans.md` for the file format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// The multi-axis grid.
+    pub axes: GridAxes,
+    /// Execution machinery.
+    pub mode: ExecMode,
+    /// Inference kernel backend (bit-identical across backends by the
+    /// `seo_nn::kernel` contract — a pure speed knob).
+    pub kernel: KernelBackend,
+    /// Multi-host connect/read timeout in seconds.
+    pub timeout_secs: f64,
+    /// Whether runners should rerun the grid serially in-process and fail
+    /// unless the merged output is bit-identical.
+    pub verify: bool,
+}
+
+impl SweepPlan {
+    /// A serial plan over the given axes with default execution knobs
+    /// (scalar kernel, 30 s timeout, no verify).
+    #[must_use]
+    pub fn new(axes: GridAxes) -> Self {
+        Self {
+            axes,
+            mode: ExecMode::Serial,
+            kernel: KernelBackend::default(),
+            timeout_secs: 30.0,
+            verify: false,
+        }
+    }
+
+    /// The named paper preset: [`GridAxes::paper`] run serially. Expands
+    /// byte-identically to [`ScenarioSpec::paper_grid`]`(scenarios,
+    /// base_seed)` — the invariant every legacy CLI flag desugars through.
+    #[must_use]
+    pub fn paper(scenarios: usize, base_seed: u64) -> Self {
+        Self::new(GridAxes::paper(scenarios, base_seed))
+    }
+
+    /// Sets the obstacle axis (builder style).
+    #[must_use]
+    pub fn with_obstacles(mut self, obstacles: Vec<usize>) -> Self {
+        self.axes.obstacles = obstacles;
+        self
+    }
+
+    /// Sets the τ axis in milliseconds (builder style).
+    #[must_use]
+    pub fn with_tau_ms(mut self, tau_ms: Vec<f64>) -> Self {
+        self.axes.tau_ms = tau_ms;
+        self
+    }
+
+    /// Sets the gating-level axis (builder style).
+    #[must_use]
+    pub fn with_gating_levels(mut self, levels: Vec<f64>) -> Self {
+        self.axes.gating_levels = levels;
+        self
+    }
+
+    /// Sets the control-mode axis (builder style).
+    #[must_use]
+    pub fn with_control_modes(mut self, modes: Vec<ControlMode>) -> Self {
+        self.axes.control_modes = modes;
+        self
+    }
+
+    /// Sets the optimizer axis (builder style).
+    #[must_use]
+    pub fn with_optimizers(mut self, optimizers: Vec<OptimizerKind>) -> Self {
+        self.axes.optimizers = optimizers;
+        self
+    }
+
+    /// Sets the controller axis (builder style).
+    #[must_use]
+    pub fn with_controllers(mut self, controllers: Vec<ControllerKind>) -> Self {
+        self.axes.controllers = controllers;
+        self
+    }
+
+    /// Sets the seed range (builder style).
+    #[must_use]
+    pub fn with_seeds(mut self, base: u64, runs: usize) -> Self {
+        self.axes.seeds = SeedRange { base, runs };
+        self
+    }
+
+    /// Sets the execution mode (builder style).
+    #[must_use]
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the kernel backend (builder style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the multi-host timeout (builder style).
+    #[must_use]
+    pub fn with_timeout_secs(mut self, timeout_secs: f64) -> Self {
+        self.timeout_secs = timeout_secs;
+        self
+    }
+
+    /// Sets the verify flag (builder style).
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    // -- shape ---------------------------------------------------------------
+
+    /// Total grid points the plan expands to.
+    #[must_use]
+    pub fn n_specs(&self) -> usize {
+        self.axes.n_specs()
+    }
+
+    /// The runtime cells in expansion order, each with the contiguous index
+    /// range it owns.
+    #[must_use]
+    pub fn cells(&self) -> Vec<(CellConfig, Shard)> {
+        let per_cell = self.axes.specs_per_cell();
+        let mut cells = Vec::with_capacity(self.axes.n_cells());
+        let mut start = 0usize;
+        for &tau_ms in &self.axes.tau_ms {
+            for &gating_level in &self.axes.gating_levels {
+                for &control_mode in &self.axes.control_modes {
+                    for &optimizer in &self.axes.optimizers {
+                        for &controller in &self.axes.controllers {
+                            cells.push((
+                                CellConfig {
+                                    tau_ms,
+                                    gating_level,
+                                    control_mode,
+                                    optimizer,
+                                    controller,
+                                },
+                                Shard::new(start, start + per_cell),
+                            ));
+                            start += per_cell;
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The runtime cell at a cell index (mixed-radix decomposition of the
+    /// five runtime axes — O(1), no grid materialization).
+    fn cell_at(&self, cell_index: usize) -> Option<CellConfig> {
+        let a = &self.axes;
+        if cell_index >= a.n_cells() {
+            return None;
+        }
+        let mut rest = cell_index;
+        let controller = a.controllers[rest % a.controllers.len()];
+        rest /= a.controllers.len();
+        let optimizer = a.optimizers[rest % a.optimizers.len()];
+        rest /= a.optimizers.len();
+        let control_mode = a.control_modes[rest % a.control_modes.len()];
+        rest /= a.control_modes.len();
+        let gating_level = a.gating_levels[rest % a.gating_levels.len()];
+        rest /= a.gating_levels.len();
+        Some(CellConfig {
+            tau_ms: a.tau_ms[rest],
+            gating_level,
+            control_mode,
+            optimizer,
+            controller,
+        })
+    }
+
+    /// The scenario spec at an offset inside a cell's scenario stream.
+    fn spec_within_cell(&self, within: usize) -> ScenarioSpec {
+        let obstacle = self.axes.obstacles[within / self.axes.seeds.runs];
+        let k = (within % self.axes.seeds.runs) as u64;
+        ScenarioSpec::new(obstacle, self.axes.seeds.base.wrapping_add(k))
+    }
+
+    /// The grid point at a stable spec index (`None` outside the grid).
+    /// O(1): the cell is decomposed arithmetically, not by re-expanding the
+    /// grid.
+    #[must_use]
+    pub fn point_at(&self, index: usize) -> Option<GridPoint> {
+        let per_cell = self.axes.specs_per_cell();
+        if per_cell == 0 || index >= self.n_specs() {
+            return None;
+        }
+        Some(GridPoint {
+            index,
+            spec: self.spec_within_cell(index % per_cell),
+            cell: self.cell_at(index / per_cell)?,
+        })
+    }
+
+    /// Expands the full grid, cell-major, with stable indices. The paper
+    /// preset's spec stream equals [`ScenarioSpec::paper_grid`] exactly.
+    #[must_use]
+    pub fn expand(&self) -> Vec<GridPoint> {
+        let mut points = Vec::with_capacity(self.n_specs());
+        for (cell, _) in self.cells() {
+            for &obstacle in &self.axes.obstacles {
+                for k in 0..self.axes.seeds.runs as u64 {
+                    points.push(GridPoint {
+                        index: points.len(),
+                        spec: ScenarioSpec::new(obstacle, self.axes.seeds.base.wrapping_add(k)),
+                        cell,
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    // -- validation ----------------------------------------------------------
+
+    /// Validates every field, collecting **all** problems (each naming its
+    /// field) instead of stopping at the first.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] listing every offending field.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut problems = Problems::default();
+        let axes = &self.axes;
+        check_axis(&mut problems, "axes.obstacles", &axes.obstacles, |_| None);
+        check_axis(&mut problems, "axes.tau_ms", &axes.tau_ms, |&t| {
+            (!t.is_finite() || t <= 0.0)
+                .then(|| format!("value {t} must be a finite, positive number of milliseconds"))
+        });
+        check_axis(
+            &mut problems,
+            "axes.gating_levels",
+            &axes.gating_levels,
+            |&g| {
+                (!g.is_finite() || !(0.0..=1.0).contains(&g))
+                    .then(|| format!("value {g} must lie in [0, 1]"))
+            },
+        );
+        check_axis(
+            &mut problems,
+            "axes.control_modes",
+            &axes.control_modes,
+            |_| None,
+        );
+        check_axis(&mut problems, "axes.optimizers", &axes.optimizers, |_| None);
+        check_axis(&mut problems, "axes.controllers", &axes.controllers, |_| {
+            None
+        });
+        if axes.seeds.runs == 0 {
+            problems.push("axes.seeds.runs", "a plan must run at least one seed");
+        }
+        let n_specs = self.n_specs();
+        if n_specs == 0 {
+            problems.push("axes", "the plan expands to zero runs");
+        }
+        match &self.mode {
+            ExecMode::Serial => {}
+            ExecMode::Threads(workers) | ExecMode::Processes(workers) => {
+                if *workers == 0 {
+                    problems.push("exec.workers", "at least one worker is required");
+                } else if n_specs > 0 && *workers > n_specs {
+                    problems.push(
+                        "exec.workers",
+                        format!("{workers} workers exceed the {n_specs}-spec grid"),
+                    );
+                }
+            }
+            // HostPool construction already rejects empty pools, blank or
+            // duplicate addresses, and zero capacities; re-check here so a
+            // hand-built plan is held to the same standard.
+            ExecMode::Hosts(pool) => {
+                if let Err(e) = HostPool::new(pool.hosts().to_vec()) {
+                    problems.push("exec.hosts", e.to_string());
+                }
+            }
+        }
+        // try_from_secs_f64 also rules out values a Duration cannot
+        // represent, which would otherwise panic at the point of use.
+        if self.timeout_secs <= 0.0
+            || std::time::Duration::try_from_secs_f64(self.timeout_secs).is_err()
+        {
+            problems.push(
+                "exec.timeout_secs",
+                "must be a positive number of seconds representable as a timeout",
+            );
+        }
+        problems.into_result(())
+    }
+
+    // -- JSON ----------------------------------------------------------------
+
+    /// Encodes the plan in its versioned file form (see `docs/plans.md`).
+    /// Round-trips losslessly: `parse(to_json().render()) == self`, with an
+    /// index- and bit-identical expansion.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let axes = &self.axes;
+        let mode = match &self.mode {
+            ExecMode::Serial => Json::from("serial"),
+            ExecMode::Threads(n) => Json::obj(vec![("threads", (*n).into())]),
+            ExecMode::Processes(n) => Json::obj(vec![("processes", (*n).into())]),
+            ExecMode::Hosts(pool) => Json::obj(vec![("hosts", pool.to_json())]),
+        };
+        Json::obj(vec![
+            ("v", PLAN_VERSION.into()),
+            (
+                "axes",
+                Json::obj(vec![
+                    ("obstacles", Json::from(axes.obstacles.clone())),
+                    ("tau_ms", Json::from(axes.tau_ms.clone())),
+                    ("gating_levels", Json::from(axes.gating_levels.clone())),
+                    (
+                        "control_modes",
+                        Json::Arr(
+                            axes.control_modes
+                                .iter()
+                                .map(|m| m.to_string().into())
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "optimizers",
+                        Json::Arr(
+                            axes.optimizers
+                                .iter()
+                                .map(|o| o.to_string().into())
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "controllers",
+                        Json::Arr(axes.controllers.iter().map(|c| c.name().into()).collect()),
+                    ),
+                    (
+                        "seeds",
+                        Json::obj(vec![
+                            ("base", shard::u64_to_wire(axes.seeds.base)),
+                            ("runs", axes.seeds.runs.into()),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "exec",
+                Json::obj(vec![
+                    ("mode", mode),
+                    ("kernel", self.kernel.name().into()),
+                    ("timeout_secs", self.timeout_secs.into()),
+                    ("verify", self.verify.into()),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses and validates a plan file.
+    ///
+    /// Missing `axes`/`exec` fields take their paper-preset defaults (so a
+    /// minimal `{"v":1}` plan is the paper preset); **unknown** fields are
+    /// rejected by name — a typoed axis must never be silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] collecting every parse and validation problem.
+    pub fn parse(text: &str) -> Result<Self, PlanError> {
+        let json = Json::parse(text).map_err(|e| {
+            PlanError::new(vec![PlanProblem {
+                field: "(document)".to_owned(),
+                message: format!("not valid JSON: {e}"),
+            }])
+        })?;
+        Self::from_json(&json)
+    }
+
+    /// [`Self::parse`] over an already-parsed JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::parse`].
+    #[allow(clippy::too_many_lines)]
+    pub fn from_json(json: &Json) -> Result<Self, PlanError> {
+        let mut problems = Problems::default();
+        let mut plan = Self::paper(60, 2023);
+
+        let Json::Obj(pairs) = json else {
+            problems.push("(document)", "a plan must be a JSON object");
+            return problems.into_result(plan);
+        };
+        for (key, _) in pairs {
+            if !matches!(key.as_str(), "v" | "axes" | "exec") {
+                problems.push(key, "unknown field (expected: v, axes, exec)");
+            }
+        }
+        match json.get("v").and_then(Json::as_i64) {
+            Some(v) if v == i64::try_from(PLAN_VERSION).unwrap_or(i64::MAX) => {}
+            Some(v) => problems.push("v", format!("plan version {v} (this build speaks 1)")),
+            None => problems.push("v", "missing or non-integer plan version (expected 1)"),
+        }
+
+        if let Some(axes) = json.get("axes") {
+            parse_axes(axes, &mut plan.axes, &mut problems);
+        }
+        if let Some(exec) = json.get("exec") {
+            parse_exec(exec, &mut plan, &mut problems);
+        }
+
+        match plan.validate() {
+            Ok(()) => problems.into_result(plan),
+            Err(e) => {
+                let mut all = problems.0;
+                all.extend(e.problems);
+                Err(PlanError::new(all))
+            }
+        }
+    }
+
+    // -- execution -----------------------------------------------------------
+
+    /// Runs the index range `[range.start, range.end)` of the expanded grid
+    /// through the serial scratch loop, delivering `(index, report)` pairs
+    /// in ascending index order. This is **the** worker-side loop: `sweep
+    /// --worker`, the `seo-sweepd` daemon, and [`Self::run_serial`] all
+    /// execute through here, which is why every mode is bit-identical.
+    ///
+    /// A runtime is built once per cell the range overlaps; `kernel`
+    /// overrides the plan's backend (daemons run their own). The sink's
+    /// return value is a stop signal: returning `false` abandons the rest
+    /// of the range (a worker whose output pipe broke must not keep
+    /// burning CPU on episodes nobody will read).
+    ///
+    /// # Errors
+    ///
+    /// [`SeoError::InvalidConfig`] when the range reaches outside the grid,
+    /// or any runtime-construction error.
+    pub fn run_range(
+        &self,
+        range: Shard,
+        kernel: KernelBackend,
+        mut sink: impl FnMut(usize, EpisodeReport) -> bool,
+    ) -> Result<(), SeoError> {
+        if range.end > self.n_specs() {
+            return Err(SeoError::InvalidConfig {
+                field: "range",
+                constraint: "lie inside the expanded grid",
+            });
+        }
+        let per_cell = self.axes.specs_per_cell();
+        for cell_index in 0..self.axes.n_cells() {
+            let cell_range = Shard::new(cell_index * per_cell, (cell_index + 1) * per_cell);
+            let start = cell_range.start.max(range.start);
+            let end = cell_range.end.min(range.end);
+            if start >= end {
+                continue;
+            }
+            let cell = self
+                .cell_at(cell_index)
+                .expect("cell index inside the grid");
+            let runtime = cell.runtime(kernel)?;
+            let mut scratch = EpisodeScratch::new();
+            for i in start..end {
+                let spec = self.spec_within_cell(i % per_cell);
+                let world = spec.world();
+                let report = runtime.run_with(WorldSource::Static(&world), spec.seed, &mut scratch);
+                if !sink(i, report) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the whole grid serially — the reference output every other mode
+    /// must (and does) reproduce bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_range`].
+    pub fn run_serial(&self) -> Result<Vec<EpisodeReport>, SeoError> {
+        let mut reports = Vec::with_capacity(self.n_specs());
+        self.run_range(Shard::new(0, self.n_specs()), self.kernel, |_, report| {
+            reports.push(report);
+            true
+        })?;
+        Ok(reports)
+    }
+
+    /// Runs the grid on an in-process [`BatchRunner`] pool, cell by cell.
+    /// Bit-identical to [`Self::run_serial`] for any thread count (the
+    /// batch engine's determinism invariant, applied per cell).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_range`].
+    pub fn run_threads(&self, threads: usize) -> Result<Vec<EpisodeReport>, SeoError> {
+        let mut reports = Vec::with_capacity(self.n_specs());
+        let per_cell = self.axes.specs_per_cell();
+        for (cell, _) in self.cells() {
+            let specs: Vec<ScenarioSpec> =
+                (0..per_cell).map(|w| self.spec_within_cell(w)).collect();
+            let runner = BatchRunner::new(cell.runtime(self.kernel)?).with_threads(threads);
+            reports.extend(runner.run(&specs));
+        }
+        Ok(reports)
+    }
+}
+
+impl fmt::Display for SweepPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} spec(s) in {} cell(s) over {}, kernel '{}'",
+            self.n_specs(),
+            self.axes.n_cells(),
+            self.mode,
+            self.kernel
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parse helpers
+// ---------------------------------------------------------------------------
+
+/// Axis validation shared by every axis: non-empty, no duplicates, plus a
+/// per-value check (`None` = fine, `Some(msg)` = problem).
+fn check_axis<T: PartialEq + fmt::Debug>(
+    problems: &mut Problems,
+    field: &str,
+    values: &[T],
+    value_check: impl Fn(&T) -> Option<String>,
+) {
+    if values.is_empty() {
+        problems.push(
+            field,
+            "axis is empty (a plan must sweep at least one value)",
+        );
+        return;
+    }
+    for (i, v) in values.iter().enumerate() {
+        if let Some(message) = value_check(v) {
+            problems.push(field, message);
+        }
+        if values[..i].contains(v) {
+            problems.push(field, format!("duplicate value {v:?}"));
+        }
+    }
+}
+
+fn parse_string_axis<T>(
+    axis: &Json,
+    field: &str,
+    problems: &mut Problems,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Option<Vec<T>> {
+    let Some(items) = axis.as_arr() else {
+        problems.push(field, "expected an array of strings");
+        return None;
+    };
+    let mut out = Vec::with_capacity(items.len());
+    let mut ok = true;
+    for item in items {
+        match item.as_str().map(&parse) {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(message)) => {
+                problems.push(field, message);
+                ok = false;
+            }
+            None => {
+                problems.push(field, "expected an array of strings");
+                ok = false;
+            }
+        }
+    }
+    ok.then_some(out)
+}
+
+fn parse_control_mode(value: &str) -> Result<ControlMode, String> {
+    match value {
+        "filtered" => Ok(ControlMode::Filtered),
+        "unfiltered" => Ok(ControlMode::Unfiltered),
+        other => Err(format!(
+            "unknown control mode '{other}' (valid: filtered, unfiltered)"
+        )),
+    }
+}
+
+fn parse_optimizer(value: &str) -> Result<OptimizerKind, String> {
+    OptimizerKind::ALL
+        .into_iter()
+        .find(|o| o.to_string() == value)
+        .ok_or_else(|| {
+            let valid = OptimizerKind::ALL
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("unknown optimizer '{value}' (valid: {valid})")
+        })
+}
+
+fn parse_axes(axes: &Json, out: &mut GridAxes, problems: &mut Problems) {
+    let Json::Obj(pairs) = axes else {
+        problems.push("axes", "expected an object");
+        return;
+    };
+    const KNOWN: [&str; 7] = [
+        "obstacles",
+        "tau_ms",
+        "gating_levels",
+        "control_modes",
+        "optimizers",
+        "controllers",
+        "seeds",
+    ];
+    for (key, _) in pairs {
+        if !KNOWN.contains(&key.as_str()) {
+            problems.push(
+                &format!("axes.{key}"),
+                format!("unknown axis (expected: {})", KNOWN.join(", ")),
+            );
+        }
+    }
+    if let Some(v) = axes.get("obstacles") {
+        match v.as_arr().map(|items| {
+            items
+                .iter()
+                .map(|n| n.as_i64().and_then(|n| usize::try_from(n).ok()))
+                .collect::<Option<Vec<usize>>>()
+        }) {
+            Some(Some(values)) => out.obstacles = values,
+            _ => problems.push(
+                "axes.obstacles",
+                "expected an array of non-negative integers",
+            ),
+        }
+    }
+    for (field, target) in [
+        ("tau_ms", &mut out.tau_ms),
+        ("gating_levels", &mut out.gating_levels),
+    ] {
+        if let Some(v) = axes.get(field) {
+            match v
+                .as_arr()
+                .map(|items| items.iter().map(Json::as_f64).collect::<Option<Vec<f64>>>())
+            {
+                Some(Some(values)) => *target = values,
+                _ => problems.push(&format!("axes.{field}"), "expected an array of numbers"),
+            }
+        }
+    }
+    if let Some(v) = axes.get("control_modes") {
+        if let Some(modes) =
+            parse_string_axis(v, "axes.control_modes", problems, parse_control_mode)
+        {
+            out.control_modes = modes;
+        }
+    }
+    if let Some(v) = axes.get("optimizers") {
+        if let Some(optimizers) = parse_string_axis(v, "axes.optimizers", problems, parse_optimizer)
+        {
+            out.optimizers = optimizers;
+        }
+    }
+    if let Some(v) = axes.get("controllers") {
+        if let Some(controllers) =
+            parse_string_axis(v, "axes.controllers", problems, ControllerKind::parse)
+        {
+            out.controllers = controllers;
+        }
+    }
+    if let Some(seeds) = axes.get("seeds") {
+        if let Json::Obj(pairs) = seeds {
+            for (key, _) in pairs {
+                if !matches!(key.as_str(), "base" | "runs") {
+                    problems.push(
+                        &format!("axes.seeds.{key}"),
+                        "unknown field (expected: base, runs)",
+                    );
+                }
+            }
+            if let Some(base) = seeds.get("base") {
+                match shard::u64_from_wire(base, "base") {
+                    Ok(base) => out.seeds.base = base,
+                    Err(e) => problems.push("axes.seeds.base", e.to_string()),
+                }
+            }
+            if let Some(runs) = seeds.get("runs") {
+                match runs.as_i64().and_then(|n| usize::try_from(n).ok()) {
+                    Some(runs) => out.seeds.runs = runs,
+                    None => problems.push("axes.seeds.runs", "expected a non-negative integer"),
+                }
+            }
+        } else {
+            problems.push("axes.seeds", "expected an object {base, runs}");
+        }
+    }
+}
+
+fn parse_exec(exec: &Json, plan: &mut SweepPlan, problems: &mut Problems) {
+    let Json::Obj(pairs) = exec else {
+        problems.push("exec", "expected an object");
+        return;
+    };
+    for (key, _) in pairs {
+        if !matches!(key.as_str(), "mode" | "kernel" | "timeout_secs" | "verify") {
+            problems.push(
+                &format!("exec.{key}"),
+                "unknown field (expected: mode, kernel, timeout_secs, verify)",
+            );
+        }
+    }
+    if let Some(mode) = exec.get("mode") {
+        parse_mode(mode, plan, problems);
+    }
+    if let Some(kernel) = exec.get("kernel") {
+        match kernel.as_str().map(KernelBackend::parse) {
+            Some(Ok(kernel)) => plan.kernel = kernel,
+            Some(Err(e)) => problems.push("exec.kernel", e.to_string()),
+            None => problems.push("exec.kernel", "expected a string"),
+        }
+    }
+    if let Some(timeout) = exec.get("timeout_secs") {
+        match timeout.as_f64() {
+            Some(t) => plan.timeout_secs = t,
+            None => problems.push("exec.timeout_secs", "expected a number"),
+        }
+    }
+    if let Some(verify) = exec.get("verify") {
+        match verify {
+            Json::Bool(v) => plan.verify = *v,
+            _ => problems.push("exec.verify", "expected true or false"),
+        }
+    }
+}
+
+fn parse_mode(mode: &Json, plan: &mut SweepPlan, problems: &mut Problems) {
+    const GRAMMAR: &str =
+        r#"expected "serial", {"threads":N}, {"processes":N}, or {"hosts":{...}}"#;
+    match mode {
+        Json::Str(s) if s == "serial" => plan.mode = ExecMode::Serial,
+        Json::Obj(pairs) if pairs.len() == 1 => {
+            let (key, value) = &pairs[0];
+            match key.as_str() {
+                "threads" | "processes" => {
+                    match value.as_i64().and_then(|n| usize::try_from(n).ok()) {
+                        Some(n) => {
+                            plan.mode = if key == "threads" {
+                                ExecMode::Threads(n)
+                            } else {
+                                ExecMode::Processes(n)
+                            };
+                        }
+                        None => problems.push(
+                            &format!("exec.mode.{key}"),
+                            "expected a non-negative integer",
+                        ),
+                    }
+                }
+                "hosts" => match HostPool::from_json(value) {
+                    Ok(pool) => plan.mode = ExecMode::Hosts(pool),
+                    Err(e) => problems.push("exec.mode.hosts", e.to_string()),
+                },
+                other => problems.push(&format!("exec.mode.{other}"), GRAMMAR),
+            }
+        }
+        _ => problems.push("exec.mode", GRAMMAR),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_expands_exactly_like_paper_grid() {
+        for (scenarios, seed) in [(6usize, 2023u64), (60, 7), (1, 0)] {
+            let plan = SweepPlan::paper(scenarios, seed);
+            let specs: Vec<ScenarioSpec> = plan.expand().iter().map(|p| p.spec).collect();
+            assert_eq!(
+                specs,
+                ScenarioSpec::paper_grid(scenarios, seed),
+                "paper({scenarios}, {seed}) must reproduce paper_grid"
+            );
+            // Stable indices are positional.
+            for (i, point) in plan.expand().iter().enumerate() {
+                assert_eq!(point.index, i);
+                assert_eq!(plan.point_at(i).expect("in range"), *point);
+            }
+            assert!(plan.point_at(plan.n_specs()).is_none());
+        }
+    }
+
+    #[test]
+    fn multi_axis_expansion_is_cell_major_and_counts_multiply() {
+        let plan = SweepPlan::paper(6, 2023)
+            .with_tau_ms(vec![20.0, 25.0])
+            .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::ModelGating]);
+        assert_eq!(plan.axes.n_cells(), 4);
+        assert_eq!(plan.n_specs(), 4 * 6);
+        let cells = plan.cells();
+        assert_eq!(cells.len(), 4);
+        // tau varies outermost, optimizer innermost of the two.
+        assert_eq!(cells[0].0.tau_ms, 20.0);
+        assert_eq!(cells[0].0.optimizer, OptimizerKind::Offloading);
+        assert_eq!(cells[1].0.optimizer, OptimizerKind::ModelGating);
+        assert_eq!(cells[2].0.tau_ms, 25.0);
+        // Each cell owns a contiguous range; scenario stream repeats per cell.
+        for (i, (_, range)) in cells.iter().enumerate() {
+            assert_eq!(range.start, i * 6);
+            assert_eq!(range.len(), 6);
+        }
+        let points = plan.expand();
+        assert_eq!(points[0].spec, points[6].spec);
+        assert_eq!(points[0].cell.optimizer, OptimizerKind::Offloading);
+        assert_eq!(points[6].cell.optimizer, OptimizerKind::ModelGating);
+    }
+
+    #[test]
+    fn validation_collects_every_problem_with_field_names() {
+        let plan = SweepPlan::paper(6, 2023)
+            .with_obstacles(vec![])
+            .with_gating_levels(vec![1.5])
+            .with_timeout_secs(0.0)
+            .with_mode(ExecMode::Processes(0));
+        let err = plan.validate().expect_err("invalid");
+        let text = err.to_string();
+        for field in [
+            "axes.obstacles",
+            "axes.gating_levels",
+            "exec.timeout_secs",
+            "exec.workers",
+        ] {
+            assert!(text.contains(field), "missing '{field}' in: {text}");
+        }
+        assert!(err.problems.len() >= 4, "collected, not first-fail: {text}");
+    }
+
+    #[test]
+    fn validation_rejects_duplicates_and_oversubscription() {
+        let err = SweepPlan::paper(6, 2023)
+            .with_obstacles(vec![0, 2, 0])
+            .validate()
+            .expect_err("duplicate obstacle");
+        assert!(err.to_string().contains("axes.obstacles"));
+        assert!(err.to_string().contains("duplicate"));
+
+        let err = SweepPlan::paper(6, 2023)
+            .with_mode(ExecMode::Threads(7))
+            .validate()
+            .expect_err("7 workers over 6 specs");
+        assert!(err.to_string().contains("exec.workers"));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let pool = HostPool::parse(
+            r#"{"v":1,"hosts":[{"addr":"10.0.0.1:7641","capacity":2},{"addr":"10.0.0.2:7641","capacity":1}]}"#,
+        )
+        .expect("valid pool");
+        let plans = [
+            SweepPlan::paper(60, 2023),
+            SweepPlan::paper(6, 7)
+                .with_mode(ExecMode::Threads(3))
+                .with_kernel(KernelBackend::Blocked)
+                .with_verify(true),
+            SweepPlan::paper(12, 99).with_mode(ExecMode::Processes(2)),
+            SweepPlan::paper(6, 1)
+                .with_mode(ExecMode::Hosts(pool))
+                .with_timeout_secs(2.5),
+            SweepPlan::paper(6, 2023)
+                .with_tau_ms(vec![20.0, 25.0])
+                .with_gating_levels(vec![0.25, 0.5])
+                .with_control_modes(vec![ControlMode::Filtered, ControlMode::Unfiltered])
+                .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::SensorGating])
+                .with_controllers(vec![
+                    ControllerKind::PotentialField,
+                    ControllerKind::TightMargin,
+                    ControllerKind::SeededNeural(5),
+                ]),
+        ];
+        for plan in plans {
+            for text in [plan.to_json().render(), plan.to_json().render_pretty()] {
+                let back = SweepPlan::parse(&text).expect("parses");
+                assert_eq!(back, plan, "round trip via {text}");
+                assert_eq!(back.expand(), plan.expand(), "expansion differs");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_plan_is_the_paper_preset() {
+        let plan = SweepPlan::parse(r#"{"v":1}"#).expect("minimal plan");
+        assert_eq!(plan, SweepPlan::paper(60, 2023));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_fields_by_name() {
+        let err = SweepPlan::parse(r#"{"v":1,"axes":{"obstcles":[1]},"exec":{"kernle":"scalar"}}"#)
+            .expect_err("typos rejected");
+        let text = err.to_string();
+        assert!(text.contains("axes.obstcles"), "{text}");
+        assert!(text.contains("exec.kernle"), "{text}");
+    }
+
+    #[test]
+    fn parse_collects_problems_across_sections() {
+        let err = SweepPlan::parse(
+            r#"{"v":2,"axes":{"gating_levels":[2.0],"controllers":["warp"]},
+                "exec":{"kernel":"simd","mode":{"threads":0}}}"#,
+        )
+        .expect_err("invalid");
+        let text = err.to_string();
+        for needle in [
+            "v", // version mismatch
+            "axes.gating_levels",
+            "axes.controllers",
+            "exec.kernel",
+            "exec.workers",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in: {text}");
+        }
+        assert!(text.contains("scalar, blocked"), "{text}");
+    }
+
+    #[test]
+    fn controller_kind_round_trips() {
+        for kind in [
+            ControllerKind::PotentialField,
+            ControllerKind::TightMargin,
+            ControllerKind::SeededNeural(42),
+        ] {
+            assert_eq!(ControllerKind::parse(&kind.name()).expect("parses"), kind);
+        }
+        assert!(ControllerKind::parse("neural:x").is_err());
+        assert!(ControllerKind::parse("pid").is_err());
+    }
+
+    #[test]
+    fn serial_matches_batch_runner_on_the_paper_preset() {
+        let plan = SweepPlan::paper(6, 2023);
+        let config = SeoConfig::paper_defaults();
+        let models = ModelSet::paper_setup(config.tau).expect("paper models");
+        let runtime =
+            RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime");
+        let reference = BatchRunner::new(runtime).run_serial(&ScenarioSpec::paper_grid(6, 2023));
+        assert_eq!(plan.run_serial().expect("runs"), reference);
+    }
+
+    #[test]
+    fn threads_and_ranges_are_bit_identical_to_serial() {
+        let plan = SweepPlan::paper(3, 2023)
+            .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::ModelGating]);
+        let serial = plan.run_serial().expect("serial runs");
+        assert_eq!(serial.len(), 6);
+        for threads in [2usize, 4] {
+            assert_eq!(
+                plan.run_threads(threads).expect("threads run"),
+                serial,
+                "{threads}-thread run diverged"
+            );
+        }
+        // A range crossing the cell boundary reproduces the serial slice.
+        let mut ranged = Vec::new();
+        plan.run_range(Shard::new(2, 5), plan.kernel, |i, r| {
+            ranged.push((i, r));
+            true
+        })
+        .expect("range runs");
+        assert_eq!(ranged.len(), 3);
+        for (offset, (i, report)) in ranged.iter().enumerate() {
+            assert_eq!(*i, 2 + offset);
+            assert_eq!(*report, serial[*i]);
+        }
+        // Out-of-grid ranges are rejected, not clamped.
+        assert!(plan
+            .run_range(Shard::new(0, 7), plan.kernel, |_, _| true)
+            .is_err());
+    }
+
+    #[test]
+    fn display_summarizes_shape() {
+        let text = SweepPlan::paper(6, 2023)
+            .with_mode(ExecMode::Threads(2))
+            .to_string();
+        assert!(text.contains("6 spec(s)"), "{text}");
+        assert!(text.contains("2 thread(s)"), "{text}");
+    }
+}

@@ -50,6 +50,7 @@
 use crate::batch::ScenarioSpec;
 use crate::json::Json;
 use crate::metrics::EpisodeReport;
+use crate::plan::{CellConfig, SweepPlan};
 use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use crate::shard::{self, Shard, ShardError, StreamingMerge};
 use std::fmt;
@@ -254,19 +255,28 @@ fn check_version(obj: &Json) -> Result<(), TransportError> {
 }
 
 /// One unit of work a coordinator sends a worker: run the shard
-/// `[start, end)` of the grid `ScenarioSpec::paper_grid(scenarios, seed)`
-/// and stream one report frame per episode, **in ascending index order**,
-/// followed by a `done` frame.
+/// `[start, end)` of the shared grid and stream one report frame per
+/// episode, **in ascending index order**, followed by a `done` frame.
+///
+/// The grid is either the legacy paper grid
+/// `ScenarioSpec::paper_grid(scenarios, seed)` or — when the optional
+/// `plan` payload is present — the expanded multi-axis grid of a
+/// [`SweepPlan`] shipped inline with the job, so a daemon needs no local
+/// plan file to serve one.
 ///
 /// The ascending-order requirement is load-bearing for fault tolerance: it
 /// makes a lost host's unreported work a contiguous tail, which is what
 /// [`RemoteCoordinator`] re-shards across survivors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
-    /// Grid size parameter (see [`ScenarioSpec::paper_grid`]).
+    /// Grid size parameter (see [`ScenarioSpec::paper_grid`]); ignored by
+    /// receivers when `plan` is present.
     pub scenarios: usize,
-    /// Grid base seed.
+    /// Grid base seed; ignored by receivers when `plan` is present.
     pub seed: u64,
+    /// The full sweep plan whose expanded grid the shard indexes into
+    /// (`None` for legacy paper-grid jobs).
+    pub plan: Option<SweepPlan>,
     /// The spec range to run.
     pub shard: Shard,
 }
@@ -276,39 +286,79 @@ impl JobRequest {
     /// participating machine by construction.
     #[must_use]
     pub fn specs(&self) -> Vec<ScenarioSpec> {
-        ScenarioSpec::paper_grid(self.scenarios, self.seed)
+        match &self.plan {
+            Some(plan) => plan.expand().iter().map(|p| p.spec).collect(),
+            None => ScenarioSpec::paper_grid(self.scenarios, self.seed),
+        }
     }
+
+    /// Job-frame version for **plan-bearing** jobs. Legacy paper-grid jobs
+    /// keep speaking [`shard::WIRE_VERSION`] (1) byte-for-byte; a plan job
+    /// bumps the frame's `"v"` to 2 so a pre-plan daemon — which only
+    /// understands the legacy grid — rejects it with a version error
+    /// instead of silently running the wrong grid.
+    pub const PLAN_JOB_VERSION: u64 = 2;
 
     /// Encodes the request as a control-frame payload.
     #[must_use]
     pub fn to_frame(&self) -> Vec<u8> {
-        Json::obj(vec![
-            ("v", shard::WIRE_VERSION.into()),
+        let version = if self.plan.is_some() {
+            Self::PLAN_JOB_VERSION
+        } else {
+            shard::WIRE_VERSION
+        };
+        let mut fields = vec![
+            ("v", version.into()),
             ("type", "job".into()),
             ("scenarios", self.scenarios.into()),
             ("seed", shard::u64_to_wire(self.seed)),
             ("start", self.shard.start.into()),
             ("end", self.shard.end.into()),
-        ])
-        .render()
-        .into_bytes()
+        ];
+        if let Some(plan) = &self.plan {
+            fields.push(("plan", plan.to_json()));
+        }
+        Json::obj(fields).render().into_bytes()
     }
 
-    /// Decodes a request from a control-frame payload.
+    /// Decodes a request from a control-frame payload. Version 1 frames are
+    /// legacy paper-grid jobs (an inline plan there is a protocol error);
+    /// version 2 frames **must** carry the plan their version promises.
     ///
     /// # Errors
     ///
-    /// [`TransportError::Frame`] on malformed JSON, a version mismatch, a
-    /// wrong `type`, or an empty/reversed shard range.
+    /// [`TransportError::Frame`] on malformed JSON, a version/payload
+    /// mismatch, a wrong `type`, an empty/reversed shard range, or an
+    /// invalid inline plan (the plan's own collected validation errors are
+    /// included).
     pub fn from_frame(payload: &[u8]) -> Result<Self, TransportError> {
         let json = parse_frame_json(payload)?;
-        check_version(&json)?;
+        let version = get(&json, "v")?
+            .as_i64()
+            .ok_or_else(|| frame_err("v: expected an integer"))?;
         let kind = get(&json, "type")?
             .as_str()
             .ok_or_else(|| frame_err("type: expected a string"))?;
         if kind != "job" {
             return Err(frame_err(format!("expected a job frame, got '{kind}'")));
         }
+        let plan = match (version, json.get("plan")) {
+            (1, None) => None,
+            (2, Some(p)) => {
+                Some(SweepPlan::from_json(p).map_err(|e| frame_err(format!("plan: {e}")))?)
+            }
+            (1, Some(_)) => {
+                return Err(frame_err(
+                    "job frame v1 must not carry a plan (plan jobs speak v2)",
+                ))
+            }
+            (2, None) => return Err(frame_err("job frame v2 is missing its plan")),
+            (v, _) => {
+                return Err(frame_err(format!(
+                    "job frame version {v} (this build speaks 1 and 2)"
+                )))
+            }
+        };
         let shard = Shard::new(get_usize(&json, "start")?, get_usize(&json, "end")?);
         if shard.is_empty() {
             return Err(frame_err(format!("job shard {shard} covers no specs")));
@@ -317,6 +367,7 @@ impl JobRequest {
             scenarios: get_usize(&json, "scenarios")?,
             seed: shard::u64_from_wire(get(&json, "seed")?, "seed")
                 .map_err(TransportError::from)?,
+            plan,
             shard,
         })
     }
@@ -662,6 +713,47 @@ impl RemoteCoordinator {
         Ok((merged, stats))
     }
 
+    /// Runs a [`SweepPlan`]'s expanded grid across the pool, shipping the
+    /// plan inline with every job (a daemon needs no local plan file), and
+    /// returns the merged reports in spec order plus the run's fault
+    /// record. Output is bit-identical to [`SweepPlan::run_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_plan(
+        &self,
+        plan: &SweepPlan,
+    ) -> Result<(Vec<EpisodeReport>, RemoteRunStats), TransportError> {
+        let mut merged = Vec::new();
+        let stats = self.run_plan_streaming(plan, |_, report| merged.push(report))?;
+        Ok((merged, stats))
+    }
+
+    /// Like [`Self::run_plan`], but delivers each report to `sink` while
+    /// hosts are still streaming, strictly in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_plan_streaming(
+        &self,
+        plan: &SweepPlan,
+        sink: impl FnMut(usize, EpisodeReport) + Send,
+    ) -> Result<RemoteRunStats, TransportError> {
+        let n_specs = plan.n_specs();
+        self.stream_grid(
+            n_specs,
+            &|shard| JobRequest {
+                scenarios: n_specs,
+                seed: plan.axes.seeds.base,
+                plan: Some(plan.clone()),
+                shard,
+            },
+            sink,
+        )
+    }
+
     /// Like [`Self::run`], but delivers each report to `sink` while hosts
     /// are still streaming: `sink(spec_index, report)` is invoked strictly
     /// in spec order as soon as the contiguous prefix up to that index is
@@ -674,9 +766,31 @@ impl RemoteCoordinator {
         &self,
         scenarios: usize,
         seed: u64,
-        mut sink: impl FnMut(usize, EpisodeReport) + Send,
+        sink: impl FnMut(usize, EpisodeReport) + Send,
     ) -> Result<RemoteRunStats, TransportError> {
         let n_specs = ScenarioSpec::paper_grid(scenarios, seed).len();
+        self.stream_grid(
+            n_specs,
+            &|shard| JobRequest {
+                scenarios,
+                seed,
+                plan: None,
+                shard,
+            },
+            sink,
+        )
+    }
+
+    /// The shared dispatch loop: fans `n_specs` grid indices over the pool
+    /// in capacity-weighted waves, building each job's request through
+    /// `make_request` (which fixes the grid encoding — legacy paper-grid
+    /// parameters or an inline plan).
+    fn stream_grid(
+        &self,
+        n_specs: usize,
+        make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
+        mut sink: impl FnMut(usize, EpisodeReport) + Send,
+    ) -> Result<RemoteRunStats, TransportError> {
         let mut stats = RemoteRunStats::default();
         if n_specs == 0 {
             return Ok(stats);
@@ -690,7 +804,7 @@ impl RemoteCoordinator {
         loop {
             stats.waves += 1;
             stats.jobs += wave.len();
-            let failures = self.run_wave(&wave, scenarios, seed, &state);
+            let failures = self.run_wave(&wave, make_request, &state);
             let mut remnants: Vec<Shard> = Vec::new();
             let mut last_error = String::new();
             for failure in failures {
@@ -752,8 +866,7 @@ impl RemoteCoordinator {
     fn run_wave(
         &self,
         wave: &[(usize, Shard)],
-        scenarios: usize,
-        seed: u64,
+        make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
         state: &Mutex<MergeState<'_>>,
     ) -> Vec<JobFailure> {
         let mut failures = Vec::new();
@@ -761,11 +874,7 @@ impl RemoteCoordinator {
             let handles: Vec<_> = wave
                 .iter()
                 .map(|&(host_index, shard)| {
-                    let request = JobRequest {
-                        scenarios,
-                        seed,
-                        shard,
-                    };
+                    let request = make_request(shard);
                     scope.spawn(move || self.run_job(host_index, request, state))
                 })
                 .collect();
@@ -943,22 +1052,85 @@ pub fn serve_connection(
         let _ = write_frame(&mut stream, &error_frame(&e.to_string()));
         return Err(e);
     }
+    let emitted = match &request.plan {
+        Some(plan) => serve_plan_shard(&mut stream, plan, request.shard, runtime, fail_after)?,
+        None => serve_paper_shard(&mut stream, &specs, request.shard, runtime, fail_after)?,
+    };
+    match emitted {
+        Some(count) => write_frame(&mut stream, &done_frame(count)),
+        None => Ok(()), // injected mid-stream death: vanish without `done`
+    }
+}
+
+/// The legacy paper-grid episode loop: one runtime for the whole shard.
+/// Returns `Ok(None)` when `fail_after` injected a mid-stream death.
+fn serve_paper_shard(
+    stream: &mut TcpStream,
+    specs: &[ScenarioSpec],
+    shard: Shard,
+    runtime: &RuntimeLoop,
+    fail_after: Option<usize>,
+) -> Result<Option<usize>, TransportError> {
     let mut scratch = EpisodeScratch::new();
     let mut emitted = 0usize;
-    for i in request.shard.indices() {
+    for i in shard.indices() {
         if fail_after == Some(emitted) {
-            return Ok(()); // injected mid-stream death: vanish without `done`
+            return Ok(None);
         }
         let spec = specs[i];
         let world = spec.world();
         let report = runtime.run_with(WorldSource::Static(&world), spec.seed, &mut scratch);
-        write_frame(&mut stream, shard::report_line(i, &report).as_bytes())?;
+        write_frame(stream, shard::report_line(i, &report).as_bytes())?;
         emitted += 1;
     }
     if fail_after == Some(emitted) {
-        return Ok(());
+        return Ok(None);
     }
-    write_frame(&mut stream, &done_frame(emitted))
+    Ok(Some(emitted))
+}
+
+/// The plan-job episode loop: a runtime is rebuilt at each cell boundary
+/// the shard crosses (same serial scratch loop as [`SweepPlan::run_range`]),
+/// on **this daemon's** kernel backend — backends are bit-identical, so a
+/// mixed fleet still merges correctly. Returns `Ok(None)` when
+/// `fail_after` injected a mid-stream death.
+fn serve_plan_shard(
+    stream: &mut TcpStream,
+    plan: &SweepPlan,
+    shard: Shard,
+    runtime: &RuntimeLoop,
+    fail_after: Option<usize>,
+) -> Result<Option<usize>, TransportError> {
+    let points = plan.expand();
+    let mut scratch = EpisodeScratch::new();
+    let mut cell: Option<(CellConfig, RuntimeLoop)> = None;
+    let mut emitted = 0usize;
+    for i in shard.indices() {
+        if fail_after == Some(emitted) {
+            return Ok(None);
+        }
+        let point = &points[i];
+        if cell.as_ref().is_none_or(|(c, _)| *c != point.cell) {
+            match point.cell.runtime(runtime.kernel()) {
+                Ok(built) => cell = Some((point.cell, built)),
+                Err(e) => {
+                    let e = frame_err(format!("building cell runtime: {e}"));
+                    let _ = write_frame(stream, &error_frame(&e.to_string()));
+                    return Err(e);
+                }
+            }
+        }
+        let (_, cell_runtime) = cell.as_ref().expect("cell runtime just built");
+        let world = point.spec.world();
+        let report =
+            cell_runtime.run_with(WorldSource::Static(&world), point.spec.seed, &mut scratch);
+        write_frame(stream, shard::report_line(i, &report).as_bytes())?;
+        emitted += 1;
+    }
+    if fail_after == Some(emitted) {
+        return Ok(None);
+    }
+    Ok(Some(emitted))
 }
 
 /// The accept loop behind `seo-sweepd`: binds a listener and serves each

@@ -154,11 +154,50 @@ fn protocol_frames_round_trip() {
     let request = JobRequest {
         scenarios: 60,
         seed: u64::MAX, // string-encoded seed path included
+        plan: None,
         shard: seo_core::shard::Shard::new(15, 30),
     };
     assert_eq!(
         JobRequest::from_frame(&request.to_frame()).expect("round-trips"),
         request
+    );
+
+    // Plan-bearing jobs ship the whole plan inline and round-trip it.
+    let request = JobRequest {
+        plan: Some(
+            SweepPlan::paper(6, 7)
+                .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::ModelGating]),
+        ),
+        ..request
+    };
+    let back = JobRequest::from_frame(&request.to_frame()).expect("round-trips");
+    assert_eq!(back, request);
+    assert_eq!(
+        back.specs().len(),
+        12,
+        "plan grid overrides (scenarios, seed)"
+    );
+    // Plan jobs bump the frame version so a pre-plan daemon rejects them
+    // loudly instead of silently running the legacy paper grid.
+    let frame = String::from_utf8(request.to_frame()).expect("utf8");
+    assert!(frame.starts_with(r#"{"v":2,"#), "{frame}");
+    assert!(
+        JobRequest::from_frame(frame.replace(r#"{"v":2,"#, r#"{"v":1,"#).as_bytes()).is_err(),
+        "a v1 frame must not smuggle a plan"
+    );
+    let v2_missing_plan = br#"{"v":2,"type":"job","scenarios":6,"seed":7,"start":0,"end":6}"#;
+    assert!(
+        JobRequest::from_frame(v2_missing_plan).is_err(),
+        "a v2 frame must carry its plan"
+    );
+
+    // An invalid inline plan is a frame error naming the offending field.
+    let mut bad = String::from_utf8(request.to_frame()).expect("utf8");
+    bad = bad.replace("\"gating_levels\":[0.5]", "\"gating_levels\":[7.5]");
+    let err = JobRequest::from_frame(bad.as_bytes()).expect_err("invalid plan rejected");
+    assert!(
+        err.to_string().contains("axes.gating_levels"),
+        "field not named: {err}"
     );
     assert!(JobRequest::from_frame(b"{}").is_err());
     assert!(
@@ -335,4 +374,47 @@ fn empty_grid_completes_without_touching_the_network() {
     assert!(merged.is_empty());
     assert_eq!(stats.jobs, 0);
     assert_eq!(stats.waves, 0);
+}
+
+/// Plan-bearing jobs: a multi-cell plan shipped inline to the daemons
+/// merges bit-identically to the plan's in-process serial run — including
+/// across shard boundaries that cross runtime-cell boundaries.
+#[test]
+fn plan_dispatch_is_bit_identical_to_plan_serial() {
+    let plan = SweepPlan::paper(3, SEED)
+        .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::ModelGating]);
+    let serial = plan.run_serial().expect("plan serial runs");
+    assert_eq!(serial.len(), 6);
+    for capacities in [vec![1u64], vec![2, 1]] {
+        let hosts: Vec<(SocketAddr, u64)> = capacities
+            .iter()
+            .map(|&c| (spawn_worker(None), c))
+            .collect();
+        let coordinator = RemoteCoordinator::new(pool_of(&hosts));
+        let (merged, stats) = coordinator.run_plan(&plan).expect("plan runs");
+        assert!(stats.hosts_lost.is_empty());
+        assert_eq!(
+            merged, serial,
+            "{capacities:?}-capacity fleet must reproduce the plan's serial run"
+        );
+        for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
+            assert_eq!(report_line(i, m), report_line(i, s), "wire line {i}");
+        }
+    }
+}
+
+/// Re-sharding works for plan jobs exactly as for legacy jobs: a host
+/// injected to die mid-stream loses its tail to the survivor and the merge
+/// still reproduces the plan's serial output.
+#[test]
+fn plan_dispatch_survives_a_mid_stream_kill() {
+    let plan = SweepPlan::paper(SCENARIOS, SEED);
+    let serial = plan.run_serial().expect("plan serial runs");
+    let dying = spawn_worker(Some(1));
+    let healthy = spawn_worker(None);
+    let coordinator = RemoteCoordinator::new(pool_of(&[(dying, 1), (healthy, 1)]));
+    let (merged, stats) = coordinator.run_plan(&plan).expect("survives the kill");
+    assert_eq!(merged, serial);
+    assert_eq!(stats.hosts_lost.len(), 1);
+    assert!(stats.waves >= 2, "the kill forces a re-shard wave");
 }
