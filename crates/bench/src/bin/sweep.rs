@@ -591,13 +591,22 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             let n_hosts = pool.hosts().len();
             for loss in &stats.hosts_lost {
                 eprintln!(
-                    "sweep: host {} lost ({}); {} spec(s) re-sharded to survivors",
-                    loss.addr, loss.message, loss.reassigned
+                    "sweep: host {} lost to a {} fault ({}); {} spec(s) re-sharded to survivors",
+                    loss.addr, loss.class, loss.message, loss.reassigned
                 );
             }
+            // Structured fleet summary: one machine-readable stderr line,
+            // and — when a harness run left BENCH_sweep.json behind — the
+            // same object recorded there as provenance.
+            let stats_json = stats.to_json();
+            eprintln!("sweep: remote stats {}", stats_json.render());
+            if let Err(e) = record_remote_stats(&stats_json) {
+                eprintln!("sweep: could not record remote stats in BENCH_sweep.json: {e}");
+            }
             format!(
-                "over {n_hosts} host(s) ({} job(s), {} wave(s))",
-                stats.jobs, stats.waves
+                "over {n_hosts} host(s) ({} job(s), {} wave(s), {} retry(ies), \
+                 {} quarantine(s), {} readmission(s))",
+                stats.jobs, stats.waves, stats.retries, stats.quarantines, stats.readmissions
             )
         }
     };
@@ -613,6 +622,28 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if cli.verify {
         verify_against_plan_serial(plan, &merged)?;
     }
+    Ok(())
+}
+
+/// Patches the fleet's [`RemoteRunStats`] JSON into `BENCH_sweep.json` as
+/// a `"remote_stats"` field — provenance for the rows a harness run left
+/// behind. No dump in the working directory, no patch: hosts-mode runs
+/// outside a bench workflow stay side-effect free.
+fn record_remote_stats(stats: &Json) -> Result<(), Box<dyn std::error::Error>> {
+    const PATH: &str = "BENCH_sweep.json";
+    let text = match std::fs::read_to_string(PATH) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(Box::new(e)),
+    };
+    let json = Json::parse(&text).map_err(|e| format!("{PATH}: {e}"))?;
+    let Json::Obj(mut pairs) = json else {
+        return Err(format!("{PATH}: expected a JSON object").into());
+    };
+    pairs.retain(|(key, _)| key != "remote_stats");
+    pairs.push(("remote_stats".to_owned(), stats.clone()));
+    std::fs::write(PATH, Json::Obj(pairs).render_pretty())?;
+    eprintln!("sweep: remote stats recorded in {PATH}");
     Ok(())
 }
 

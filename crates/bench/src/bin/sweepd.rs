@@ -1,19 +1,24 @@
-//! `seo-sweepd` — the multi-host sweep worker daemon.
+//! `seo-sweepd` — the long-lived multi-host sweep worker daemon.
 //!
-//! Listens on a TCP address and serves [`seo_core::transport`] jobs: each
-//! incoming connection carries one length-delimited `job` frame naming a
-//! spec range of the shared sweep grid; the daemon runs those episodes
-//! through the same serial scratch loop every other sweep mode uses and
-//! streams one report frame per episode back, in ascending index order,
-//! ending with a `done` frame. The `sweep --hosts hosts.json` coordinator
-//! on any machine can then merge several daemons' streams into output
-//! bit-identical to a serial sweep.
+//! Listens on a TCP address and serves [`seo_core::transport`] traffic as
+//! a **persistent service**: any number of consecutive jobs (each
+//! connection carries one length-delimited `job` frame naming a spec range
+//! of the shared sweep grid), `health` probes, and a graceful drain on a
+//! `shutdown` frame or SIGTERM. Episodes run through the same serial
+//! scratch loop every other sweep mode uses and stream back one report
+//! frame per episode, in ascending index order, ending with a `done`
+//! frame. The `sweep --hosts hosts.json` coordinator on any machine can
+//! then merge several daemons' streams into output bit-identical to a
+//! serial sweep. The service book is `docs/sweepd.md`.
 //!
 //! ```sh
 //! # On each worker host:
-//! seo-sweepd --listen 0.0.0.0:7641
+//! seo-sweepd --listen 0.0.0.0:7641 --jobs 4
 //! # On the coordinator (hosts.json lists the workers):
 //! sweep --hosts hosts.json --verify --scenarios 60 > merged.ndjson
+//! # Operations:
+//! seo-sweepd --health 10.0.0.1:7641     # liveness + cumulative stats
+//! seo-sweepd --shutdown 10.0.0.1:7641   # drain: finish jobs, exit 0
 //! ```
 //!
 //! `--listen 127.0.0.1:0` lets the OS pick a free port; the daemon prints
@@ -25,31 +30,41 @@
 //! bit-identical by the `seo_nn::kernel` contract, so hosts in one pool may
 //! run different backends without breaking the merge (see `docs/kernels.md`).
 //!
-//! `--fail-after K` is a fault-injection knob for testing the
-//! coordinator's re-sharding: every connection is dropped without a `done`
-//! frame after emitting K reports, exactly like a host dying mid-stream.
-//! Never use it in production pools.
+//! `--fault SPEC` arms deterministic fault injection (the
+//! [`FaultPlan`] grammar: `refuse=N,drop-after=K,stall-ms=T,garble=K,seed=S`)
+//! for exercising coordinator recovery; `--fail-after K` is the legacy
+//! sugar for `drop-after=K`. Never use either in production pools.
 
 use seo_core::prelude::*;
-use seo_core::transport::WorkerServer;
+use seo_core::transport::{health_request_frame, read_frame, shutdown_request_frame, write_frame};
 use std::io::Write as _;
+use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// `%KERNELS%` is filled from [`KernelBackend::valid_names`] so the usage
 /// text can never go stale against the enum. Printed with exit code 0 on
 /// `--help` and exit code 2 on any argument error.
-const USAGE_TEMPLATE: &str =
-    "usage: sweepd [--listen HOST:PORT] [--kernel NAME] [--fail-after K]\n  \
-    --listen     address to accept coordinator connections on (default 127.0.0.1:7641)\n  \
-    --kernel     inference kernel backend: %KERNELS% (default scalar, or\n               \
+const USAGE_TEMPLATE: &str = "usage: sweepd [--listen HOST:PORT] [--kernel NAME] [--jobs N] \
+    [--timeout-secs T]\n              [--fault SPEC] [--fail-after K] [--health ADDR] \
+    [--shutdown ADDR]\n  \
+    --listen       address to accept coordinator connections on (default 127.0.0.1:7641)\n  \
+    --kernel       inference kernel backend: %KERNELS% (default scalar, or\n                 \
     SEO_KERNEL; bit-identical output, see docs/kernels.md)\n  \
-    --fail-after drop every connection after K reports, without a done frame \
-    (fault-injection testing only)\n  \
-    --help, -h   print this usage and exit 0";
+    --jobs         max concurrently running jobs; extra jobs get a busy frame (default 4)\n  \
+    --timeout-secs per-connection read/write timeout in seconds (default 30)\n  \
+    --fault        deterministic fault injection, e.g. refuse=2,drop-after=5,seed=7\n                 \
+    (keys: refuse, drop-after, stall-ms, stall-at, garble, seed; testing only)\n  \
+    --fail-after   legacy sugar for --fault drop-after=K (testing only)\n  \
+    --health       client mode: print ADDR's health frame to stdout and exit\n  \
+    --shutdown     client mode: ask ADDR to drain (finish jobs, refuse new ones, exit 0)\n  \
+    --help, -h     print this usage and exit 0";
 
 struct Cli {
     listen: String,
-    fail_after: Option<usize>,
+    jobs: usize,
+    timeout: Duration,
+    faults: Option<FaultPlan>,
     kernel: KernelBackend,
 }
 
@@ -57,11 +72,25 @@ struct Cli {
 enum CliOutcome {
     Run(Cli),
     Help,
+    /// Client mode: send one control frame to a daemon and print the reply.
+    Probe {
+        addr: String,
+        verb: ProbeVerb,
+        timeout: Duration,
+    },
+}
+
+enum ProbeVerb {
+    Health,
+    Shutdown,
 }
 
 fn parse_cli() -> Result<CliOutcome, String> {
     let mut listen = "127.0.0.1:7641".to_owned();
-    let mut fail_after = None;
+    let mut jobs = 4usize;
+    let mut timeout = seo_core::transport::DEFAULT_TIMEOUT;
+    let mut faults: Option<FaultPlan> = None;
+    let mut probe: Option<(String, ProbeVerb)> = None;
     // An unknown SEO_KERNEL value is an argument error, same as --kernel.
     let mut kernel =
         KernelBackend::from_env().map_err(|e| format!("{}: {e}", KernelBackend::ENV_VAR))?;
@@ -79,21 +108,95 @@ fn parse_cli() -> Result<CliOutcome, String> {
                     .parse::<KernelBackend>()
                     .map_err(|e| format!("--kernel: {e}"))?;
             }
-            "--fail-after" => {
-                fail_after = Some(
-                    value("--fail-after")?
-                        .parse::<usize>()
-                        .map_err(|e| format!("--fail-after: {e}"))?,
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--jobs: expected a positive integer")?;
+            }
+            "--timeout-secs" => {
+                timeout = value("--timeout-secs")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&t| t > 0.0)
+                    .and_then(|t| Duration::try_from_secs_f64(t).ok())
+                    .ok_or("--timeout-secs: expected a positive number of seconds")?;
+            }
+            "--fault" => {
+                let spec = value("--fault")?;
+                faults = Some(
+                    spec.parse::<FaultPlan>()
+                        .map_err(|e| format!("--fault: {e}"))?,
                 );
             }
+            "--fail-after" => {
+                let k = value("--fail-after")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--fail-after: {e}"))?;
+                faults = Some(FaultPlan::fail_after(k));
+            }
+            "--health" => probe = Some((value("--health")?, ProbeVerb::Health)),
+            "--shutdown" => probe = Some((value("--shutdown")?, ProbeVerb::Shutdown)),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if let Some((addr, verb)) = probe {
+        return Ok(CliOutcome::Probe {
+            addr,
+            verb,
+            timeout,
+        });
+    }
     Ok(CliOutcome::Run(Cli {
         listen,
-        fail_after,
+        jobs,
+        timeout,
+        faults,
         kernel,
     }))
+}
+
+/// Installs a SIGTERM handler that flips the process-wide drain flag (an
+/// atomic store — async-signal-safe). `seo-core` forbids unsafe code, so
+/// the raw `signal(2)` shim lives here in the binary.
+#[cfg(unix)]
+fn install_drain_on_sigterm() {
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_sigterm(_signum: i32) {
+        seo_core::daemon::request_drain();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler: extern "C" fn(i32) = on_sigterm;
+    unsafe {
+        signal(SIGTERM, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_on_sigterm() {}
+
+/// Client mode: one control round-trip against a running daemon. Prints
+/// the reply frame (JSON) to stdout.
+fn run_probe(addr: &str, verb: &ProbeVerb, timeout: Duration) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| format!("socket setup for {addr}: {e}"))?;
+    let request = match verb {
+        ProbeVerb::Health => health_request_frame(),
+        ProbeVerb::Shutdown => shutdown_request_frame(),
+    };
+    write_frame(&mut stream, &request).map_err(|e| e.to_string())?;
+    let reply = read_frame(&mut stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("{addr} closed the connection without a reply"))?;
+    let text = String::from_utf8(reply).map_err(|e| format!("reply from {addr}: {e}"))?;
+    println!("{text}");
+    Ok(())
 }
 
 fn main() {
@@ -104,6 +207,17 @@ fn main() {
                 "{}",
                 USAGE_TEMPLATE.replace("%KERNELS%", &KernelBackend::valid_names())
             );
+            return;
+        }
+        Ok(CliOutcome::Probe {
+            addr,
+            verb,
+            timeout,
+        }) => {
+            if let Err(e) = run_probe(&addr, &verb, timeout) {
+                eprintln!("sweepd: {e}");
+                std::process::exit(1);
+            }
             return;
         }
         Err(e) => {
@@ -120,7 +234,15 @@ fn main() {
         let models = ModelSet::paper_setup(config.tau)?;
         let runtime =
             RuntimeLoop::new(config, models, OptimizerKind::Offloading)?.with_kernel(cli.kernel);
-        let server = WorkerServer::bind(&cli.listen)?;
+        let server = Arc::new(DaemonServer::bind(
+            &cli.listen,
+            DaemonConfig {
+                jobs: cli.jobs,
+                timeout: cli.timeout,
+                faults: cli.faults.clone(),
+            },
+        )?);
+        install_drain_on_sigterm();
         // Backends are bit-identical by contract, so a mixed fleet is fine;
         // the note is purely informational.
         eprintln!("seo-sweepd: kernel backend '{}'", cli.kernel);
@@ -128,12 +250,19 @@ fn main() {
         // address (essential with `--listen 127.0.0.1:0`).
         println!("seo-sweepd listening on {}", server.local_addr()?);
         std::io::stdout().flush()?;
-        if let Some(k) = cli.fail_after {
-            eprintln!(
-                "seo-sweepd: fault injection armed: dropping every connection after {k} report(s)"
-            );
+        if let Some(plan) = &cli.faults {
+            eprintln!("seo-sweepd: fault injection armed: {plan}");
         }
-        server.serve(Arc::new(runtime), cli.fail_after)?;
+        server.serve(Arc::new(runtime))?;
+        let stats = server.stats();
+        eprintln!(
+            "seo-sweepd: drained: {} job(s) served, {} episode(s) emitted, \
+             {} fault(s) injected over {} tick(s)",
+            stats.jobs_served(),
+            stats.episodes_emitted(),
+            stats.faults_injected(),
+            stats.uptime_ticks()
+        );
         Ok(())
     };
     if let Err(e) = run() {

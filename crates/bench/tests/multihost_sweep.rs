@@ -60,6 +60,36 @@ impl Daemon {
     }
 }
 
+impl Daemon {
+    /// Polls the child for up to 10 s and returns its exit status; panics
+    /// if the daemon is still running (a drain that never finished).
+    fn wait_for_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("sweepd did not exit within 10 s of the drain request");
+    }
+
+    /// Runs `sweepd --health ADDR` / `--shutdown ADDR` (client mode)
+    /// against this daemon and returns the probe's stdout; asserts exit 0.
+    fn probe(&self, verb: &str) -> String {
+        let output = Command::new(SWEEPD_BIN)
+            .args([verb, &self.addr])
+            .output()
+            .expect("sweepd probe runs");
+        assert!(
+            output.status.success(),
+            "sweepd {verb} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).expect("utf8 probe reply")
+    }
+}
+
 impl Drop for Daemon {
     fn drop(&mut self) {
         let _ = self.child.kill();
@@ -129,7 +159,98 @@ fn two_daemon_hosts_merge_bit_identical_to_serial() {
         stderr.contains("bit-identical"),
         "verify note missing: {stderr}"
     );
+    assert!(
+        stderr.contains("remote stats"),
+        "the structured run-stats summary must be on stderr: {stderr}"
+    );
     assert_stdout_matches_serial(&stdout);
+}
+
+/// The daemon service contract end to end with real processes: one
+/// `seo-sweepd` serves three consecutive `sweep --hosts` runs (with a raw
+/// client disconnecting mid-job in between), answers a `--health` probe
+/// with cumulative stats, and exits 0 after a `--shutdown` drain.
+#[test]
+fn one_sweepd_serves_consecutive_sweeps_and_drains_on_shutdown() {
+    let mut daemon = Daemon::spawn(&["--jobs", "2"]);
+    let hosts = write_hosts_file(&[(&daemon.addr, 1)]);
+    for _ in 0..2 {
+        let (stdout, _) = run_sweep_hosts(&hosts);
+        assert_stdout_matches_serial(&stdout);
+    }
+    // A raw client that sends a job, reads one frame, and vanishes: the
+    // daemon must shrug it off and keep serving.
+    {
+        use seo_core::transport::{read_frame, write_frame, JobRequest};
+        let mut stream = std::net::TcpStream::connect(&daemon.addr).expect("connect");
+        let job = JobRequest {
+            scenarios: SCENARIOS,
+            seed: SEED,
+            plan: None,
+            shard: Shard::new(0, SCENARIOS),
+        };
+        write_frame(&mut stream, &job.to_frame()).expect("send job");
+        read_frame(&mut stream)
+            .expect("read frame")
+            .expect("first report");
+    }
+    let (stdout, _) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+    assert_stdout_matches_serial(&stdout);
+    // Health: the cumulative counters cover the three completed jobs.
+    let health = daemon.probe("--health");
+    assert!(
+        health.contains("jobs_served"),
+        "health must carry counters: {health}"
+    );
+    assert!(
+        health.contains(r#""status":"ok""#),
+        "not draining: {health}"
+    );
+    // Shutdown: acked, then the process drains and exits 0.
+    let ack = daemon.probe("--shutdown");
+    assert!(ack.contains("jobs_active"), "unexpected ack: {ack}");
+    let status = daemon.wait_for_exit();
+    assert_eq!(status.code(), Some(0), "a drain is a clean exit");
+}
+
+/// A daemon that refuses its first connection but recovers is absorbed by
+/// the coordinator's retry budget (carried in the hosts file): no loss, no
+/// re-shard, and the retry shows up in the structured stats summary.
+#[test]
+fn refuse_then_recover_daemon_is_absorbed_by_the_retry_budget() {
+    let flaky = Daemon::spawn(&["--fault", "refuse=1"]);
+    let healthy = Daemon::spawn(&[]);
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let hosts = std::env::temp_dir().join(format!(
+        "seo-hosts-retry-{}-{}.json",
+        std::process::id(),
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::write(
+        &hosts,
+        format!(
+            r#"{{"v":1,"hosts":[{{"addr":"{}","capacity":1}},{{"addr":"{}","capacity":1}}],
+               "retry":{{"attempts":3,"base_delay_ms":50}}}}"#,
+            flaky.addr, healthy.addr
+        ),
+    )
+    .expect("hosts file written");
+    let (stdout, stderr) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+    assert_stdout_matches_serial(&stdout);
+    assert!(
+        stderr.contains(r#""hosts_lost":[]"#),
+        "recovery within the budget must not lose the host: {stderr}"
+    );
+    assert!(
+        !stderr.contains("lost to a"),
+        "no loss line should be printed: {stderr}"
+    );
+    assert!(
+        stderr.contains(r#""retries":1"#),
+        "the retry must be visible in the stats summary: {stderr}"
+    );
 }
 
 #[test]
@@ -245,6 +366,40 @@ fn sweepd_rejects_unknown_kernel_with_exit_2() {
         stderr.contains("SEO_KERNEL") && stderr.contains("'quantum'"),
         "variable must be named: {stderr}"
     );
+}
+
+#[test]
+fn sweepd_rejects_bad_flags_with_exit_2_and_usage() {
+    // Unknown flags and invalid values for the daemon knobs are argument
+    // errors: exit 2, the flag named, usage shown.
+    for args in [
+        ["--bogus", "1"],
+        ["--jobs", "0"],
+        ["--jobs", "many"],
+        ["--timeout-secs", "0"],
+        ["--timeout-secs", "1e30"],
+        ["--fault", "refuse"],
+        ["--fault", "warp=1"],
+    ] {
+        let output = Command::new(SWEEPD_BIN)
+            .args(args)
+            .output()
+            .expect("sweepd runs");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{args:?} must be an argument error"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("usage:"),
+            "{args:?}: usage missing: {stderr}"
+        );
+        assert!(
+            stderr.contains(args[0].trim_start_matches('-')),
+            "{args:?}: the offending flag must be named: {stderr}"
+        );
+    }
 }
 
 #[test]

@@ -39,9 +39,16 @@
 //!   line-delimited JSON wire format, the streaming deterministic merge, and
 //!   the worker-process coordinator.
 //! * [`transport`] — multi-host sweeps: length-delimited TCP framing over
-//!   the same wire format, validated host pools, the fault-tolerant remote
-//!   coordinator (re-shards lost hosts' work across survivors), and the
-//!   `seo-sweepd` worker server.
+//!   the same wire format, validated host pools with retry policies, and
+//!   the fault-tolerant remote coordinator (retry with backoff, host
+//!   quarantine and re-admission, re-sharding lost hosts' work across
+//!   survivors).
+//! * [`daemon`] — the long-lived `seo-sweepd` service: persistent accept
+//!   loop, `--jobs` admission control with `busy` backpressure, `health`
+//!   introspection, and graceful drain on `shutdown`/SIGTERM.
+//! * [`fault`] — deterministic chaos: the [`fault::FaultPlan`] grammar
+//!   (refuse/drop/stall/garble) that exercises every recovery path
+//!   reproducibly.
 //! * [`json`] — the dependency-free JSON tree (render + parse) the wire
 //!   format and harness dumps are built on.
 //!
@@ -71,9 +78,11 @@
 pub mod batch;
 pub mod config;
 pub mod controller;
+pub mod daemon;
 pub mod discretize;
 pub mod error;
 pub mod experiment;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod model;
@@ -91,9 +100,11 @@ pub mod prelude {
     pub use crate::batch::{BatchRunner, ScenarioSpec};
     pub use crate::config::{ControlMode, EnergyAccounting, OffloadFallback, SeoConfig};
     pub use crate::controller::Controller;
+    pub use crate::daemon::{DaemonConfig, DaemonServer, DaemonStats};
     pub use crate::discretize::{discretize_deadline, discretize_period};
     pub use crate::error::SeoError;
     pub use crate::experiment::{ExperimentConfig, ExperimentResult};
+    pub use crate::fault::{FaultAction, FaultInjector, FaultPlan};
     pub use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
     pub use crate::model::{Criticality, ModelId, ModelSet, PipelineModel};
     pub use crate::optimizer::OptimizerKind;
@@ -104,7 +115,8 @@ pub mod prelude {
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
     pub use crate::shard::{Shard, ShardError, ShardPlan, ShardPlanner, StreamingMerge};
     pub use crate::transport::{
-        HostPool, HostSpec, RemoteCoordinator, RemoteRunStats, TransportError, WorkerServer,
+        FaultClass, HealthReport, HostPool, HostSpec, RemoteCoordinator, RemoteRunStats,
+        RetryPolicy, TransportError, WorkerServer,
     };
     pub use seo_nn::kernel::{BlockedKernel, Kernel, KernelBackend, ScalarKernel};
 }

@@ -12,9 +12,10 @@
 //!   **stable spec indices** (the same indices the sharded and multi-host
 //!   wire protocols already merge on), and
 //! * an **execution section** — [`ExecMode`] (serial, threads, worker
-//!   processes, or a TCP host pool), the inference kernel backend, the
-//!   transport timeout, and whether to verify the merged output against an
-//!   in-process serial rerun.
+//!   processes, or a TCP host pool — including the pool's transient-fault
+//!   [`crate::transport::RetryPolicy`], `exec.mode.hosts.retry`), the
+//!   inference kernel backend, the transport timeout, and whether to
+//!   verify the merged output against an in-process serial rerun.
 //!
 //! Plans are **files**: [`SweepPlan::to_json`] / [`SweepPlan::parse`] give a
 //! versioned (`"v":1`) JSON form you can commit, diff, and ship to hosts
@@ -709,6 +710,9 @@ impl SweepPlan {
             ExecMode::Hosts(pool) => {
                 if let Err(e) = HostPool::new(pool.hosts().to_vec()) {
                     problems.push("exec.hosts", e.to_string());
+                }
+                if let Err(e) = pool.retry().validate() {
+                    problems.push("exec.hosts.retry", e);
                 }
             }
         }

@@ -13,20 +13,33 @@
 //!    [`read_frame`]). Report payloads are byte-for-byte the
 //!    [`crate::shard::report_line`] NDJSON the process-level protocol
 //!    already speaks; TCP merely carries them. Control frames (`job`,
-//!    `done`, `error`) are JSON objects distinguished by a `"type"` field.
+//!    `done`, `error`, `busy`, `health`, `shutdown`) are JSON objects
+//!    distinguished by a `"type"` field.
 //! 2. **[`HostPool`]** — the `--hosts hosts.json` configuration, parsed and
 //!    validated by [`crate::json`]: duplicate addresses, zero capacities,
 //!    blank addresses, and empty pools are rejected **before** any
-//!    connection is attempted.
+//!    connection is attempted. The pool also carries the fleet's
+//!    [`RetryPolicy`] (`exec.hosts.retry` in a [`SweepPlan`]).
 //! 3. **[`RemoteCoordinator`]** — assigns contiguous spec ranges to hosts
 //!    weighted by capacity ([`Shard::split_weighted`]), streams every
-//!    host's reports into one [`StreamingMerge`], and on host loss
-//!    (connection refused/dropped, read timeout, protocol violation)
-//!    re-shards the dead host's **remaining** range across the surviving
-//!    hosts — repeatedly, until the grid completes or no host survives.
-//! 4. **[`WorkerServer`]** — the accept loop behind the `seo-sweepd`
-//!    binary: one job per connection, episodes run through the same serial
-//!    scratch loop as every other sweep mode.
+//!    host's reports into one [`StreamingMerge`], and classifies every
+//!    job failure as **transient** (connect refused, timeout, dropped
+//!    connection, `busy` backpressure — retried in place with bounded
+//!    exponential backoff) or **fatal** (protocol violation — never
+//!    retried). A host that exhausts its retry budget is *quarantined*:
+//!    its remaining range is re-sharded across the survivors, but the
+//!    host is re-probed with a `health` exchange between waves and
+//!    re-admitted if it recovered. Only protocol violators and hosts that
+//!    fail in a wave that made no progress are declared dead permanently
+//!    — that "progress or death" rule is what guarantees termination.
+//! 4. **[`crate::daemon::DaemonServer`]** / [`WorkerServer`] — the accept
+//!    loops behind the `seo-sweepd` binary. `DaemonServer` is the
+//!    long-lived multi-job service (admission control, `health`,
+//!    graceful drain); `WorkerServer` is the minimal
+//!    one-job-per-connection building block it grew from.
+//!
+//! Deterministic fault injection for all of the above lives in
+//! [`crate::fault`]; `docs/sweepd.md` is the service book.
 //!
 //! # Example
 //!
@@ -48,6 +61,7 @@
 //! ```
 
 use crate::batch::ScenarioSpec;
+use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::json::Json;
 use crate::metrics::EpisodeReport;
 use crate::plan::{CellConfig, SweepPlan};
@@ -56,6 +70,7 @@ use crate::shard::{self, Shard, ShardError, StreamingMerge};
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -143,7 +158,7 @@ fn frame_err(message: impl Into<String>) -> TransportError {
     }
 }
 
-fn io_err(context: &str, e: &std::io::Error) -> TransportError {
+pub(crate) fn io_err(context: &str, e: &std::io::Error) -> TransportError {
     TransportError::Io {
         context: context.to_owned(),
         message: e.to_string(),
@@ -394,6 +409,16 @@ pub enum WorkerMsg {
         /// The worker-side failure description.
         message: String,
     },
+    /// The daemon's admission control rejected the job: it is at its
+    /// `--jobs` cap (or draining). Structured backpressure — the
+    /// coordinator treats it as a transient fault and retries with
+    /// backoff instead of hanging.
+    Busy {
+        /// Jobs currently running on the daemon.
+        active: usize,
+        /// The daemon's concurrent-job cap (0 while draining).
+        cap: usize,
+    },
 }
 
 /// Encodes the `done` control frame.
@@ -418,6 +443,173 @@ pub fn error_frame(message: &str) -> Vec<u8> {
     ])
     .render()
     .into_bytes()
+}
+
+/// Encodes the `busy` control frame a daemon answers a job with when its
+/// admission control rejects it (cap reached, or draining).
+#[must_use]
+pub fn busy_frame(active: usize, cap: usize) -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "busy".into()),
+        ("active", active.into()),
+        ("cap", cap.into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Encodes the `health` request frame (no payload beyond the type).
+#[must_use]
+pub fn health_request_frame() -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "health".into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Encodes the `shutdown` request frame asking a daemon to drain: finish
+/// in-flight jobs, refuse new ones, then exit 0.
+#[must_use]
+pub fn shutdown_request_frame() -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "shutdown".into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Encodes the `shutdown` acknowledgement a daemon sends back before it
+/// starts draining; `jobs_active` is how many in-flight jobs it will
+/// finish first.
+#[must_use]
+pub fn shutdown_ack_frame(jobs_active: usize) -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "shutdown".into()),
+        ("jobs_active", jobs_active.into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// A daemon's liveness answer to a [`health_request_frame`]: status plus
+/// cumulative service counters since the daemon started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `false` once the daemon is draining (it will refuse new jobs).
+    pub accepting: bool,
+    /// Jobs running right now.
+    pub jobs_active: usize,
+    /// Jobs served to completion since start.
+    pub jobs_served: u64,
+    /// Episode reports emitted across all jobs since start.
+    pub episodes_emitted: u64,
+    /// Faults deliberately injected by the daemon's [`FaultPlan`].
+    pub faults_injected: u64,
+    /// Whole seconds the daemon has been up.
+    pub uptime_ticks: u64,
+}
+
+impl HealthReport {
+    /// Encodes the `health` response frame.
+    #[must_use]
+    pub fn to_frame(&self) -> Vec<u8> {
+        Json::obj(vec![
+            ("v", shard::WIRE_VERSION.into()),
+            ("type", "health".into()),
+            (
+                "status",
+                if self.accepting { "ok" } else { "draining" }.into(),
+            ),
+            ("jobs_active", self.jobs_active.into()),
+            ("jobs_served", shard::u64_to_wire(self.jobs_served)),
+            (
+                "episodes_emitted",
+                shard::u64_to_wire(self.episodes_emitted),
+            ),
+            ("faults_injected", shard::u64_to_wire(self.faults_injected)),
+            ("uptime_ticks", shard::u64_to_wire(self.uptime_ticks)),
+        ])
+        .render()
+        .into_bytes()
+    }
+
+    /// Decodes a `health` response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Frame`] on malformed payloads, a wrong `type`, or
+    /// an unknown `status` — which is exactly what an `error` frame from a
+    /// pre-daemon `seo-sweepd` produces, so probing a legacy worker fails
+    /// cleanly instead of mis-reading its reply.
+    pub fn from_frame(payload: &[u8]) -> Result<Self, TransportError> {
+        let json = parse_frame_json(payload)?;
+        check_version(&json)?;
+        let kind = get(&json, "type")?
+            .as_str()
+            .ok_or_else(|| frame_err("type: expected a string"))?;
+        if kind != "health" {
+            return Err(frame_err(format!("expected a health frame, got '{kind}'")));
+        }
+        let accepting = match get(&json, "status")?.as_str() {
+            Some("ok") => true,
+            Some("draining") => false,
+            _ => return Err(frame_err("status: expected 'ok' or 'draining'")),
+        };
+        let u64_field = |field: &str| {
+            shard::u64_from_wire(get(&json, field)?, field).map_err(TransportError::from)
+        };
+        Ok(Self {
+            accepting,
+            jobs_active: get_usize(&json, "jobs_active")?,
+            jobs_served: u64_field("jobs_served")?,
+            episodes_emitted: u64_field("episodes_emitted")?,
+            faults_injected: u64_field("faults_injected")?,
+            uptime_ticks: u64_field("uptime_ticks")?,
+        })
+    }
+}
+
+/// The first frame of a daemon conversation, as the daemon sees it: a job
+/// to run, or one of the service control verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonRequest {
+    /// Run a shard (v1 legacy paper-grid or v2 plan-bearing job — both
+    /// wire versions are accepted unchanged).
+    Job(Box<JobRequest>),
+    /// Answer a [`HealthReport`].
+    Health,
+    /// Acknowledge, then drain and exit.
+    Shutdown,
+}
+
+/// Decodes the first frame of a daemon conversation. `health` and
+/// `shutdown` requests are distinguished by their `"type"`; everything
+/// else must parse as a [`JobRequest`] (which keeps v1/v2 job frames from
+/// pre-daemon clients working byte-for-byte).
+///
+/// # Errors
+///
+/// [`TransportError::Frame`] on malformed payloads or unknown types.
+pub fn parse_daemon_request(payload: &[u8]) -> Result<DaemonRequest, TransportError> {
+    let json = parse_frame_json(payload)?;
+    match json.get("type").and_then(Json::as_str) {
+        Some("health") => {
+            check_version(&json)?;
+            Ok(DaemonRequest::Health)
+        }
+        Some("shutdown") => {
+            check_version(&json)?;
+            Ok(DaemonRequest::Shutdown)
+        }
+        _ => Ok(DaemonRequest::Job(Box::new(JobRequest::from_frame(
+            payload,
+        )?))),
+    }
 }
 
 fn parse_frame_json(payload: &[u8]) -> Result<Json, TransportError> {
@@ -455,6 +647,10 @@ pub fn parse_worker_frame(payload: &[u8]) -> Result<WorkerMsg, TransportError> {
                 .ok_or_else(|| frame_err("message: expected a string"))?
                 .to_owned(),
         }),
+        "busy" => Ok(WorkerMsg::Busy {
+            active: get_usize(&json, "active")?,
+            cap: get_usize(&json, "cap")?,
+        }),
         other => Err(frame_err(format!("unknown frame type '{other}'"))),
     }
 }
@@ -473,6 +669,112 @@ pub struct HostSpec {
     pub capacity: u64,
 }
 
+/// The coordinator's bounded, deterministic retry schedule for
+/// **transient** job failures (connect refused, read timeout, dropped
+/// connection, `busy` backpressure). Fatal faults — protocol violations —
+/// are never retried.
+///
+/// Carried by the [`HostPool`] so every surface that names a fleet gets it
+/// for free: a `--hosts hosts.json` file and a [`SweepPlan`]'s
+/// `exec.mode.hosts` section both accept an optional `"retry"` object
+/// (`{"attempts":N,"base_delay_ms":M}`).
+///
+/// Attempt `k` (0-based) of a job that keeps failing transiently is
+/// preceded by a delay of `base_delay_ms × 2^(k-1)` milliseconds, capped
+/// at [`RetryPolicy::MAX_BACKOFF`]; after `attempts` total tries the host
+/// is quarantined and its remaining range re-sharded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts per job, including the first (≥ 1).
+    pub attempts: u32,
+    /// Delay before the first retry, in milliseconds; doubles per retry.
+    pub base_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base_delay_ms: 100,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Ceiling on any single backoff delay, however many doublings.
+    pub const MAX_BACKOFF: Duration = Duration::from_secs(10);
+
+    /// The delay before retry number `retry_index` (0-based):
+    /// `base_delay_ms × 2^retry_index`, capped at [`Self::MAX_BACKOFF`].
+    #[must_use]
+    pub fn backoff(&self, retry_index: u32) -> Duration {
+        let factor = 1u64 << retry_index.min(20);
+        Duration::from_millis(self.base_delay_ms.saturating_mul(factor)).min(Self::MAX_BACKOFF)
+    }
+
+    /// Validates the policy; the message names the offending field the way
+    /// plan validation expects.
+    ///
+    /// # Errors
+    ///
+    /// A plain message (`attempts must be at least 1`) for the caller to
+    /// prefix with its own field path.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.attempts == 0 {
+            return Err("attempts must be at least 1 (it counts the first try)".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Decodes `{"attempts":N,"base_delay_ms":M}`; missing fields keep
+    /// their defaults, unknown fields are rejected by name.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Config`] on malformed JSON or a zero attempt
+    /// budget.
+    pub fn from_json(json: &Json) -> Result<Self, TransportError> {
+        let Json::Obj(pairs) = json else {
+            return Err(config_err("retry: expected an object"));
+        };
+        let mut policy = Self::default();
+        for (key, value) in pairs {
+            match key.as_str() {
+                "attempts" => {
+                    policy.attempts = value
+                        .as_i64()
+                        .and_then(|v| u32::try_from(v).ok())
+                        .ok_or_else(|| {
+                            config_err("retry.attempts: expected a non-negative integer")
+                        })?;
+                }
+                "base_delay_ms" => {
+                    policy.base_delay_ms = shard::u64_from_wire(value, "base_delay_ms")
+                        .map_err(|e| config_err(format!("retry.{e}")))?;
+                }
+                other => {
+                    return Err(config_err(format!(
+                        "retry.{other}: unknown field (expected: attempts, base_delay_ms)"
+                    )))
+                }
+            }
+        }
+        policy
+            .validate()
+            .map_err(|e| config_err(format!("retry.{e}")))?;
+        Ok(policy)
+    }
+
+    /// Renders the policy to its JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("attempts", self.attempts.into()),
+            ("base_delay_ms", shard::u64_to_wire(self.base_delay_ms)),
+        ])
+    }
+}
+
 /// A validated set of worker hosts (the `--hosts hosts.json` file).
 ///
 /// Construction rejects misconfigurations — an empty pool, a blank or
@@ -480,9 +782,13 @@ pub struct HostSpec {
 /// any connection is attempted, mirroring how
 /// [`crate::shard::ShardPlan::from_shards`] validates before any process
 /// spawns.
+///
+/// The pool also carries the fleet's [`RetryPolicy`] (default: 3 attempts,
+/// 100 ms base delay); a `"retry"` object in the pool JSON overrides it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostPool {
     hosts: Vec<HostSpec>,
+    retry: RetryPolicy,
 }
 
 impl HostPool {
@@ -512,7 +818,23 @@ impl HostPool {
                 )));
             }
         }
-        Ok(Self { hosts })
+        Ok(Self {
+            hosts,
+            retry: RetryPolicy::default(),
+        })
+    }
+
+    /// Overrides the pool's retry policy (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The transient-fault retry schedule jobs on this pool run under.
+    #[must_use]
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// Parses and validates the JSON pool format:
@@ -566,14 +888,19 @@ impl HostPool {
                 Ok(HostSpec { addr, capacity })
             })
             .collect::<Result<Vec<_>, TransportError>>()?;
-        Self::new(hosts)
+        let mut pool = Self::new(hosts)?;
+        if let Some(retry) = json.get("retry") {
+            pool.retry = RetryPolicy::from_json(retry)?;
+        }
+        Ok(pool)
     }
 
     /// Renders the pool back to its JSON config form (round-trips through
-    /// [`Self::parse`]).
+    /// [`Self::parse`]). A default retry policy is omitted, so pre-retry
+    /// pool files round-trip byte-stable.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("v", shard::WIRE_VERSION.into()),
             (
                 "hosts",
@@ -589,7 +916,11 @@ impl HostPool {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if self.retry != RetryPolicy::default() {
+            fields.push(("retry", self.retry.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// The hosts, in config order.
@@ -609,6 +940,32 @@ impl HostPool {
 // Remote coordinator
 // ---------------------------------------------------------------------------
 
+/// The coordinator's two-way fault taxonomy: every job failure is one or
+/// the other, and the distinction drives recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The kind of fault a healthy host can produce while restarting or
+    /// overloaded: connect refused, resolve failure, read/write timeout, a
+    /// dropped connection, `busy` backpressure. Retried in place with
+    /// bounded exponential backoff; exhausting the budget quarantines the
+    /// host (re-probed between waves).
+    Transient,
+    /// A protocol violation: malformed or garbled frame, out-of-order or
+    /// duplicate report, a `done` count mismatch, a worker `error` frame.
+    /// Never retried — the peer is broken, not busy — and the host is
+    /// declared dead permanently.
+    Fatal,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Transient => write!(f, "transient"),
+            Self::Fatal => write!(f, "fatal"),
+        }
+    }
+}
+
 /// One lost host, as recorded in [`RemoteRunStats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostLoss {
@@ -619,11 +976,16 @@ pub struct HostLoss {
     /// Specs of its job still unreported at the time of loss — the range
     /// that was re-sharded across survivors.
     pub reassigned: usize,
+    /// How the final failure was classified. `Transient` means the retry
+    /// budget ran out (the host was quarantined, not executed); `Fatal`
+    /// means a protocol violation killed it outright.
+    pub class: FaultClass,
 }
 
-/// What a [`RemoteCoordinator`] run did: dispatch counts and every host
-/// loss it survived. A run that returns `Ok` produced complete, correct
-/// output even when `hosts_lost` is non-empty.
+/// What a [`RemoteCoordinator`] run did: dispatch counts, retry/quarantine
+/// activity, per-host episode tallies, and every host loss it survived. A
+/// run that returns `Ok` produced complete, correct output even when
+/// `hosts_lost` is non-empty.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RemoteRunStats {
     /// One entry per failed job (a host failing two jobs appears twice).
@@ -632,21 +994,123 @@ pub struct RemoteRunStats {
     pub jobs: usize,
     /// Dispatch waves; 1 when no host was lost.
     pub waves: usize,
+    /// In-place reconnect attempts after transient faults (a retry that
+    /// succeeds leaves no [`HostLoss`] entry).
+    pub retries: usize,
+    /// Jobs whose host exhausted its retry budget and was quarantined.
+    pub quarantines: usize,
+    /// Quarantined hosts that passed a between-wave health probe and were
+    /// given work again.
+    pub readmissions: usize,
+    /// Episode reports merged per host, in pool order (`(addr, count)`;
+    /// counts sum to the grid size on success).
+    pub episodes_by_host: Vec<(String, usize)>,
+}
+
+impl RemoteRunStats {
+    /// Renders the stats as one JSON object — the structured summary
+    /// `sweep --plan` prints to stderr and records in `BENCH_sweep.json`
+    /// provenance after a hosts-mode run.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("jobs", self.jobs.into()),
+            ("waves", self.waves.into()),
+            ("retries", self.retries.into()),
+            ("quarantines", self.quarantines.into()),
+            ("readmissions", self.readmissions.into()),
+            (
+                "hosts_lost",
+                Json::Arr(
+                    self.hosts_lost
+                        .iter()
+                        .map(|loss| {
+                            Json::obj(vec![
+                                ("addr", loss.addr.as_str().into()),
+                                ("class", loss.class.to_string().as_str().into()),
+                                ("reassigned", loss.reassigned.into()),
+                                ("message", loss.message.as_str().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "episodes_by_host",
+                Json::Obj(
+                    self.episodes_by_host
+                        .iter()
+                        .map(|(addr, count)| (addr.clone(), (*count).into()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// Shared merge state: the merge plus the streaming sink it feeds, under
 /// one lock so reports are sunk in exactly merge order (the same discipline
-/// as the process-level coordinator).
+/// as the process-level coordinator). `accepted`/`by_host` feed the wave
+/// progress rule and [`RemoteRunStats::episodes_by_host`].
 struct MergeState<'a> {
     merge: StreamingMerge,
     sink: &'a mut (dyn FnMut(usize, EpisodeReport) + Send),
+    accepted: usize,
+    by_host: Vec<usize>,
 }
 
-/// A job-level failure: which host, what remains of its shard, and why.
+/// A job-level failure: which host, what remains of its shard, why, and
+/// how the final error was classified.
 struct JobFailure {
     host_index: usize,
     remaining: Shard,
     message: String,
+    class: FaultClass,
+}
+
+/// A classified single-connection failure, before retry handling.
+struct DriveError {
+    class: FaultClass,
+    message: String,
+}
+
+impl DriveError {
+    fn transient(message: impl Into<String>) -> Self {
+        Self {
+            class: FaultClass::Transient,
+            message: message.into(),
+        }
+    }
+
+    fn fatal(message: impl Into<String>) -> Self {
+        Self {
+            class: FaultClass::Fatal,
+            message: message.into(),
+        }
+    }
+
+    /// Classifies a [`TransportError`] bubbling out of the framing layer:
+    /// socket I/O (timeouts included) is transient, everything else —
+    /// malformed frames above all — is a protocol violation.
+    fn from_transport(e: &TransportError) -> Self {
+        match e {
+            TransportError::Io { .. } => Self::transient(e.to_string()),
+            _ => Self::fatal(e.to_string()),
+        }
+    }
+}
+
+/// Per-host dispatch state across waves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostState {
+    /// Eligible for work.
+    Alive,
+    /// Exhausted its retry budget on a transient fault; gets no work, but
+    /// is re-probed between waves and re-admitted if it answers `health`.
+    Quarantined,
+    /// Violated the protocol, or failed in a wave that made no progress.
+    /// Never probed, never re-admitted.
+    Dead,
 }
 
 /// Distributes a sweep grid across a [`HostPool`] over TCP and merges the
@@ -662,9 +1126,19 @@ struct JobFailure {
 /// Work is dispatched in **waves**: the first wave assigns the whole grid
 /// across all hosts proportionally to capacity; each later wave re-shards
 /// the contiguous unreported tails of the hosts lost in the previous wave
-/// across the survivors. A host that fails once is never assigned work
-/// again. When every host is lost with specs still unreported the run
-/// fails with [`TransportError::NoSurvivors`].
+/// across the survivors.
+///
+/// Failures are classified per [`FaultClass`]. A transiently-failing job
+/// is retried in place under the pool's [`RetryPolicy`] (deterministic
+/// exponential backoff, fixed attempt budget); a host that exhausts the
+/// budget is quarantined and re-probed (a `health` exchange) between
+/// waves, re-admitted if it answers. A protocol violator is dead forever.
+/// Termination is guaranteed by the *progress rule*: a transient failure
+/// only quarantines its host when the wave merged at least one report —
+/// in a zero-progress wave every failed host is declared dead instead, so
+/// each wave either shrinks the remaining range or shrinks the fleet.
+/// When no host is alive with specs still unreported the run fails with
+/// [`TransportError::NoSurvivors`].
 #[derive(Debug, Clone)]
 pub struct RemoteCoordinator {
     pool: HostPool,
@@ -791,29 +1265,58 @@ impl RemoteCoordinator {
         make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
         mut sink: impl FnMut(usize, EpisodeReport) + Send,
     ) -> Result<RemoteRunStats, TransportError> {
-        let mut stats = RemoteRunStats::default();
+        let n_hosts = self.pool.hosts().len();
+        let mut stats = RemoteRunStats {
+            episodes_by_host: self
+                .pool
+                .hosts()
+                .iter()
+                .map(|h| (h.addr.clone(), 0))
+                .collect(),
+            ..RemoteRunStats::default()
+        };
         if n_specs == 0 {
             return Ok(stats);
         }
         let state = Mutex::new(MergeState {
             merge: StreamingMerge::new(n_specs),
             sink: &mut sink,
+            accepted: 0,
+            by_host: vec![0; n_hosts],
         });
-        let mut alive = vec![true; self.pool.hosts().len()];
-        let mut wave = self.assign(Shard::new(0, n_specs), &alive);
+        let retries = AtomicUsize::new(0);
+        let mut hosts = vec![HostState::Alive; n_hosts];
+        let alive_mask = |hosts: &[HostState]| -> Vec<bool> {
+            hosts.iter().map(|&s| s == HostState::Alive).collect()
+        };
+        let mut wave = self.assign(Shard::new(0, n_specs), &alive_mask(&hosts));
         loop {
             stats.waves += 1;
             stats.jobs += wave.len();
-            let failures = self.run_wave(&wave, make_request, &state);
+            let before = state.lock().expect("merge mutex poisoned").accepted;
+            let failures = self.run_wave(&wave, make_request, &state, &retries);
+            let progress = state.lock().expect("merge mutex poisoned").accepted - before;
             let mut remnants: Vec<Shard> = Vec::new();
             let mut last_error = String::new();
             for failure in failures {
-                alive[failure.host_index] = false;
+                // The progress rule: a transient failure in a wave that
+                // merged something is worth quarantining (the host may
+                // recover); in a wave that merged nothing it is
+                // indistinguishable from a dead fleet spinning, so the
+                // host dies — every wave shrinks the range or the fleet.
+                let quarantine = failure.class == FaultClass::Transient && progress > 0;
+                hosts[failure.host_index] = if quarantine {
+                    stats.quarantines += 1;
+                    HostState::Quarantined
+                } else {
+                    HostState::Dead
+                };
                 last_error.clone_from(&failure.message);
                 stats.hosts_lost.push(HostLoss {
                     addr: self.pool.hosts()[failure.host_index].addr.clone(),
                     message: failure.message,
                     reassigned: failure.remaining.len(),
+                    class: failure.class,
                 });
                 if !failure.remaining.is_empty() {
                     remnants.push(failure.remaining);
@@ -822,6 +1325,17 @@ impl RemoteCoordinator {
             if remnants.is_empty() {
                 break;
             }
+            // Re-probe quarantined hosts; one clean health exchange earns
+            // re-admission into the next wave.
+            for (i, slot) in hosts.iter_mut().enumerate() {
+                if *slot == HostState::Quarantined
+                    && probe_host(&self.pool.hosts()[i].addr, self.timeout)
+                {
+                    *slot = HostState::Alive;
+                    stats.readmissions += 1;
+                }
+            }
+            let alive = alive_mask(&hosts);
             if !alive.iter().any(|&a| a) {
                 return Err(TransportError::NoSurvivors {
                     remaining: remnants.iter().map(Shard::len).sum(),
@@ -833,13 +1347,14 @@ impl RemoteCoordinator {
                 .flat_map(|&remnant| self.assign(remnant, &alive))
                 .collect();
         }
+        stats.retries = retries.load(Ordering::Relaxed);
         // Every accepted report was streamed on arrival; anything left is a
         // hole, which finish() names.
-        let leftovers = state
-            .into_inner()
-            .expect("merge mutex poisoned")
-            .merge
-            .finish()?;
+        let final_state = state.into_inner().expect("merge mutex poisoned");
+        for (slot, count) in stats.episodes_by_host.iter_mut().zip(&final_state.by_host) {
+            slot.1 = *count;
+        }
+        let leftovers = final_state.merge.finish()?;
         debug_assert!(leftovers.is_empty(), "streamed merge cannot hold a tail");
         Ok(stats)
     }
@@ -868,6 +1383,7 @@ impl RemoteCoordinator {
         wave: &[(usize, Shard)],
         make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
         state: &Mutex<MergeState<'_>>,
+        retries: &AtomicUsize,
     ) -> Vec<JobFailure> {
         let mut failures = Vec::new();
         std::thread::scope(|scope| {
@@ -875,7 +1391,7 @@ impl RemoteCoordinator {
                 .iter()
                 .map(|&(host_index, shard)| {
                     let request = make_request(shard);
-                    scope.spawn(move || self.run_job(host_index, request, state))
+                    scope.spawn(move || self.run_job(host_index, request, state, retries))
                 })
                 .collect();
             for handle in handles {
@@ -887,69 +1403,111 @@ impl RemoteCoordinator {
         failures
     }
 
-    /// Drives one job on one host, reporting how far it got on failure.
+    /// Drives one job on one host under the pool's [`RetryPolicy`]: a
+    /// transient connection failure is retried after a deterministic
+    /// backoff, resuming from the first unreported index (progress made
+    /// before the fault is kept — the merge never sees an index twice).
+    /// The attempt budget is fixed per job, so a host that keeps dropping
+    /// mid-stream still exhausts it and gets re-sharded around.
     fn run_job(
         &self,
         host_index: usize,
         request: JobRequest,
         state: &Mutex<MergeState<'_>>,
+        retries: &AtomicUsize,
     ) -> Result<(), JobFailure> {
+        let retry = self.pool.retry();
+        let budget = retry.attempts.max(1);
+        let end = request.shard.end;
         let mut next = request.shard.start;
-        self.drive_connection(&self.pool.hosts()[host_index], &request, state, &mut next)
-            .map_err(|message| JobFailure {
-                host_index,
-                remaining: Shard::new(next, request.shard.end),
-                message,
-            })
+        let mut attempt = 0u32;
+        loop {
+            let job = JobRequest {
+                shard: Shard::new(next, end),
+                ..request.clone()
+            };
+            match self.drive_connection(host_index, &job, state, &mut next) {
+                Ok(()) => return Ok(()),
+                Err(fault) => {
+                    attempt += 1;
+                    let retryable =
+                        fault.class == FaultClass::Transient && attempt < budget && next < end;
+                    if !retryable {
+                        return Err(JobFailure {
+                            host_index,
+                            remaining: Shard::new(next, end),
+                            message: if attempt > 1 {
+                                format!("{} (attempt {attempt}/{budget})", fault.message)
+                            } else {
+                                fault.message
+                            },
+                            class: fault.class,
+                        });
+                    }
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(retry.backoff(attempt - 1));
+                }
+            }
+        }
     }
 
     /// The per-connection protocol loop. `next` tracks the lowest index of
     /// the shard not yet accepted into the merge; because workers must
     /// stream in ascending order, `[next, shard.end)` is exactly the
-    /// remaining work if the connection dies.
+    /// remaining work if the connection dies. Every failure is classified
+    /// per [`FaultClass`] for the retry layer above.
     fn drive_connection(
         &self,
-        host: &HostSpec,
+        host_index: usize,
         request: &JobRequest,
         state: &Mutex<MergeState<'_>>,
         next: &mut usize,
-    ) -> Result<(), String> {
-        let mut stream = connect(&host.addr, self.timeout)?;
+    ) -> Result<(), DriveError> {
+        let host = &self.pool.hosts()[host_index];
+        let mut stream = connect(&host.addr, self.timeout).map_err(DriveError::transient)?;
         stream
             .set_read_timeout(Some(self.timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
             .and_then(|()| stream.set_nodelay(true))
-            .map_err(|e| format!("socket setup for {}: {e}", host.addr))?;
-        write_frame(&mut stream, &request.to_frame()).map_err(|e| e.to_string())?;
+            .map_err(|e| DriveError::transient(format!("socket setup for {}: {e}", host.addr)))?;
+        write_frame(&mut stream, &request.to_frame())
+            .map_err(|e| DriveError::from_transport(&e))?;
         loop {
             let payload = read_frame(&mut stream)
-                .map_err(|e| e.to_string())?
+                .map_err(|e| DriveError::from_transport(&e))?
                 .ok_or_else(|| {
-                    format!(
+                    DriveError::transient(format!(
                         "connection closed mid-shard ({}/{} reports received)",
                         *next - request.shard.start,
                         request.shard.len()
-                    )
+                    ))
                 })?;
-            match parse_worker_frame(&payload).map_err(|e| e.to_string())? {
+            match parse_worker_frame(&payload).map_err(|e| DriveError::from_transport(&e))? {
                 WorkerMsg::Report { index, report } => {
                     if *next >= request.shard.end {
-                        return Err(format!(
+                        return Err(DriveError::fatal(format!(
                             "report {index} after shard {} completed",
                             request.shard
-                        ));
+                        )));
                     }
                     if index != *next {
-                        return Err(format!(
+                        return Err(DriveError::fatal(format!(
                             "out-of-order report: expected index {next}, got {index} \
                              (workers must stream their shard in ascending order)"
-                        ));
+                        )));
                     }
                     let mut guard = state.lock().expect("merge mutex poisoned");
-                    let MergeState { merge, sink } = &mut *guard;
+                    let MergeState {
+                        merge,
+                        sink,
+                        accepted,
+                        by_host,
+                    } = &mut *guard;
                     merge
                         .accept(index, report)
-                        .map_err(|e| format!("protocol violation: {e}"))?;
+                        .map_err(|e| DriveError::fatal(format!("protocol violation: {e}")))?;
+                    *accepted += 1;
+                    by_host[host_index] += 1;
                     let base = merge.next_index();
                     for (offset, ready) in merge.drain_ready().into_iter().enumerate() {
                         sink(base + offset, ready);
@@ -959,44 +1517,85 @@ impl RemoteCoordinator {
                 }
                 WorkerMsg::Done { count } => {
                     if *next != request.shard.end {
-                        return Err(format!(
+                        return Err(DriveError::fatal(format!(
                             "done after {}/{} reports",
                             *next - request.shard.start,
                             request.shard.len()
-                        ));
+                        )));
                     }
                     if count != request.shard.len() {
-                        return Err(format!(
+                        return Err(DriveError::fatal(format!(
                             "done frame claims {count} reports for shard {} of {}",
                             request.shard,
                             request.shard.len()
-                        ));
+                        )));
                     }
                     return Ok(());
                 }
-                WorkerMsg::Error { message } => return Err(format!("worker error: {message}")),
+                WorkerMsg::Error { message } => {
+                    // The worker looked at the job and rejected it — a
+                    // deterministic answer, not a flaky connection.
+                    return Err(DriveError::fatal(format!("worker error: {message}")));
+                }
+                WorkerMsg::Busy { active, cap } => {
+                    return Err(DriveError::transient(format!(
+                        "host busy ({active}/{cap} jobs): backpressure, retry later"
+                    )));
+                }
             }
         }
+    }
+}
+
+/// One `health` round-trip against a quarantined host: true when the host
+/// accepts a connection and answers a well-formed [`HealthReport`] that
+/// says it is accepting work. A legacy (pre-daemon) `seo-sweepd` answers
+/// `health` with an `error` frame, so it never passes a probe — it stays
+/// quarantined, which is the conservative choice.
+fn probe_host(addr: &str, timeout: Duration) -> bool {
+    let Ok(mut stream) = connect(addr, timeout) else {
+        return false;
+    };
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return false;
+    }
+    if write_frame(&mut stream, &health_request_frame()).is_err() {
+        return false;
+    }
+    match read_frame(&mut stream) {
+        Ok(Some(payload)) => HealthReport::from_frame(&payload).is_ok_and(|h| h.accepting),
+        _ => false,
     }
 }
 
 /// Connects to `addr`, trying **every** address it resolves to before
 /// giving up — on a dual-stack machine `localhost` may resolve to `::1`
 /// first while the daemon listens on `127.0.0.1`, and one refused family
-/// must not condemn a reachable host.
+/// must not condemn a reachable host. The failure message aggregates
+/// every candidate's error (not just the last one tried), so a
+/// half-reachable host is diagnosable from the loss record alone.
 fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
     let resolved: Vec<SocketAddr> = addr
         .to_socket_addrs()
         .map_err(|e| format!("resolve '{addr}': {e}"))?
         .collect();
-    let mut last_error = format!("'{addr}' resolved to no addresses");
-    for candidate in resolved {
-        match TcpStream::connect_timeout(&candidate, timeout) {
+    if resolved.is_empty() {
+        return Err(format!("'{addr}' resolved to no addresses"));
+    }
+    let mut errors: Vec<String> = Vec::with_capacity(resolved.len());
+    for candidate in &resolved {
+        match TcpStream::connect_timeout(candidate, timeout) {
             Ok(stream) => return Ok(stream),
-            Err(e) => last_error = format!("connect to {addr} ({candidate}): {e}"),
+            Err(e) => errors.push(format!("{candidate}: {e}")),
         }
     }
-    Err(last_error)
+    Err(format!(
+        "connect to {addr} failed on all {} resolved address(es): {}",
+        resolved.len(),
+        errors.join("; ")
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -1042,6 +1641,33 @@ pub fn serve_connection(
         },
         None => return Ok(()), // peer connected and left; nothing to do
     };
+    let faults = fail_after.map(FaultPlan::fail_after);
+    let mut injector = match &faults {
+        Some(plan) => plan.injector(0),
+        None => FaultInjector::none(),
+    };
+    serve_job(&mut stream, &request, runtime, &mut injector).map(|_| ())
+}
+
+/// Runs one already-parsed [`JobRequest`] over `stream`: bounds-checks the
+/// shard against the grid, runs the episode loop, streams the reports, and
+/// — unless the injector killed the connection first — finishes with a
+/// `done` frame. Returns the number of reports emitted, or `None` when the
+/// fault injector dropped the connection mid-stream.
+///
+/// This is the daemon's job path; [`serve_connection`] wraps it for the
+/// legacy one-job-per-connection server.
+///
+/// # Errors
+///
+/// [`TransportError`] on a shard outside the grid (an `error` frame is
+/// sent back best-effort) or a socket failure.
+pub fn serve_job(
+    stream: &mut TcpStream,
+    request: &JobRequest,
+    runtime: &RuntimeLoop,
+    injector: &mut FaultInjector<'_>,
+) -> Result<Option<usize>, TransportError> {
     let specs = request.specs();
     if request.shard.end > specs.len() {
         let e = frame_err(format!(
@@ -1049,41 +1675,43 @@ pub fn serve_connection(
             request.shard,
             specs.len()
         ));
-        let _ = write_frame(&mut stream, &error_frame(&e.to_string()));
+        let _ = write_frame(stream, &error_frame(&e.to_string()));
         return Err(e);
     }
-    let emitted = match &request.plan {
-        Some(plan) => serve_plan_shard(&mut stream, plan, request.shard, runtime, fail_after)?,
-        None => serve_paper_shard(&mut stream, &specs, request.shard, runtime, fail_after)?,
-    };
-    match emitted {
-        Some(count) => write_frame(&mut stream, &done_frame(count)),
-        None => Ok(()), // injected mid-stream death: vanish without `done`
+    match &request.plan {
+        Some(plan) => serve_plan_shard(stream, plan, request.shard, runtime, injector),
+        None => serve_paper_shard(stream, &specs, request.shard, runtime, injector),
     }
+    .and_then(|emitted| match emitted {
+        Some(count) => write_frame(stream, &done_frame(count)).map(|()| Some(count)),
+        None => Ok(None), // injected mid-stream death: vanish without `done`
+    })
 }
 
 /// The legacy paper-grid episode loop: one runtime for the whole shard.
-/// Returns `Ok(None)` when `fail_after` injected a mid-stream death.
+/// Returns `Ok(None)` when the fault injector killed the connection.
 fn serve_paper_shard(
     stream: &mut TcpStream,
     specs: &[ScenarioSpec],
     shard: Shard,
     runtime: &RuntimeLoop,
-    fail_after: Option<usize>,
+    injector: &mut FaultInjector<'_>,
 ) -> Result<Option<usize>, TransportError> {
     let mut scratch = EpisodeScratch::new();
     let mut emitted = 0usize;
     for i in shard.indices() {
-        if fail_after == Some(emitted) {
+        if injector.before_report() == FaultAction::Drop {
             return Ok(None);
         }
         let spec = specs[i];
         let world = spec.world();
         let report = runtime.run_with(WorldSource::Static(&world), spec.seed, &mut scratch);
-        write_frame(stream, shard::report_line(i, &report).as_bytes())?;
+        let line = injector.garble(shard::report_line(i, &report).into_bytes());
+        write_frame(stream, &line)?;
+        injector.after_report();
         emitted += 1;
     }
-    if fail_after == Some(emitted) {
+    if injector.before_report() == FaultAction::Drop {
         return Ok(None);
     }
     Ok(Some(emitted))
@@ -1092,21 +1720,21 @@ fn serve_paper_shard(
 /// The plan-job episode loop: a runtime is rebuilt at each cell boundary
 /// the shard crosses (same serial scratch loop as [`SweepPlan::run_range`]),
 /// on **this daemon's** kernel backend — backends are bit-identical, so a
-/// mixed fleet still merges correctly. Returns `Ok(None)` when
-/// `fail_after` injected a mid-stream death.
+/// mixed fleet still merges correctly. Returns `Ok(None)` when the fault
+/// injector killed the connection.
 fn serve_plan_shard(
     stream: &mut TcpStream,
     plan: &SweepPlan,
     shard: Shard,
     runtime: &RuntimeLoop,
-    fail_after: Option<usize>,
+    injector: &mut FaultInjector<'_>,
 ) -> Result<Option<usize>, TransportError> {
     let points = plan.expand();
     let mut scratch = EpisodeScratch::new();
     let mut cell: Option<(CellConfig, RuntimeLoop)> = None;
     let mut emitted = 0usize;
     for i in shard.indices() {
-        if fail_after == Some(emitted) {
+        if injector.before_report() == FaultAction::Drop {
             return Ok(None);
         }
         let point = &points[i];
@@ -1124,10 +1752,12 @@ fn serve_plan_shard(
         let world = point.spec.world();
         let report =
             cell_runtime.run_with(WorldSource::Static(&world), point.spec.seed, &mut scratch);
-        write_frame(stream, shard::report_line(i, &report).as_bytes())?;
+        let line = injector.garble(shard::report_line(i, &report).into_bytes());
+        write_frame(stream, &line)?;
+        injector.after_report();
         emitted += 1;
     }
-    if fail_after == Some(emitted) {
+    if injector.before_report() == FaultAction::Drop {
         return Ok(None);
     }
     Ok(Some(emitted))

@@ -1,0 +1,447 @@
+//! Chaos-layer integration tests: the long-lived `seo-sweepd` daemon
+//! ([`seo_core::daemon::DaemonServer`]) under deterministic fault
+//! injection ([`seo_core::fault::FaultPlan`]), driven by the retrying,
+//! quarantining coordinator.
+//!
+//! The invariant every test here enforces: under every *survivable* fault
+//! the merged output is bit-identical to the serial run. The faults are
+//! pure functions of the fault plan and a per-daemon connection counter,
+//! so each scenario replays exactly.
+//!
+//! These daemons are in-process; every drain goes through a per-instance
+//! flag or a `shutdown` frame, never [`seo_core::daemon::request_drain`]
+//! (which is process-global and would drain the other tests' daemons).
+
+use seo_core::batch::{BatchRunner, ScenarioSpec};
+use seo_core::prelude::*;
+use seo_core::shard::report_line;
+use seo_core::transport::{
+    health_request_frame, parse_worker_frame, read_frame, shutdown_request_frame, write_frame,
+    JobRequest, WorkerMsg,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+const SCENARIOS: usize = 6;
+const SEED: u64 = 2023;
+
+fn paper_runtime() -> RuntimeLoop {
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper models");
+    RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("valid runtime")
+}
+
+fn serial_reports() -> Vec<EpisodeReport> {
+    BatchRunner::new(paper_runtime()).run_serial(&ScenarioSpec::paper_grid(SCENARIOS, SEED))
+}
+
+/// An in-process daemon plus the channel its `serve` result arrives on
+/// (so drain tests can assert the loop actually returned, and cleanly).
+struct Daemon {
+    server: Arc<DaemonServer>,
+    addr: SocketAddr,
+    served: mpsc::Receiver<Result<(), TransportError>>,
+}
+
+fn spawn_daemon_at(addr: &str, config: DaemonConfig) -> Daemon {
+    let server = Arc::new(DaemonServer::bind(addr, config).expect("bind daemon"));
+    let addr = server.local_addr().expect("local addr");
+    let runtime = Arc::new(paper_runtime());
+    let (tx, served) = mpsc::channel();
+    let handle = Arc::clone(&server);
+    std::thread::spawn(move || {
+        let _ = tx.send(handle.serve(runtime));
+    });
+    Daemon {
+        server,
+        addr,
+        served,
+    }
+}
+
+fn spawn_daemon(config: DaemonConfig) -> Daemon {
+    spawn_daemon_at("127.0.0.1:0", config)
+}
+
+fn faulty(spec: &str) -> DaemonConfig {
+    DaemonConfig {
+        faults: Some(spec.parse().expect("fault grammar")),
+        ..DaemonConfig::default()
+    }
+}
+
+fn pool_of(hosts: &[(SocketAddr, u64)], retry: RetryPolicy) -> HostPool {
+    HostPool::new(
+        hosts
+            .iter()
+            .map(|&(addr, capacity)| HostSpec {
+                addr: addr.to_string(),
+                capacity,
+            })
+            .collect(),
+    )
+    .expect("valid pool")
+    .with_retry(retry)
+}
+
+fn episodes_on(stats: &RemoteRunStats, addr: SocketAddr) -> usize {
+    let addr = addr.to_string();
+    stats
+        .episodes_by_host
+        .iter()
+        .find(|(host, _)| *host == addr)
+        .map(|&(_, count)| count)
+        .unwrap_or_else(|| panic!("{addr} missing from episodes_by_host"))
+}
+
+/// A raw wire client: connect with sane timeouts, no coordinator logic.
+fn open(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .expect("socket timeouts");
+    stream
+}
+
+fn job_frame(start: usize, end: usize) -> Vec<u8> {
+    JobRequest {
+        scenarios: SCENARIOS,
+        seed: SEED,
+        plan: None,
+        shard: Shard::new(start, end),
+    }
+    .to_frame()
+}
+
+fn next_msg(stream: &mut TcpStream) -> WorkerMsg {
+    let payload = read_frame(stream).expect("read frame").expect("peer alive");
+    parse_worker_frame(&payload).expect("worker frame")
+}
+
+/// The headline service contract: one daemon serves several consecutive
+/// coordinator jobs (surviving a client that disconnects mid-job in
+/// between), answers `health` with cumulative counters, and drains to a
+/// clean `serve` return on a `shutdown` frame.
+#[test]
+fn daemon_serves_consecutive_jobs_answers_health_and_drains() {
+    let serial = serial_reports();
+    let daemon = spawn_daemon(DaemonConfig::default());
+    let coordinator = RemoteCoordinator::new(pool_of(&[(daemon.addr, 1)], RetryPolicy::default()));
+    for run in 0..3 {
+        let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("daemon serves");
+        assert_eq!(merged, serial, "run {run} must be bit-identical");
+        assert!(stats.hosts_lost.is_empty(), "run {run} lost a host");
+        assert_eq!(stats.waves, 1, "run {run} needed a re-shard");
+    }
+    // A client that vanishes mid-job costs the daemon one connection
+    // thread's cleanup, never the process.
+    {
+        let mut quitter = open(daemon.addr);
+        write_frame(&mut quitter, &job_frame(0, SCENARIOS)).expect("send job");
+        match next_msg(&mut quitter) {
+            WorkerMsg::Report { index, .. } => assert_eq!(index, 0),
+            other => panic!("expected the first report, got {other:?}"),
+        }
+        // Dropping the stream here aborts the job server-side.
+    }
+    let (merged, _) = coordinator
+        .run(SCENARIOS, SEED)
+        .expect("still serving after the disconnect");
+    assert_eq!(merged, serial);
+    // Health: liveness plus cumulative stats over everything above.
+    let mut probe = open(daemon.addr);
+    write_frame(&mut probe, &health_request_frame()).expect("send health");
+    let payload = read_frame(&mut probe).expect("read frame").expect("reply");
+    let health = HealthReport::from_frame(&payload).expect("health report");
+    assert!(health.accepting, "not draining yet: {health:?}");
+    // The fourth job's counter bump races the coordinator's return (the
+    // daemon records it just after writing `done`), so health is only
+    // guaranteed to have seen the first three runs; the fourth is checked
+    // after the drain below.
+    assert!(
+        health.jobs_served >= 3,
+        "three full jobs completed: {health:?}"
+    );
+    assert!(
+        health.episodes_emitted >= 3 * SCENARIOS as u64,
+        "each full job emitted {SCENARIOS} episodes: {health:?}"
+    );
+    // Shutdown: acked first (with the in-flight count), then drained.
+    let mut shutdown = open(daemon.addr);
+    write_frame(&mut shutdown, &shutdown_request_frame()).expect("send shutdown");
+    let ack = read_frame(&mut shutdown).expect("read frame").expect("ack");
+    let ack = String::from_utf8(ack).expect("ack is JSON text");
+    assert!(ack.contains("shutdown"), "unexpected ack: {ack}");
+    assert!(ack.contains("jobs_active"), "unexpected ack: {ack}");
+    let drained = daemon
+        .served
+        .recv_timeout(Duration::from_secs(10))
+        .expect("serve must return after the drain");
+    drained.expect("a drain is a clean exit");
+    assert_eq!(daemon.server.stats().jobs_active(), 0);
+    // All four full jobs are on the books by now (short poll: the served
+    // counter is bumped just after the active counter serve() waits on).
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while daemon.server.stats().jobs_served() < 4 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        daemon.server.stats().jobs_served() >= 4,
+        "all four full jobs must be recorded after the drain"
+    );
+}
+
+/// A host that is dead on arrival but comes up within the retry budget is
+/// never lost: the coordinator's backoff absorbs the outage and the host
+/// finishes its own range, so no re-shard wave happens at all.
+#[test]
+fn dead_on_arrival_daemon_recovering_within_budget_finishes_its_own_range() {
+    let serial = serial_reports();
+    // Reserve a loopback port, then release it so the first connection
+    // attempts are refused — a daemon that has not started yet.
+    let late_addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let healthy = spawn_daemon(DaemonConfig::default());
+    // Bring the late daemon up ~300 ms in. With 6 attempts at 50 ms base
+    // the coordinator knocks at ~0/50/150/350/750/1550 ms, so recovery
+    // lands well inside the budget even on a slow machine.
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        spawn_daemon_at(&late_addr.to_string(), DaemonConfig::default());
+    });
+    let retry = RetryPolicy {
+        attempts: 6,
+        base_delay_ms: 50,
+    };
+    let coordinator = RemoteCoordinator::new(pool_of(&[(late_addr, 1), (healthy.addr, 1)], retry))
+        .with_timeout(Duration::from_secs(5));
+    let (merged, stats) = coordinator
+        .run(SCENARIOS, SEED)
+        .expect("recovers in budget");
+    assert_eq!(merged, serial);
+    assert!(
+        stats.hosts_lost.is_empty(),
+        "recovery within the budget is not a loss: {:?}",
+        stats.hosts_lost
+    );
+    assert_eq!(stats.waves, 1, "no re-shard wave when the host recovers");
+    assert!(stats.retries >= 1, "the dead window must cost retries");
+    assert_eq!(stats.quarantines, 0);
+    // The late host finished its own 3-spec half of the 6-spec grid.
+    assert_eq!(episodes_on(&stats, late_addr), SCENARIOS / 2);
+}
+
+/// A host that exhausts its retry budget in a wave that still made
+/// progress is quarantined, not killed: a clean `health` probe between
+/// waves re-admits it, and it serves re-sharded work in the next wave.
+#[test]
+fn quarantined_daemon_is_probed_and_readmitted() {
+    let serial = serial_reports();
+    // Refuse the first two connections (the job and its one retry), then
+    // behave: the probe and the wave-2 job go through.
+    let flaky = spawn_daemon(faulty("refuse=2"));
+    let healthy = spawn_daemon(DaemonConfig::default());
+    let retry = RetryPolicy {
+        attempts: 2,
+        base_delay_ms: 50,
+    };
+    let coordinator = RemoteCoordinator::new(pool_of(&[(flaky.addr, 1), (healthy.addr, 1)], retry));
+    let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("readmission run");
+    assert_eq!(merged, serial);
+    assert!(stats.retries >= 1, "the refusals must burn retries");
+    assert!(stats.quarantines >= 1, "budget exhaustion quarantines");
+    assert!(stats.readmissions >= 1, "the probe must re-admit the host");
+    assert!(stats.waves >= 2, "the remnant needs a re-dispatch wave");
+    assert_eq!(stats.hosts_lost.len(), 1);
+    assert_eq!(stats.hosts_lost[0].addr, flaky.addr.to_string());
+    assert_eq!(stats.hosts_lost[0].class, FaultClass::Transient);
+    assert!(
+        episodes_on(&stats, flaky.addr) > 0,
+        "a re-admitted host must serve wave-2 work: {:?}",
+        stats.episodes_by_host
+    );
+}
+
+/// Drain semantics under load: a daemon with one slot and one stalled job
+/// answers extra jobs with structured `busy` backpressure, acks a
+/// `shutdown` while the job is still in flight, refuses new work during
+/// the drain (cap 0), finishes the old job cleanly, and then returns from
+/// `serve`.
+#[test]
+fn draining_daemon_refuses_new_jobs_while_finishing_the_old_one() {
+    // The injected stall keeps job 1 in flight long enough to make the
+    // admission-control race deterministic.
+    let daemon = spawn_daemon(DaemonConfig {
+        jobs: 1,
+        ..faulty("stall-ms=800")
+    });
+    let mut stalled = open(daemon.addr);
+    write_frame(&mut stalled, &job_frame(0, 1)).expect("send job 1");
+    std::thread::sleep(Duration::from_millis(150));
+    // Job 2 bounces off the cap.
+    let mut rejected = open(daemon.addr);
+    write_frame(&mut rejected, &job_frame(1, 2)).expect("send job 2");
+    match next_msg(&mut rejected) {
+        WorkerMsg::Busy { active, cap } => {
+            assert_eq!(active, 1);
+            assert_eq!(cap, 1);
+        }
+        other => panic!("expected busy at the cap, got {other:?}"),
+    }
+    // Shutdown is acked immediately, naming the in-flight job.
+    let mut shutdown = open(daemon.addr);
+    write_frame(&mut shutdown, &shutdown_request_frame()).expect("send shutdown");
+    let ack = read_frame(&mut shutdown).expect("read frame").expect("ack");
+    let ack = String::from_utf8(ack).expect("ack is JSON text");
+    assert!(ack.contains("jobs_active"), "unexpected ack: {ack}");
+    // New work during the drain is refused with an advertised cap of 0...
+    let mut late = open(daemon.addr);
+    write_frame(&mut late, &job_frame(2, 3)).expect("send job 3");
+    match next_msg(&mut late) {
+        WorkerMsg::Busy { cap, .. } => {
+            assert_eq!(cap, 0, "draining daemons advertise cap 0");
+        }
+        other => panic!("expected busy during drain, got {other:?}"),
+    }
+    // ...while the in-flight job still finishes cleanly.
+    match next_msg(&mut stalled) {
+        WorkerMsg::Report { index, .. } => assert_eq!(index, 0),
+        other => panic!("expected the stalled report, got {other:?}"),
+    }
+    match next_msg(&mut stalled) {
+        WorkerMsg::Done { count } => assert_eq!(count, 1),
+        other => panic!("expected done, got {other:?}"),
+    }
+    let drained = daemon
+        .served
+        .recv_timeout(Duration::from_secs(10))
+        .expect("serve must return once the last job finishes");
+    drained.expect("a drain is a clean exit");
+    assert_eq!(daemon.server.stats().jobs_served(), 1);
+}
+
+/// A garbled report frame is a protocol violation, not a flaky
+/// connection: the host dies immediately — no retry, no quarantine, no
+/// probe — and its range re-shards to the survivor.
+#[test]
+fn garbled_report_is_fatal_and_never_retried() {
+    let serial = serial_reports();
+    // Garble the second report of every job; the seed keys the keystream.
+    let corrupt = spawn_daemon(faulty("garble=1,seed=7"));
+    let healthy = spawn_daemon(DaemonConfig::default());
+    let coordinator = RemoteCoordinator::new(pool_of(
+        &[(corrupt.addr, 2), (healthy.addr, 1)],
+        RetryPolicy::default(),
+    ));
+    let (merged, stats) = coordinator
+        .run(SCENARIOS, SEED)
+        .expect("survives the garble");
+    assert_eq!(merged, serial);
+    assert_eq!(stats.hosts_lost.len(), 1);
+    assert_eq!(stats.hosts_lost[0].addr, corrupt.addr.to_string());
+    assert_eq!(stats.hosts_lost[0].class, FaultClass::Fatal);
+    assert_eq!(stats.retries, 0, "fatal faults must never be retried");
+    assert_eq!(stats.quarantines, 0, "fatal faults skip quarantine");
+    assert_eq!(stats.readmissions, 0, "dead hosts are never probed");
+    assert!(stats.waves >= 2, "the stranded range needs a re-shard wave");
+}
+
+/// Wire compatibility: the daemon serves a hand-assembled v1 (legacy
+/// paper-grid) job frame and a v2 (plan-bearing) frame, answering each
+/// with report payloads byte-for-byte identical to the serial wire lines.
+#[test]
+fn daemon_speaks_legacy_v1_and_plan_v2_frames() {
+    let daemon = spawn_daemon(DaemonConfig::default());
+    // v1: the exact bytes a pre-daemon coordinator sends.
+    let serial = serial_reports();
+    let mut stream = open(daemon.addr);
+    let v1 = format!(
+        r#"{{"v":1,"type":"job","scenarios":{SCENARIOS},"seed":{SEED},"start":0,"end":2}}"#
+    );
+    write_frame(&mut stream, v1.as_bytes()).expect("send v1 job");
+    for (i, expected) in serial.iter().take(2).enumerate() {
+        let payload = read_frame(&mut stream)
+            .expect("read frame")
+            .expect("report");
+        assert_eq!(
+            String::from_utf8(payload).expect("report is text"),
+            report_line(i, expected),
+            "v1 report {i} must be byte-for-byte the serial wire line"
+        );
+    }
+    match next_msg(&mut stream) {
+        WorkerMsg::Done { count } => assert_eq!(count, 2),
+        other => panic!("expected done, got {other:?}"),
+    }
+    // v2: a plan-bearing job through the same daemon, same contract.
+    let plan = SweepPlan::paper(3, SEED)
+        .with_optimizers(vec![OptimizerKind::Offloading, OptimizerKind::ModelGating]);
+    let plan_serial = plan.run_serial().expect("plan serial runs");
+    let request = JobRequest {
+        scenarios: plan.n_specs(),
+        seed: SEED,
+        plan: Some(plan.clone()),
+        shard: Shard::new(0, plan_serial.len()),
+    };
+    let mut stream = open(daemon.addr);
+    write_frame(&mut stream, &request.to_frame()).expect("send v2 job");
+    for (i, expected) in plan_serial.iter().enumerate() {
+        let payload = read_frame(&mut stream)
+            .expect("read frame")
+            .expect("report");
+        assert_eq!(
+            String::from_utf8(payload).expect("report is text"),
+            report_line(i, expected),
+            "v2 report {i} must be byte-for-byte the plan-serial wire line"
+        );
+    }
+    match next_msg(&mut stream) {
+        WorkerMsg::Done { count } => assert_eq!(count, plan_serial.len()),
+        other => panic!("expected done, got {other:?}"),
+    }
+}
+
+/// The retry policy rides the plan file: `exec.mode.hosts.retry` parses,
+/// round-trips, and is validated with a named field path both at parse
+/// time and for hand-built plans.
+#[test]
+fn plan_exec_hosts_retry_parses_validates_and_round_trips() {
+    let text = r#"{"v":1,"exec":{"mode":{"hosts":{"v":1,
+        "hosts":[{"addr":"10.0.0.1:7641","capacity":2}],
+        "retry":{"attempts":4,"base_delay_ms":250}}}}}"#;
+    let plan = SweepPlan::parse(text).expect("plan with retry");
+    let ExecMode::Hosts(pool) = &plan.mode else {
+        panic!("expected hosts mode, got {:?}", plan.mode);
+    };
+    assert_eq!(pool.retry().attempts, 4);
+    assert_eq!(pool.retry().base_delay_ms, 250);
+    let reparsed = SweepPlan::parse(&plan.to_json().render()).expect("round-trips");
+    assert_eq!(reparsed, plan);
+    // An invalid retry is a parse problem naming the field.
+    let err = SweepPlan::parse(
+        r#"{"v":1,"exec":{"mode":{"hosts":{"v":1,
+            "hosts":[{"addr":"a:1","capacity":1}],
+            "retry":{"attempts":0}}}}}"#,
+    )
+    .expect_err("zero attempts");
+    assert!(err.to_string().contains("exec.mode.hosts"), "{err}");
+    // A hand-built plan is held to the same standard by validate().
+    let pool = HostPool::new(vec![HostSpec {
+        addr: "a:1".to_owned(),
+        capacity: 1,
+    }])
+    .expect("valid pool")
+    .with_retry(RetryPolicy {
+        attempts: 0,
+        base_delay_ms: 1,
+    });
+    let err = SweepPlan::paper(3, SEED)
+        .with_mode(ExecMode::Hosts(pool))
+        .validate()
+        .expect_err("invalid hand-built retry");
+    assert!(err.to_string().contains("exec.hosts.retry"), "{err}");
+}

@@ -95,8 +95,32 @@ fn host_pool_json_round_trips_and_validates() {
     let reparsed = HostPool::parse(&pool.to_json().render()).expect("round-trips");
     assert_eq!(reparsed, pool);
 
+    // A default retry policy is implied and omitted from the JSON form, so
+    // pre-retry pool files round-trip byte-stable.
+    assert_eq!(*pool.retry(), RetryPolicy::default());
+    assert!(!pool.to_json().render().contains("retry"));
+
+    // An explicit retry policy parses, validates, and round-trips.
+    let with_retry = r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],
+        "retry":{"attempts":5,"base_delay_ms":40}}"#;
+    let pool = HostPool::parse(with_retry).expect("valid retry");
+    assert_eq!(pool.retry().attempts, 5);
+    assert_eq!(pool.retry().base_delay_ms, 40);
+    assert_eq!(
+        HostPool::parse(&pool.to_json().render()).expect("round-trips"),
+        pool
+    );
+    // Backoff is deterministic exponential doubling, capped.
+    assert_eq!(pool.retry().backoff(0), Duration::from_millis(40));
+    assert_eq!(pool.retry().backoff(2), Duration::from_millis(160));
+    assert!(pool.retry().backoff(40) <= RetryPolicy::MAX_BACKOFF);
+
     // Validation happens at parse time, not connect time.
     for bad in [
+        // retry misconfigurations
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"retry":{"attempts":0}}"#,
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"retry":{"bogus":1}}"#,
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"retry":7}"#,
         r#"{"hosts":[{"addr":"a:1","capacity":1}]}"#, // missing version
         r#"{"v":9,"hosts":[{"addr":"a:1","capacity":1}]}"#, // foreign version
         r#"{"v":1,"hosts":[]}"#,                      // empty pool
@@ -404,17 +428,22 @@ fn plan_dispatch_is_bit_identical_to_plan_serial() {
 }
 
 /// Re-sharding works for plan jobs exactly as for legacy jobs: a host
-/// injected to die mid-stream loses its tail to the survivor and the merge
-/// still reproduces the plan's serial output.
+/// injected to die mid-stream burns its whole retry budget one report at a
+/// time, loses its tail to the survivor, and the merge still reproduces
+/// the plan's serial output. (The dying host gets the bigger capacity so
+/// its shard outlasts the retry budget — a shard small enough to finish
+/// within the budget would simply complete, which is the retry layer's
+/// whole point.)
 #[test]
 fn plan_dispatch_survives_a_mid_stream_kill() {
     let plan = SweepPlan::paper(SCENARIOS, SEED);
     let serial = plan.run_serial().expect("plan serial runs");
     let dying = spawn_worker(Some(1));
     let healthy = spawn_worker(None);
-    let coordinator = RemoteCoordinator::new(pool_of(&[(dying, 1), (healthy, 1)]));
+    let coordinator = RemoteCoordinator::new(pool_of(&[(dying, 2), (healthy, 1)]));
     let (merged, stats) = coordinator.run_plan(&plan).expect("survives the kill");
     assert_eq!(merged, serial);
     assert_eq!(stats.hosts_lost.len(), 1);
+    assert!(stats.retries > 0, "mid-stream EOFs are transient: retried");
     assert!(stats.waves >= 2, "the kill forces a re-shard wave");
 }
