@@ -512,6 +512,17 @@ fn check_mode(cli: &Cli) {
         "  exec: {}, kernel '{}', timeout {} s, verify {}",
         plan.mode, plan.kernel, plan.timeout_secs, plan.verify
     );
+    // Hosts mode: resolve the lease schedule so plan authors can
+    // sanity-check chunking before committing to a run.
+    if let ExecMode::Hosts(pool) = &plan.mode {
+        let n_specs = plan.n_specs();
+        let n_hosts = pool.hosts().len();
+        let chunk = pool.chunk().resolve(n_specs, n_hosts);
+        println!(
+            "  schedule: chunk {chunk} -> {} lease(s) over {n_hosts} host(s)",
+            n_specs.div_ceil(chunk)
+        );
+    }
 }
 
 /// Runs the effective plan per its execution mode, streaming merged wire
@@ -591,7 +602,7 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             let n_hosts = pool.hosts().len();
             for loss in &stats.hosts_lost {
                 eprintln!(
-                    "sweep: host {} lost to a {} fault ({}); {} spec(s) re-sharded to survivors",
+                    "sweep: host {} lost to a {} fault ({}); {} spec(s) re-queued for re-issue",
                     loss.addr, loss.class, loss.message, loss.reassigned
                 );
             }
@@ -604,9 +615,15 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
                 eprintln!("sweep: could not record remote stats in BENCH_sweep.json: {e}");
             }
             format!(
-                "over {n_hosts} host(s) ({} job(s), {} wave(s), {} retry(ies), \
-                 {} quarantine(s), {} readmission(s))",
-                stats.jobs, stats.waves, stats.retries, stats.quarantines, stats.readmissions
+                "over {n_hosts} host(s) (chunk {}, {} lease(s), {} re-issue(s), \
+                 {} steal(s), {} retry(ies), {} quarantine(s), {} readmission(s))",
+                stats.chunk,
+                stats.leases,
+                stats.reissues,
+                stats.steals,
+                stats.retries,
+                stats.quarantines,
+                stats.readmissions
             )
         }
     };

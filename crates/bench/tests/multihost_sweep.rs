@@ -216,7 +216,7 @@ fn one_sweepd_serves_consecutive_sweeps_and_drains_on_shutdown() {
 
 /// A daemon that refuses its first connection but recovers is absorbed by
 /// the coordinator's retry budget (carried in the hosts file): no loss, no
-/// re-shard, and the retry shows up in the structured stats summary.
+/// lease re-issue, and the retry shows up in the structured stats summary.
 #[test]
 fn refuse_then_recover_daemon_is_absorbed_by_the_retry_budget() {
     let flaky = Daemon::spawn(&["--fault", "refuse=1"]);
@@ -254,7 +254,7 @@ fn refuse_then_recover_daemon_is_absorbed_by_the_retry_budget() {
 }
 
 #[test]
-fn killed_daemon_mid_stream_is_resharded_and_output_stays_identical() {
+fn killed_daemon_mid_stream_is_reissued_and_output_stays_identical() {
     let healthy = Daemon::spawn(&[]);
     // This daemon drops every connection after 1 report, without a done
     // frame — a real process dying mid-stream from the coordinator's view.
@@ -263,14 +263,61 @@ fn killed_daemon_mid_stream_is_resharded_and_output_stays_identical() {
     let (stdout, stderr) = run_sweep_hosts(&hosts);
     let _ = std::fs::remove_file(&hosts);
     assert!(
-        stderr.contains("lost") && stderr.contains("re-sharded"),
+        stderr.contains("lost") && stderr.contains("re-queued"),
         "host loss must be reported on stderr: {stderr}"
     );
     assert!(
         stderr.contains("bit-identical"),
-        "verify must still pass after the re-shard: {stderr}"
+        "verify must still pass after the re-issue: {stderr}"
     );
     assert_stdout_matches_serial(&stdout);
+}
+
+/// A chunked hosts file end to end with real processes: `"chunk":3` carves
+/// the 6-spec grid into two leases; the doomed daemon burns its 2-attempt
+/// retry budget one report at a time and strands one spec, which the
+/// healthy daemon steals off the queue. The stats summary on stderr must
+/// carry the resolved chunk and the re-issue/steal tallies, and the merge
+/// must stay bit-identical. (The 400 ms retry delay doubles as the
+/// readmission backoff, so the healthy host always wins the remnant.)
+#[test]
+fn chunked_hosts_file_reissues_and_steals_a_stranded_lease() {
+    let doomed = Daemon::spawn(&["--fail-after", "1"]);
+    let healthy = Daemon::spawn(&[]);
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let hosts = std::env::temp_dir().join(format!(
+        "seo-hosts-chunk-{}-{}.json",
+        std::process::id(),
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::write(
+        &hosts,
+        format!(
+            r#"{{"v":1,"hosts":[{{"addr":"{}","capacity":1}},{{"addr":"{}","capacity":1}}],
+               "retry":{{"attempts":2,"base_delay_ms":400}},"chunk":3}}"#,
+            doomed.addr, healthy.addr
+        ),
+    )
+    .expect("hosts file written");
+    let (stdout, stderr) = run_sweep_hosts(&hosts);
+    let _ = std::fs::remove_file(&hosts);
+    assert_stdout_matches_serial(&stdout);
+    assert!(
+        stderr.contains(r#""chunk":3"#),
+        "the resolved chunk must be in the stats summary: {stderr}"
+    );
+    assert!(
+        stderr.contains(r#""reissues":1"#),
+        "the stranded lease must be counted as a re-issue: {stderr}"
+    );
+    assert!(
+        stderr.contains(r#""steals":1"#),
+        "the healthy host must steal the remnant: {stderr}"
+    );
+    assert!(
+        stderr.contains("re-queued"),
+        "the loss line must describe the re-queue: {stderr}"
+    );
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Deterministic fault injection for the multi-host transport.
 //!
-//! The fleet's recovery paths — retry with backoff, quarantine,
-//! re-sharding — are only trustworthy if they are *exercised*, and only
+//! The fleet's recovery paths — retry with backoff, quarantine, lease
+//! re-issue — are only trustworthy if they are *exercised*, and only
 //! debuggable if every exercised failure is **reproducible**. This module
 //! generalizes the old `--fail-after K` knob into a [`FaultPlan`]: a small,
 //! parseable description of which faults a daemon injects and when, as a

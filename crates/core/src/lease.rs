@@ -1,0 +1,269 @@
+//! Pull-based lease scheduling for multi-host sweeps: the chunk policy and
+//! the blocking lease queue behind [`crate::transport::RemoteCoordinator`].
+//!
+//! A **lease** is a small contiguous spec range `[start, end)` of the sweep
+//! grid, granted to one host for one connection. Instead of assigning each
+//! host a capacity-weighted slice of the whole grid up front, the
+//! coordinator carves the grid into chunk-sized leases and lets hosts *pull*
+//! the next lease whenever they are idle — so a fast host simply takes more
+//! leases, and a straggler's slowness costs at most one chunk of tail
+//! latency. When a host dies, times out, or is quarantined mid-lease, the
+//! unreported remainder of its lease is returned to the queue and re-issued
+//! to whichever host asks next (a *steal* when that is a different host).
+//!
+//! Determinism is untouched by any of this: every episode is a pure
+//! function of its spec, and the streaming merge reorders reports by spec
+//! index, so the merged output is bit-identical to the serial loop for
+//! *every* chunk size — one spec per lease, the whole grid in one lease,
+//! and everything in between. That associative-merge argument is what makes
+//! arbitrary work splitting safe; `docs/scheduling.md` is the full book.
+//!
+//! # Example
+//!
+//! No network required — the queue is plain shared state:
+//!
+//! ```
+//! use seo_core::lease::{ChunkPolicy, LeaseQueue};
+//! use seo_core::shard::Shard;
+//!
+//! // Auto chunking targets ~4 leases per host: 24 specs over 2 hosts → 3.
+//! assert_eq!(ChunkPolicy::Auto.resolve(24, 2), 3);
+//!
+//! // 6 specs in chunks of 4 carve into leases [0,4) and [4,6).
+//! let queue = LeaseQueue::new(Shard::new(0, 6), 4);
+//! assert_eq!(queue.initial_leases(), 2);
+//!
+//! // Host 0 pulls the first lease, dies after 2 of its 4 specs, and the
+//! // tail goes back to the front of the queue for re-issue.
+//! let lease = queue.pop().expect("work available");
+//! assert_eq!((lease.shard.start, lease.shard.end), (0, 4));
+//! queue.requeue(Shard::new(2, 4), 0);
+//!
+//! // Host 1 steals the tail (`reissued_from` names the loser), then pulls
+//! // the remaining lease; after both complete the queue is finished and
+//! // `pop` returns `None` instead of blocking.
+//! let stolen = queue.pop().expect("re-issued lease");
+//! assert_eq!(stolen.reissued_from, Some(0));
+//! queue.complete();
+//! let last = queue.pop().expect("final lease");
+//! assert_eq!((last.shard.start, last.shard.end), (4, 6));
+//! queue.complete();
+//! assert!(queue.is_finished());
+//! assert!(queue.pop().is_none());
+//! ```
+
+use crate::json::Json;
+use crate::shard::Shard;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How a sweep grid is carved into leases: the `exec.hosts.chunk` plan
+/// field (`"chunk": N` or `"chunk": "auto"` in a hosts pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkPolicy {
+    /// `specs / (4 × hosts)`, clamped to at least 1 spec — roughly four
+    /// leases per host, enough pull granularity to absorb stragglers
+    /// without drowning small grids in per-connection overhead.
+    #[default]
+    Auto,
+    /// Exactly this many specs per lease (the last lease takes the
+    /// remainder). Must be ≥ 1.
+    Fixed(usize),
+}
+
+impl ChunkPolicy {
+    /// The concrete chunk size for a grid of `n_specs` over `n_hosts`.
+    /// Always ≥ 1, so a lease is never empty.
+    #[must_use]
+    pub fn resolve(&self, n_specs: usize, n_hosts: usize) -> usize {
+        match *self {
+            Self::Auto => (n_specs / (4 * n_hosts.max(1))).max(1),
+            Self::Fixed(chunk) => chunk.max(1),
+        }
+    }
+
+    /// Validates the policy; the message is bare for the caller to prefix
+    /// with its own field path (`exec.hosts.chunk`).
+    ///
+    /// # Errors
+    ///
+    /// A plain message when a fixed chunk is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Self::Fixed(0) => Err("chunk must be at least 1 spec per lease".to_owned()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Decodes the `"chunk"` value of a hosts pool: a positive integer or
+    /// the string `"auto"`.
+    ///
+    /// # Errors
+    ///
+    /// A plain message naming the expected forms.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        if json.as_str() == Some("auto") {
+            return Ok(Self::Auto);
+        }
+        let policy = json
+            .as_i64()
+            .filter(|&v| v > 0)
+            .and_then(|v| usize::try_from(v).ok())
+            .map(Self::Fixed)
+            .ok_or_else(|| "expected a positive integer or \"auto\"".to_owned())?;
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Renders the policy to its JSON value form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match *self {
+            Self::Auto => "auto".into(),
+            Self::Fixed(chunk) => chunk.into(),
+        }
+    }
+}
+
+/// One grant of contiguous work, as handed out by [`LeaseQueue::pop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The spec range to run.
+    pub shard: Shard,
+    /// `Some(host_index)` when this lease is the re-queued remainder of a
+    /// lease that host failed; `None` for first-issue leases. A host
+    /// completing a lease re-issued from a *different* host counts as a
+    /// steal.
+    pub reissued_from: Option<usize>,
+}
+
+/// Interior state guarded by the queue's mutex.
+struct QueueState {
+    pending: VecDeque<Lease>,
+    /// Leases popped but neither completed nor re-queued yet. While this
+    /// is non-zero an idle host must block in [`LeaseQueue::pop`] rather
+    /// than give up: the holder may die and re-queue stealable work.
+    outstanding: usize,
+}
+
+/// The coordinator's shared work queue: grid leases out, completions and
+/// re-queued remainders back in. All methods are safe to call from any
+/// host thread concurrently.
+///
+/// Every lease popped must be balanced by exactly one [`LeaseQueue::complete`]
+/// or [`LeaseQueue::requeue`] before the holding thread exits — that
+/// invariant is what lets a blocked `pop` distinguish "the grid is done"
+/// from "someone still holds work I might inherit".
+pub struct LeaseQueue {
+    inner: Mutex<QueueState>,
+    available: Condvar,
+    initial: usize,
+}
+
+impl LeaseQueue {
+    /// How long a blocked `pop` sleeps between re-checks, bounding the
+    /// cost of a missed wakeup without busy-waiting.
+    const POP_POLL: Duration = Duration::from_millis(50);
+
+    /// Carves `range` into leases of `chunk` specs each (the last lease
+    /// takes the remainder; `chunk` is clamped to ≥ 1). An empty range
+    /// yields a queue that is already finished.
+    #[must_use]
+    pub fn new(range: Shard, chunk: usize) -> Self {
+        let chunk = chunk.max(1);
+        let mut pending = VecDeque::new();
+        let mut start = range.start;
+        while start < range.end {
+            let end = range.end.min(start + chunk);
+            pending.push_back(Lease {
+                shard: Shard::new(start, end),
+                reissued_from: None,
+            });
+            start = end;
+        }
+        let initial = pending.len();
+        Self {
+            inner: Mutex::new(QueueState {
+                pending,
+                outstanding: 0,
+            }),
+            available: Condvar::new(),
+            initial,
+        }
+    }
+
+    /// How many leases the grid was carved into at construction (re-issues
+    /// not included) — the `leases` figure in the run stats.
+    #[must_use]
+    pub fn initial_leases(&self) -> usize {
+        self.initial
+    }
+
+    /// Pulls the next lease. Blocks while the queue is empty but another
+    /// host still holds an outstanding lease (its remainder may yet be
+    /// re-queued for stealing); returns `None` only when the queue is
+    /// empty *and* nothing is outstanding — the grid is done, or stranded
+    /// with no holder left to finish it.
+    #[must_use]
+    pub fn pop(&self) -> Option<Lease> {
+        let mut state = self.inner.lock().expect("lease queue poisoned");
+        loop {
+            if let Some(lease) = state.pending.pop_front() {
+                state.outstanding += 1;
+                return Some(lease);
+            }
+            if state.outstanding == 0 {
+                return None;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(state, Self::POP_POLL)
+                .expect("lease queue poisoned");
+            state = guard;
+        }
+    }
+
+    /// Marks the caller's outstanding lease fully merged.
+    pub fn complete(&self) {
+        let mut state = self.inner.lock().expect("lease queue poisoned");
+        state.outstanding = state.outstanding.saturating_sub(1);
+        if state.outstanding == 0 {
+            // Whether pending work or a finished grid, blocked poppers
+            // must wake to claim it or observe the end.
+            self.available.notify_all();
+        }
+    }
+
+    /// Returns the unreported remainder of a failed lease to the *front*
+    /// of the queue (the oldest stranded range re-issues first) and wakes
+    /// blocked poppers to steal it. `from_host` attributes the re-issue
+    /// for the steal tally.
+    pub fn requeue(&self, remainder: Shard, from_host: usize) {
+        let mut state = self.inner.lock().expect("lease queue poisoned");
+        state.outstanding = state.outstanding.saturating_sub(1);
+        if !remainder.is_empty() {
+            state.pending.push_front(Lease {
+                shard: remainder,
+                reissued_from: Some(from_host),
+            });
+        }
+        self.available.notify_all();
+    }
+
+    /// True once every lease has been pulled and completed: no pending
+    /// work, nothing outstanding.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        let state = self.inner.lock().expect("lease queue poisoned");
+        state.pending.is_empty() && state.outstanding == 0
+    }
+
+    /// Specs still sitting in the queue (outstanding leases not counted) —
+    /// the stranded-work figure when every host has exited.
+    #[must_use]
+    pub fn remaining_specs(&self) -> usize {
+        let state = self.inner.lock().expect("lease queue poisoned");
+        state.pending.iter().map(|l| l.shard.len()).sum()
+    }
+}

@@ -38,11 +38,13 @@
 //! * [`shard`] — multi-process sharded sweeps: shard planning, the
 //!   line-delimited JSON wire format, the streaming deterministic merge, and
 //!   the worker-process coordinator.
+//! * [`lease`] — pull-based work-stealing scheduling: the chunk policy
+//!   (`exec.hosts.chunk`) and the blocking lease queue hosts pull spec
+//!   ranges from, with failed leases re-queued for re-issue.
 //! * [`transport`] — multi-host sweeps: length-delimited TCP framing over
 //!   the same wire format, validated host pools with retry policies, and
 //!   the fault-tolerant remote coordinator (retry with backoff, host
-//!   quarantine and re-admission, re-sharding lost hosts' work across
-//!   survivors).
+//!   quarantine and re-admission, lease re-issue around lost hosts).
 //! * [`daemon`] — the long-lived `seo-sweepd` service: persistent accept
 //!   loop, `--jobs` admission control with `busy` backpressure, `health`
 //!   introspection, and graceful drain on `shutdown`/SIGTERM.
@@ -84,6 +86,7 @@ pub mod error;
 pub mod experiment;
 pub mod fault;
 pub mod json;
+pub mod lease;
 pub mod metrics;
 pub mod model;
 pub mod optimizer;
@@ -105,6 +108,7 @@ pub mod prelude {
     pub use crate::error::SeoError;
     pub use crate::experiment::{ExperimentConfig, ExperimentResult};
     pub use crate::fault::{FaultAction, FaultInjector, FaultPlan};
+    pub use crate::lease::{ChunkPolicy, Lease, LeaseQueue};
     pub use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
     pub use crate::model::{Criticality, ModelId, ModelSet, PipelineModel};
     pub use crate::optimizer::OptimizerKind;

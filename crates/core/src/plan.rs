@@ -714,6 +714,9 @@ impl SweepPlan {
                 if let Err(e) = pool.retry().validate() {
                     problems.push("exec.hosts.retry", e);
                 }
+                if let Err(e) = pool.chunk().validate() {
+                    problems.push("exec.hosts.chunk", e);
+                }
             }
         }
         // try_from_secs_f64 also rules out values a Duration cannot

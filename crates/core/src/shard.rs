@@ -222,11 +222,13 @@ impl Shard {
     /// empty when the range holds fewer specs than there are weights — or
     /// when a weight is zero. A zero weight **never** receives specs.
     ///
-    /// This is the assignment primitive of the multi-host transport: host
-    /// capacities are the weights, both for the initial assignment and for
-    /// re-sharding a lost host's remaining range across survivors. It is a
-    /// pure function of `(self, weights)`, so every participant derives the
-    /// same split.
+    /// This was the assignment primitive of the wave-era multi-host
+    /// transport (host capacities as weights); the coordinator has since
+    /// moved to pull-based lease scheduling ([`crate::lease`]), which
+    /// balances load dynamically instead of by up-front proportional
+    /// split. The primitive is kept for capacity-weighted partitioning in
+    /// general. It is a pure function of `(self, weights)`, so every
+    /// participant derives the same split.
     ///
     /// An all-zero (or empty) weight list yields no sub-ranges; callers
     /// validate capacities before planning ([`crate::transport::HostPool`]
@@ -1258,7 +1260,7 @@ mod tests {
             Shard::new(0, 9).split_weighted(&[2, 1]),
             [Shard::new(0, 6), Shard::new(6, 9)]
         );
-        // Non-zero-based ranges split in place (the re-shard case).
+        // Non-zero-based ranges split in place (a partially-consumed range).
         assert_eq!(
             Shard::new(10, 14).split_weighted(&[1, 1]),
             [Shard::new(10, 12), Shard::new(12, 14)]

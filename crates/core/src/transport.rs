@@ -20,18 +20,22 @@
 //!    blank addresses, and empty pools are rejected **before** any
 //!    connection is attempted. The pool also carries the fleet's
 //!    [`RetryPolicy`] (`exec.hosts.retry` in a [`SweepPlan`]).
-//! 3. **[`RemoteCoordinator`]** — assigns contiguous spec ranges to hosts
-//!    weighted by capacity ([`Shard::split_weighted`]), streams every
-//!    host's reports into one [`StreamingMerge`], and classifies every
-//!    job failure as **transient** (connect refused, timeout, dropped
-//!    connection, `busy` backpressure — retried in place with bounded
-//!    exponential backoff) or **fatal** (protocol violation — never
-//!    retried). A host that exhausts its retry budget is *quarantined*:
-//!    its remaining range is re-sharded across the survivors, but the
-//!    host is re-probed with a `health` exchange between waves and
-//!    re-admitted if it recovered. Only protocol violators and hosts that
-//!    fail in a wave that made no progress are declared dead permanently
-//!    — that "progress or death" rule is what guarantees termination.
+//! 3. **[`RemoteCoordinator`]** — a pull-based work-stealing scheduler:
+//!    the grid is carved into chunk-sized leases ([`crate::lease`],
+//!    `exec.hosts.chunk` in a plan) and each host pulls the next lease
+//!    whenever it is idle, streaming every report into one
+//!    [`StreamingMerge`]. Every lease failure is classified as
+//!    **transient** (connect refused, timeout, dropped connection, `busy`
+//!    backpressure — retried in place with bounded exponential backoff)
+//!    or **fatal** (protocol violation — never retried). A host that
+//!    exhausts its retry budget is *quarantined*: the unreported
+//!    remainder of its lease re-queues immediately for the survivors to
+//!    steal, while the host is re-probed with `health` exchanges and
+//!    rejoins the pull loop mid-run once a probe passes *and* the fleet
+//!    has merged something since its last admission. Protocol violators,
+//!    and quarantined hosts whose probes keep failing while the fleet
+//!    makes no progress, are declared dead permanently — that "progress
+//!    or death" rule is what guarantees termination.
 //! 4. **[`crate::daemon::DaemonServer`]** / [`WorkerServer`] — the accept
 //!    loops behind the `seo-sweepd` binary. `DaemonServer` is the
 //!    long-lived multi-job service (admission control, `health`,
@@ -63,6 +67,7 @@
 use crate::batch::ScenarioSpec;
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::json::Json;
+use crate::lease::{ChunkPolicy, Lease, LeaseQueue};
 use crate::metrics::EpisodeReport;
 use crate::plan::{CellConfig, SweepPlan};
 use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
@@ -80,8 +85,8 @@ use std::time::Duration;
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
 /// Default per-connection timeout (connect, read, write). A host that goes
-/// silent longer than this is declared lost and its remaining range is
-/// re-sharded.
+/// silent longer than this is declared lost and its lease remainder is
+/// re-queued for re-issue.
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Errors raised by the multi-host transport: configuration validation,
@@ -110,8 +115,8 @@ pub enum TransportError {
     /// The streaming merge rejected a report (duplicate index, index
     /// outside the grid, or a hole at the end of the run).
     Merge(ShardError),
-    /// Every host died before the grid completed; re-sharding has nowhere
-    /// left to go.
+    /// Every host died before the grid completed; lease re-issue has
+    /// nowhere left to go.
     NoSurvivors {
         /// Spec indices still unreported when the last host was lost.
         remaining: usize,
@@ -281,7 +286,7 @@ fn check_version(obj: &Json) -> Result<(), TransportError> {
 ///
 /// The ascending-order requirement is load-bearing for fault tolerance: it
 /// makes a lost host's unreported work a contiguous tail, which is what
-/// [`RemoteCoordinator`] re-shards across survivors.
+/// [`RemoteCoordinator`] re-queues for the surviving hosts to steal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
     /// Grid size parameter (see [`ScenarioSpec::paper_grid`]); ignored by
@@ -665,7 +670,9 @@ pub fn parse_worker_frame(payload: &[u8]) -> Result<WorkerMsg, TransportError> {
 pub struct HostSpec {
     /// `host:port` the host's `seo-sweepd` listens on.
     pub addr: String,
-    /// Relative capacity weight (≥ 1); shard sizes are proportional to it.
+    /// Relative capacity weight (≥ 1). Kept for config compatibility;
+    /// under the pull scheduler a fast host simply takes more leases, so
+    /// the weight no longer sizes assignments.
     pub capacity: u64,
 }
 
@@ -682,7 +689,7 @@ pub struct HostSpec {
 /// Attempt `k` (0-based) of a job that keeps failing transiently is
 /// preceded by a delay of `base_delay_ms × 2^(k-1)` milliseconds, capped
 /// at [`RetryPolicy::MAX_BACKOFF`]; after `attempts` total tries the host
-/// is quarantined and its remaining range re-sharded.
+/// is quarantined and its lease remainder re-queued for re-issue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total connection attempts per job, including the first (≥ 1).
@@ -784,11 +791,13 @@ impl RetryPolicy {
 /// spawns.
 ///
 /// The pool also carries the fleet's [`RetryPolicy`] (default: 3 attempts,
-/// 100 ms base delay); a `"retry"` object in the pool JSON overrides it.
+/// 100 ms base delay) and its [`ChunkPolicy`] (default: auto); `"retry"`
+/// and `"chunk"` keys in the pool JSON override them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostPool {
     hosts: Vec<HostSpec>,
     retry: RetryPolicy,
+    chunk: ChunkPolicy,
 }
 
 impl HostPool {
@@ -821,6 +830,7 @@ impl HostPool {
         Ok(Self {
             hosts,
             retry: RetryPolicy::default(),
+            chunk: ChunkPolicy::default(),
         })
     }
 
@@ -835,6 +845,20 @@ impl HostPool {
     #[must_use]
     pub fn retry(&self) -> &RetryPolicy {
         &self.retry
+    }
+
+    /// Overrides the pool's lease chunk policy (builder style).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: ChunkPolicy) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// How sweeps over this pool carve the grid into leases
+    /// (`exec.hosts.chunk`).
+    #[must_use]
+    pub fn chunk(&self) -> &ChunkPolicy {
+        &self.chunk
     }
 
     /// Parses and validates the JSON pool format:
@@ -892,12 +916,16 @@ impl HostPool {
         if let Some(retry) = json.get("retry") {
             pool.retry = RetryPolicy::from_json(retry)?;
         }
+        if let Some(chunk) = json.get("chunk") {
+            pool.chunk =
+                ChunkPolicy::from_json(chunk).map_err(|e| config_err(format!("chunk: {e}")))?;
+        }
         Ok(pool)
     }
 
     /// Renders the pool back to its JSON config form (round-trips through
-    /// [`Self::parse`]). A default retry policy is omitted, so pre-retry
-    /// pool files round-trip byte-stable.
+    /// [`Self::parse`]). A default retry policy and an auto chunk policy
+    /// are omitted, so older pool files round-trip byte-stable.
     #[must_use]
     pub fn to_json(&self) -> Json {
         let mut fields = vec![
@@ -919,6 +947,9 @@ impl HostPool {
         ];
         if self.retry != RetryPolicy::default() {
             fields.push(("retry", self.retry.to_json()));
+        }
+        if self.chunk != ChunkPolicy::default() {
+            fields.push(("chunk", self.chunk.to_json()));
         }
         Json::obj(fields)
     }
@@ -948,7 +979,8 @@ pub enum FaultClass {
     /// overloaded: connect refused, resolve failure, read/write timeout, a
     /// dropped connection, `busy` backpressure. Retried in place with
     /// bounded exponential backoff; exhausting the budget quarantines the
-    /// host (re-probed between waves).
+    /// host (its lease remainder re-queues, and `health` probes decide
+    /// whether it rejoins the pull loop).
     Transient,
     /// A protocol violation: malformed or garbled frame, out-of-order or
     /// duplicate report, a `done` count mismatch, a worker `error` frame.
@@ -973,8 +1005,8 @@ pub struct HostLoss {
     pub addr: String,
     /// Why it was declared lost.
     pub message: String,
-    /// Specs of its job still unreported at the time of loss — the range
-    /// that was re-sharded across survivors.
+    /// Specs of its lease still unreported at the time of loss — the
+    /// range re-queued for re-issue to the survivors.
     pub reassigned: usize,
     /// How the final failure was classified. `Transient` means the retry
     /// budget ran out (the host was quarantined, not executed); `Fatal`
@@ -988,23 +1020,36 @@ pub struct HostLoss {
 /// `hosts_lost` is non-empty.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RemoteRunStats {
-    /// One entry per failed job (a host failing two jobs appears twice).
+    /// One entry per failed lease (a host failing two leases appears
+    /// twice).
     pub hosts_lost: Vec<HostLoss>,
-    /// Jobs dispatched across all waves (≥ the host count on success).
+    /// Lease dispatches: every pull of a lease by a host, re-issues
+    /// included (≥ `leases` on success).
     pub jobs: usize,
-    /// Dispatch waves; 1 when no host was lost.
-    pub waves: usize,
+    /// The resolved chunk size: specs per lease.
+    pub chunk: usize,
+    /// Leases the grid was carved into up front (re-issues not counted);
+    /// 0 for an empty grid.
+    pub leases: usize,
+    /// Failed leases whose unreported remainder was returned to the queue
+    /// for re-issue.
+    pub reissues: usize,
+    /// Re-issued leases completed by a *different* host than the one that
+    /// failed them.
+    pub steals: usize,
     /// In-place reconnect attempts after transient faults (a retry that
     /// succeeds leaves no [`HostLoss`] entry).
     pub retries: usize,
-    /// Jobs whose host exhausted its retry budget and was quarantined.
+    /// Leases whose host exhausted its retry budget and was quarantined.
     pub quarantines: usize,
-    /// Quarantined hosts that passed a between-wave health probe and were
-    /// given work again.
+    /// Quarantined hosts that passed a health probe after fresh fleet
+    /// progress and rejoined the pull loop.
     pub readmissions: usize,
     /// Episode reports merged per host, in pool order (`(addr, count)`;
     /// counts sum to the grid size on success).
     pub episodes_by_host: Vec<(String, usize)>,
+    /// Leases completed per host, in pool order (`(addr, count)`).
+    pub leases_by_host: Vec<(String, usize)>,
 }
 
 impl RemoteRunStats {
@@ -1015,7 +1060,10 @@ impl RemoteRunStats {
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
             ("jobs", self.jobs.into()),
-            ("waves", self.waves.into()),
+            ("chunk", self.chunk.into()),
+            ("leases", self.leases.into()),
+            ("reissues", self.reissues.into()),
+            ("steals", self.steals.into()),
             ("retries", self.retries.into()),
             ("quarantines", self.quarantines.into()),
             ("readmissions", self.readmissions.into()),
@@ -1044,14 +1092,23 @@ impl RemoteRunStats {
                         .collect(),
                 ),
             ),
+            (
+                "leases_by_host",
+                Json::Obj(
+                    self.leases_by_host
+                        .iter()
+                        .map(|(addr, count)| (addr.clone(), (*count).into()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
 
 /// Shared merge state: the merge plus the streaming sink it feeds, under
 /// one lock so reports are sunk in exactly merge order (the same discipline
-/// as the process-level coordinator). `accepted`/`by_host` feed the wave
-/// progress rule and [`RemoteRunStats::episodes_by_host`].
+/// as the process-level coordinator). `accepted`/`by_host` feed the
+/// readmission progress rule and [`RemoteRunStats::episodes_by_host`].
 struct MergeState<'a> {
     merge: StreamingMerge,
     sink: &'a mut (dyn FnMut(usize, EpisodeReport) + Send),
@@ -1059,13 +1116,25 @@ struct MergeState<'a> {
     by_host: Vec<usize>,
 }
 
-/// A job-level failure: which host, what remains of its shard, why, and
-/// how the final error was classified.
-struct JobFailure {
-    host_index: usize,
+/// A lease-level failure: what remains of the lease's shard, why, and how
+/// the final error was classified.
+struct LeaseFailure {
     remaining: Shard,
     message: String,
     class: FaultClass,
+}
+
+/// Scheduler-wide tallies and the loss record, shared across all host
+/// threads of one run.
+struct SchedulerShared {
+    jobs: AtomicUsize,
+    retries: AtomicUsize,
+    quarantines: AtomicUsize,
+    readmissions: AtomicUsize,
+    reissues: AtomicUsize,
+    steals: AtomicUsize,
+    leases_by_host: Vec<AtomicUsize>,
+    losses: Mutex<Vec<HostLoss>>,
 }
 
 /// A classified single-connection failure, before retry handling.
@@ -1100,44 +1169,38 @@ impl DriveError {
     }
 }
 
-/// Per-host dispatch state across waves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HostState {
-    /// Eligible for work.
-    Alive,
-    /// Exhausted its retry budget on a transient fault; gets no work, but
-    /// is re-probed between waves and re-admitted if it answers `health`.
-    Quarantined,
-    /// Violated the protocol, or failed in a wave that made no progress.
-    /// Never probed, never re-admitted.
-    Dead,
-}
-
 /// Distributes a sweep grid across a [`HostPool`] over TCP and merges the
-/// streamed reports deterministically, re-sharding around host losses.
+/// streamed reports deterministically, re-issuing lost hosts' leases to
+/// the survivors.
 ///
 /// The output contract is identical to the single-machine engines: the
 /// merged reports are **bit-identical** to
 /// [`crate::batch::BatchRunner::run_serial`] over
-/// [`ScenarioSpec::paper_grid`]`(scenarios, seed)` — host count, capacity
-/// skew, and mid-stream host deaths included, because every episode is a
+/// [`ScenarioSpec::paper_grid`]`(scenarios, seed)` — host count, chunk
+/// size, and mid-stream host deaths included, because every episode is a
 /// pure function of its spec and the merge orders by spec index.
 ///
-/// Work is dispatched in **waves**: the first wave assigns the whole grid
-/// across all hosts proportionally to capacity; each later wave re-shards
-/// the contiguous unreported tails of the hosts lost in the previous wave
-/// across the survivors.
+/// Work is **pulled**, not assigned: the grid is carved into chunk-sized
+/// leases (the pool's [`ChunkPolicy`], `exec.hosts.chunk` in a plan) held
+/// in a shared [`LeaseQueue`], and each host runs one lease at a time,
+/// pulling the next as soon as it finishes. Fast hosts naturally take
+/// more leases; a straggler costs at most one chunk of tail latency. A
+/// failed lease's unreported remainder returns to the queue immediately
+/// and is *stolen* by whichever host pulls next.
 ///
-/// Failures are classified per [`FaultClass`]. A transiently-failing job
-/// is retried in place under the pool's [`RetryPolicy`] (deterministic
-/// exponential backoff, fixed attempt budget); a host that exhausts the
-/// budget is quarantined and re-probed (a `health` exchange) between
-/// waves, re-admitted if it answers. A protocol violator is dead forever.
-/// Termination is guaranteed by the *progress rule*: a transient failure
-/// only quarantines its host when the wave merged at least one report —
-/// in a zero-progress wave every failed host is declared dead instead, so
-/// each wave either shrinks the remaining range or shrinks the fleet.
-/// When no host is alive with specs still unreported the run fails with
+/// Failures are classified per [`FaultClass`]. A transiently-failing
+/// lease is retried in place under the pool's [`RetryPolicy`]
+/// (deterministic exponential backoff, fixed attempt budget per lease); a
+/// host that exhausts the budget is quarantined: its remainder re-queues
+/// and the host sits out, probed with `health` exchanges, until a probe
+/// passes *and* the fleet has merged new reports since the host's last
+/// admission — then it rejoins the pull loop mid-run. A protocol violator
+/// is dead forever. Termination is guaranteed by that progress gate plus
+/// a bounded idle-probe budget: each readmission consumes fresh global
+/// progress (so there are at most `n_specs` readmissions per host), and a
+/// quarantined host that keeps probing while the fleet merges nothing
+/// gives up and dies, so the run either advances or sheds hosts. When
+/// every host has exited with specs still unreported the run fails with
 /// [`TransportError::NoSurvivors`].
 #[derive(Debug, Clone)]
 pub struct RemoteCoordinator {
@@ -1156,7 +1219,7 @@ impl RemoteCoordinator {
     }
 
     /// Overrides the connect/read/write timeout (builder style). A host
-    /// silent for longer is declared lost and re-sharded around.
+    /// silent for longer is declared lost and its lease re-issued.
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
@@ -1176,7 +1239,7 @@ impl RemoteCoordinator {
     ///
     /// [`TransportError::NoSurvivors`] when every host died with work
     /// outstanding; [`TransportError::Merge`] on an unfillable hole (a
-    /// protocol violation the re-sharding could not paper over).
+    /// protocol violation the lease re-issue could not paper over).
     pub fn run(
         &self,
         scenarios: usize,
@@ -1255,10 +1318,10 @@ impl RemoteCoordinator {
         )
     }
 
-    /// The shared dispatch loop: fans `n_specs` grid indices over the pool
-    /// in capacity-weighted waves, building each job's request through
-    /// `make_request` (which fixes the grid encoding — legacy paper-grid
-    /// parameters or an inline plan).
+    /// The shared dispatch loop: carves `n_specs` grid indices into
+    /// chunk-sized leases and runs one pull loop per host, building each
+    /// lease's request through `make_request` (which fixes the grid
+    /// encoding — legacy paper-grid parameters or an inline plan).
     fn stream_grid(
         &self,
         n_specs: usize,
@@ -1266,88 +1329,73 @@ impl RemoteCoordinator {
         mut sink: impl FnMut(usize, EpisodeReport) + Send,
     ) -> Result<RemoteRunStats, TransportError> {
         let n_hosts = self.pool.hosts().len();
-        let mut stats = RemoteRunStats {
-            episodes_by_host: self
-                .pool
+        let chunk = self.pool.chunk().resolve(n_specs, n_hosts);
+        let addr_counts = || {
+            self.pool
                 .hosts()
                 .iter()
                 .map(|h| (h.addr.clone(), 0))
-                .collect(),
+                .collect()
+        };
+        let mut stats = RemoteRunStats {
+            chunk,
+            episodes_by_host: addr_counts(),
+            leases_by_host: addr_counts(),
             ..RemoteRunStats::default()
         };
         if n_specs == 0 {
             return Ok(stats);
         }
+        let queue = LeaseQueue::new(Shard::new(0, n_specs), chunk);
+        stats.leases = queue.initial_leases();
         let state = Mutex::new(MergeState {
             merge: StreamingMerge::new(n_specs),
             sink: &mut sink,
             accepted: 0,
             by_host: vec![0; n_hosts],
         });
-        let retries = AtomicUsize::new(0);
-        let mut hosts = vec![HostState::Alive; n_hosts];
-        let alive_mask = |hosts: &[HostState]| -> Vec<bool> {
-            hosts.iter().map(|&s| s == HostState::Alive).collect()
+        let shared = SchedulerShared {
+            jobs: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            quarantines: AtomicUsize::new(0),
+            readmissions: AtomicUsize::new(0),
+            reissues: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            leases_by_host: (0..n_hosts).map(|_| AtomicUsize::new(0)).collect(),
+            losses: Mutex::new(Vec::new()),
         };
-        let mut wave = self.assign(Shard::new(0, n_specs), &alive_mask(&hosts));
-        loop {
-            stats.waves += 1;
-            stats.jobs += wave.len();
-            let before = state.lock().expect("merge mutex poisoned").accepted;
-            let failures = self.run_wave(&wave, make_request, &state, &retries);
-            let progress = state.lock().expect("merge mutex poisoned").accepted - before;
-            let mut remnants: Vec<Shard> = Vec::new();
-            let mut last_error = String::new();
-            for failure in failures {
-                // The progress rule: a transient failure in a wave that
-                // merged something is worth quarantining (the host may
-                // recover); in a wave that merged nothing it is
-                // indistinguishable from a dead fleet spinning, so the
-                // host dies — every wave shrinks the range or the fleet.
-                let quarantine = failure.class == FaultClass::Transient && progress > 0;
-                hosts[failure.host_index] = if quarantine {
-                    stats.quarantines += 1;
-                    HostState::Quarantined
-                } else {
-                    HostState::Dead
-                };
-                last_error.clone_from(&failure.message);
-                stats.hosts_lost.push(HostLoss {
-                    addr: self.pool.hosts()[failure.host_index].addr.clone(),
-                    message: failure.message,
-                    reassigned: failure.remaining.len(),
-                    class: failure.class,
-                });
-                if !failure.remaining.is_empty() {
-                    remnants.push(failure.remaining);
+        {
+            let (queue, state, shared) = (&queue, &state, &shared);
+            std::thread::scope(|scope| {
+                for host_index in 0..n_hosts {
+                    scope.spawn(move || {
+                        self.host_loop(host_index, queue, make_request, state, shared);
+                    });
                 }
-            }
-            if remnants.is_empty() {
-                break;
-            }
-            // Re-probe quarantined hosts; one clean health exchange earns
-            // re-admission into the next wave.
-            for (i, slot) in hosts.iter_mut().enumerate() {
-                if *slot == HostState::Quarantined
-                    && probe_host(&self.pool.hosts()[i].addr, self.timeout)
-                {
-                    *slot = HostState::Alive;
-                    stats.readmissions += 1;
-                }
-            }
-            let alive = alive_mask(&hosts);
-            if !alive.iter().any(|&a| a) {
-                return Err(TransportError::NoSurvivors {
-                    remaining: remnants.iter().map(Shard::len).sum(),
-                    last_error,
-                });
-            }
-            wave = remnants
-                .iter()
-                .flat_map(|&remnant| self.assign(remnant, &alive))
-                .collect();
+            });
         }
-        stats.retries = retries.load(Ordering::Relaxed);
+        stats.jobs = shared.jobs.load(Ordering::Relaxed);
+        stats.retries = shared.retries.load(Ordering::Relaxed);
+        stats.quarantines = shared.quarantines.load(Ordering::Relaxed);
+        stats.readmissions = shared.readmissions.load(Ordering::Relaxed);
+        stats.reissues = shared.reissues.load(Ordering::Relaxed);
+        stats.steals = shared.steals.load(Ordering::Relaxed);
+        for (slot, count) in stats.leases_by_host.iter_mut().zip(&shared.leases_by_host) {
+            slot.1 = count.load(Ordering::Relaxed);
+        }
+        stats.hosts_lost = shared.losses.into_inner().expect("loss mutex poisoned");
+        if !queue.is_finished() {
+            // Every host thread exited (fatal fault or failed readmission)
+            // with leases still in the queue: nowhere left to re-issue.
+            return Err(TransportError::NoSurvivors {
+                remaining: queue.remaining_specs(),
+                last_error: stats
+                    .hosts_lost
+                    .last()
+                    .map(|loss| loss.message.clone())
+                    .unwrap_or_default(),
+            });
+        }
         // Every accepted report was streamed on arrival; anything left is a
         // hole, which finish() names.
         let final_state = state.into_inner().expect("merge mutex poisoned");
@@ -1359,63 +1407,139 @@ impl RemoteCoordinator {
         Ok(stats)
     }
 
-    /// Splits `range` across the live hosts proportionally to capacity,
-    /// dropping empty assignments.
-    fn assign(&self, range: Shard, alive: &[bool]) -> Vec<(usize, Shard)> {
-        let live: Vec<usize> = (0..self.pool.hosts().len()).filter(|&i| alive[i]).collect();
-        let weights: Vec<u64> = live
-            .iter()
-            .map(|&i| self.pool.hosts()[i].capacity)
-            .collect();
-        range
-            .split_weighted(&weights)
-            .into_iter()
-            .zip(live)
-            .filter(|(part, _)| !part.is_empty())
-            .map(|(part, host_index)| (host_index, part))
-            .collect()
-    }
-
-    /// Dispatches one wave of jobs, one thread per job, and collects the
-    /// failures. Successful jobs feed the shared merge as they stream.
-    fn run_wave(
+    /// One host's pull loop: pull a lease, run it, repeat until the queue
+    /// is drained. A failed lease's unreported remainder re-queues for
+    /// the survivors to steal; a fatal failure exits the loop (the host
+    /// is dead forever), a transient one parks the host in
+    /// [`Self::await_readmission`] until it may rejoin or gives up.
+    fn host_loop(
         &self,
-        wave: &[(usize, Shard)],
+        host_index: usize,
+        queue: &LeaseQueue,
         make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
         state: &Mutex<MergeState<'_>>,
-        retries: &AtomicUsize,
-    ) -> Vec<JobFailure> {
-        let mut failures = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = wave
-                .iter()
-                .map(|&(host_index, shard)| {
-                    let request = make_request(shard);
-                    scope.spawn(move || self.run_job(host_index, request, state, retries))
-                })
-                .collect();
-            for handle in handles {
-                if let Err(failure) = handle.join().expect("transport job thread panicked") {
-                    failures.push(failure);
+        shared: &SchedulerShared,
+    ) {
+        // Global merge progress at (re)admission time: a quarantined host
+        // is only readmitted after the fleet moves past this, so every
+        // readmission consumes fresh progress and quarantine churn is
+        // bounded by the grid size.
+        let mut admitted_at = state.lock().expect("merge mutex poisoned").accepted;
+        while let Some(lease) = queue.pop() {
+            shared.jobs.fetch_add(1, Ordering::Relaxed);
+            match self.run_lease(host_index, &lease, make_request, state, &shared.retries) {
+                Ok(()) => {
+                    shared.leases_by_host[host_index].fetch_add(1, Ordering::Relaxed);
+                    if lease.reissued_from.is_some_and(|from| from != host_index) {
+                        shared.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    queue.complete();
+                }
+                Err(failure) => {
+                    let class = failure.class;
+                    shared
+                        .losses
+                        .lock()
+                        .expect("loss mutex poisoned")
+                        .push(HostLoss {
+                            addr: self.pool.hosts()[host_index].addr.clone(),
+                            message: failure.message,
+                            reassigned: failure.remaining.len(),
+                            class,
+                        });
+                    if failure.remaining.is_empty() {
+                        // Every report of the lease merged; only the
+                        // `done` handshake was lost.
+                        queue.complete();
+                    } else {
+                        shared.reissues.fetch_add(1, Ordering::Relaxed);
+                        queue.requeue(failure.remaining, host_index);
+                    }
+                    if class == FaultClass::Fatal {
+                        return;
+                    }
+                    shared.quarantines.fetch_add(1, Ordering::Relaxed);
+                    if !self.await_readmission(host_index, queue, state, admitted_at) {
+                        return;
+                    }
+                    shared.readmissions.fetch_add(1, Ordering::Relaxed);
+                    admitted_at = state.lock().expect("merge mutex poisoned").accepted;
                 }
             }
-        });
-        failures
+        }
     }
 
-    /// Drives one job on one host under the pool's [`RetryPolicy`]: a
+    /// Parks a quarantined host and decides whether it may rejoin the
+    /// pull loop. Returns `true` to readmit: a `health` probe passed
+    /// *and* the fleet has merged reports since this host's last
+    /// admission (`admitted_at`). Returns `false` when the grid finished
+    /// without the host, or when its idle-probe budget ran out with the
+    /// fleet stuck — a fleet that merges nothing sheds every quarantined
+    /// host instead of spinning forever, which (with every connection
+    /// bounded by the timeout) is what guarantees termination.
+    fn await_readmission(
+        &self,
+        host_index: usize,
+        queue: &LeaseQueue,
+        state: &Mutex<MergeState<'_>>,
+        admitted_at: usize,
+    ) -> bool {
+        let addr = &self.pool.hosts()[host_index].addr;
+        let retry = self.pool.retry();
+        // Probes tolerated with *no* fleet progress in between; the floor
+        // keeps tight retry budgets from starving slow-but-live fleets.
+        let idle_budget = retry.attempts.max(4);
+        let mut idle_probes = 0u32;
+        let mut last_accepted = state.lock().expect("merge mutex poisoned").accepted;
+        loop {
+            if queue.is_finished() {
+                return false;
+            }
+            // Sleep the backoff in short slices so a finishing queue
+            // releases the parked thread promptly.
+            let delay = retry.backoff(idle_probes);
+            let mut slept = Duration::ZERO;
+            while slept < delay {
+                if queue.is_finished() {
+                    return false;
+                }
+                let slice = Duration::from_millis(25).min(delay - slept);
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            let accepted = state.lock().expect("merge mutex poisoned").accepted;
+            let progressed = accepted > last_accepted;
+            last_accepted = accepted;
+            if probe_host(addr, self.timeout) && accepted > admitted_at {
+                return true;
+            }
+            if progressed {
+                idle_probes = 0;
+            } else {
+                idle_probes += 1;
+                if idle_probes >= idle_budget {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Drives one lease on one host under the pool's [`RetryPolicy`]: a
     /// transient connection failure is retried after a deterministic
     /// backoff, resuming from the first unreported index (progress made
     /// before the fault is kept — the merge never sees an index twice).
-    /// The attempt budget is fixed per job, so a host that keeps dropping
-    /// mid-stream still exhausts it and gets re-sharded around.
-    fn run_job(
+    /// The attempt budget is fresh per lease, so a host that keeps
+    /// dropping mid-stream still exhausts it and has its remainder
+    /// re-issued to the survivors.
+    fn run_lease(
         &self,
         host_index: usize,
-        request: JobRequest,
+        lease: &Lease,
+        make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
         state: &Mutex<MergeState<'_>>,
         retries: &AtomicUsize,
-    ) -> Result<(), JobFailure> {
+    ) -> Result<(), LeaseFailure> {
+        let request = make_request(lease.shard);
         let retry = self.pool.retry();
         let budget = retry.attempts.max(1);
         let end = request.shard.end;
@@ -1433,8 +1557,7 @@ impl RemoteCoordinator {
                     let retryable =
                         fault.class == FaultClass::Transient && attempt < budget && next < end;
                     if !retryable {
-                        return Err(JobFailure {
-                            host_index,
+                        return Err(LeaseFailure {
                             remaining: Shard::new(next, end),
                             message: if attempt > 1 {
                                 format!("{} (attempt {attempt}/{budget})", fault.message)
@@ -1764,9 +1887,9 @@ fn serve_plan_shard(
 }
 
 /// The accept loop behind `seo-sweepd`: binds a listener and serves each
-/// incoming connection (= one [`JobRequest`]) on its own thread, so a
-/// coordinator can land several re-shard jobs on the same host
-/// concurrently.
+/// incoming connection (= one [`JobRequest`], typically one lease) on its
+/// own thread, so a coordinator can land several lease jobs on the same
+/// host concurrently.
 #[derive(Debug)]
 pub struct WorkerServer {
     listener: TcpListener,

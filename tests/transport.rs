@@ -1,7 +1,7 @@
 //! Loopback-TCP properties of the multi-host sweep transport: host-pool
-//! validation, frame round-trips, capacity-weighted assignment, and the
+//! validation, frame round-trips, pull-based lease scheduling, and the
 //! tentpole guarantee — the remote merge is bit-identical to
-//! `BatchRunner::run_serial` under 1/2/3 hosts, uneven capacities, and
+//! `BatchRunner::run_serial` under 1/2/3 hosts, every chunk size, and
 //! injected mid-stream host failures (kills, dead hosts, stalls).
 
 use seo_core::batch::{BatchRunner, ScenarioSpec};
@@ -95,10 +95,12 @@ fn host_pool_json_round_trips_and_validates() {
     let reparsed = HostPool::parse(&pool.to_json().render()).expect("round-trips");
     assert_eq!(reparsed, pool);
 
-    // A default retry policy is implied and omitted from the JSON form, so
-    // pre-retry pool files round-trip byte-stable.
+    // Default retry and chunk policies are implied and omitted from the
+    // JSON form, so older pool files round-trip byte-stable.
     assert_eq!(*pool.retry(), RetryPolicy::default());
+    assert_eq!(*pool.chunk(), ChunkPolicy::Auto);
     assert!(!pool.to_json().render().contains("retry"));
+    assert!(!pool.to_json().render().contains("chunk"));
 
     // An explicit retry policy parses, validates, and round-trips.
     let with_retry = r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],
@@ -115,12 +117,30 @@ fn host_pool_json_round_trips_and_validates() {
     assert_eq!(pool.retry().backoff(2), Duration::from_millis(160));
     assert!(pool.retry().backoff(40) <= RetryPolicy::MAX_BACKOFF);
 
+    // An explicit chunk parses, validates, and round-trips; "auto" is the
+    // spelled-out default.
+    let with_chunk = r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"chunk":2}"#;
+    let pool = HostPool::parse(with_chunk).expect("valid chunk");
+    assert_eq!(*pool.chunk(), ChunkPolicy::Fixed(2));
+    assert_eq!(
+        HostPool::parse(&pool.to_json().render()).expect("round-trips"),
+        pool
+    );
+    let spelled_auto = r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"chunk":"auto"}"#;
+    let pool = HostPool::parse(spelled_auto).expect("auto chunk");
+    assert_eq!(*pool.chunk(), ChunkPolicy::Auto);
+    assert!(!pool.to_json().render().contains("chunk"));
+
     // Validation happens at parse time, not connect time.
     for bad in [
         // retry misconfigurations
         r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"retry":{"attempts":0}}"#,
         r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"retry":{"bogus":1}}"#,
         r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"retry":7}"#,
+        // chunk misconfigurations
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"chunk":0}"#,
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"chunk":-3}"#,
+        r#"{"v":1,"hosts":[{"addr":"a:1","capacity":1}],"chunk":"sometimes"}"#,
         r#"{"hosts":[{"addr":"a:1","capacity":1}]}"#, // missing version
         r#"{"v":9,"hosts":[{"addr":"a:1","capacity":1}]}"#, // foreign version
         r#"{"v":1,"hosts":[]}"#,                      // empty pool
@@ -270,7 +290,7 @@ fn multi_host_merge_is_bit_identical_to_serial() {
         let coordinator = RemoteCoordinator::new(pool_of(&hosts));
         let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("runs");
         assert!(stats.hosts_lost.is_empty(), "no losses expected");
-        assert_eq!(stats.waves, 1);
+        assert_eq!(stats.reissues, 0, "no lease should need re-issue");
         assert_eq!(
             merged,
             serial,
@@ -279,6 +299,47 @@ fn multi_host_merge_is_bit_identical_to_serial() {
         );
         for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
             assert_eq!(report_line(i, m), report_line(i, s), "wire line {i}");
+        }
+    }
+}
+
+/// The chunk-size property: every chunk policy — one spec per lease, a
+/// mid-size chunk, auto, and the whole grid in one lease — over 1/2/3
+/// hosts reproduces the serial sweep bit-for-bit, and the resolved chunk
+/// and lease count land in the stats. This is the associative-merge
+/// argument made executable: work splitting is arbitrary, output is not.
+#[test]
+fn every_chunk_size_merges_bit_identical_to_serial() {
+    let serial = serial_reports();
+    for policy in [
+        ChunkPolicy::Fixed(1),
+        ChunkPolicy::Fixed(3),
+        ChunkPolicy::Auto,
+        ChunkPolicy::Fixed(SCENARIOS),
+    ] {
+        for n_hosts in 1..=3usize {
+            let hosts: Vec<(SocketAddr, u64)> =
+                (0..n_hosts).map(|_| (spawn_worker(None), 1)).collect();
+            let pool = pool_of(&hosts).with_chunk(policy);
+            let (merged, stats) = RemoteCoordinator::new(pool)
+                .run(SCENARIOS, SEED)
+                .expect("runs");
+            let chunk = policy.resolve(SCENARIOS, n_hosts);
+            assert_eq!(stats.chunk, chunk, "{policy:?} over {n_hosts} host(s)");
+            assert_eq!(stats.leases, SCENARIOS.div_ceil(chunk));
+            assert!(stats.jobs >= stats.leases, "every lease is dispatched");
+            assert!(stats.hosts_lost.is_empty());
+            assert_eq!(
+                merged, serial,
+                "{policy:?} over {n_hosts} host(s) must reproduce the serial sweep"
+            );
+            for (i, (m, s)) in merged.iter().zip(&serial).enumerate() {
+                assert_eq!(report_line(i, m), report_line(i, s), "wire line {i}");
+            }
+            // Lease completions account for the whole queue and stay
+            // attributed to real pool members.
+            let pulled: usize = stats.leases_by_host.iter().map(|&(_, n)| n).sum();
+            assert_eq!(pulled, stats.leases, "every lease completed exactly once");
         }
     }
 }
@@ -300,30 +361,40 @@ fn streaming_sink_sees_reports_strictly_in_spec_order() {
 }
 
 /// Injected mid-stream host kill: the victim drops its connection after one
-/// report; its remaining range must be re-sharded across survivors and the
-/// merged output must still be bit-identical.
+/// report on every lease it pulls. A 2-attempt retry budget on 3-spec
+/// leases delivers two reports and strands one, so the remnant must be
+/// re-queued, stolen by the survivor, and the merge stay bit-identical.
 #[test]
-fn mid_stream_host_kill_reshards_to_survivors() {
+fn mid_stream_host_kill_reissues_to_survivors() {
     let serial = serial_reports();
     let healthy = spawn_worker(None);
     let doomed = spawn_worker(Some(1));
-    // The doomed host gets the bigger capacity so its death really strands work.
-    let coordinator = RemoteCoordinator::new(pool_of(&[(healthy, 1), (doomed, 2)]));
+    let pool = pool_of(&[(healthy, 1), (doomed, 1)])
+        .with_chunk(ChunkPolicy::Fixed(3))
+        .with_retry(RetryPolicy {
+            attempts: 2,
+            base_delay_ms: 10,
+        });
+    let coordinator = RemoteCoordinator::new(pool);
     let (merged, stats) = coordinator.run(SCENARIOS, SEED).expect("survives the kill");
-    assert_eq!(merged, serial, "re-sharded merge must stay bit-identical");
+    assert_eq!(merged, serial, "re-issued merge must stay bit-identical");
     assert_eq!(stats.hosts_lost.len(), 1, "exactly one host lost");
     assert_eq!(stats.hosts_lost[0].addr, doomed.to_string());
-    assert!(stats.waves >= 2, "the remnant needs a re-dispatch wave");
+    assert!(stats.reissues >= 1, "the remnant needs a re-issue");
+    assert!(
+        stats.steals >= 1,
+        "the survivor steals the re-queued remnant"
+    );
     assert!(
         stats.hosts_lost[0].reassigned > 0,
-        "the kill must strand specs for re-sharding"
+        "the kill must strand specs for re-issue"
     );
 }
 
 /// A host that is down from the start (nothing listening) is just another
-/// loss: its whole range re-shards to the survivor.
+/// loss: the lease it pulled is re-queued and stolen by the survivor.
 #[test]
-fn dead_on_arrival_host_is_resharded_around() {
+fn dead_on_arrival_host_is_stolen_around() {
     let serial = serial_reports();
     // Grab a loopback port and release it so connects are refused.
     let dead_addr = {
@@ -340,9 +411,9 @@ fn dead_on_arrival_host_is_resharded_around() {
 }
 
 /// A host that accepts the connection and then goes silent is declared lost
-/// by the read timeout and re-sharded around.
+/// by the read timeout; its lease is re-queued and served by the survivor.
 #[test]
-fn stalled_host_times_out_and_is_resharded_around() {
+fn stalled_host_times_out_and_is_stolen_around() {
     let serial = serial_reports();
     // A "tar pit": accepts connections, reads nothing, answers nothing, and
     // keeps the sockets open so the coordinator sees silence, not EOF.
@@ -368,8 +439,8 @@ fn stalled_host_times_out_and_is_resharded_around() {
     assert_eq!(stats.hosts_lost[0].addr, stall_addr.to_string());
 }
 
-/// When every host dies with work outstanding there is nowhere left to
-/// re-shard: the run must fail loudly, naming the stranded spec count.
+/// When every host dies with work outstanding there is nobody left to pull
+/// the queue: the run must fail loudly, naming the stranded spec count.
 #[test]
 fn losing_every_host_fails_with_no_survivors() {
     let coordinator = RemoteCoordinator::new(pool_of(&[
@@ -397,7 +468,7 @@ fn empty_grid_completes_without_touching_the_network() {
         .expect("empty run");
     assert!(merged.is_empty());
     assert_eq!(stats.jobs, 0);
-    assert_eq!(stats.waves, 0);
+    assert_eq!(stats.leases, 0);
 }
 
 /// Plan-bearing jobs: a multi-cell plan shipped inline to the daemons
@@ -427,23 +498,29 @@ fn plan_dispatch_is_bit_identical_to_plan_serial() {
     }
 }
 
-/// Re-sharding works for plan jobs exactly as for legacy jobs: a host
-/// injected to die mid-stream burns its whole retry budget one report at a
-/// time, loses its tail to the survivor, and the merge still reproduces
-/// the plan's serial output. (The dying host gets the bigger capacity so
-/// its shard outlasts the retry budget — a shard small enough to finish
-/// within the budget would simply complete, which is the retry layer's
-/// whole point.)
+/// Lease re-issue works for plan jobs exactly as for legacy jobs: a host
+/// injected to die mid-stream burns its retry budget one report at a
+/// time, strands its lease tail, and the survivor steals the re-queued
+/// remnant — the merge still reproduces the plan's serial output. (The
+/// lease must be bigger than the retry budget: a lease small enough to
+/// finish within the budget would simply complete, which is the retry
+/// layer's whole point.)
 #[test]
 fn plan_dispatch_survives_a_mid_stream_kill() {
     let plan = SweepPlan::paper(SCENARIOS, SEED);
     let serial = plan.run_serial().expect("plan serial runs");
     let dying = spawn_worker(Some(1));
     let healthy = spawn_worker(None);
-    let coordinator = RemoteCoordinator::new(pool_of(&[(dying, 2), (healthy, 1)]));
+    let pool = pool_of(&[(dying, 1), (healthy, 1)])
+        .with_chunk(ChunkPolicy::Fixed(3))
+        .with_retry(RetryPolicy {
+            attempts: 2,
+            base_delay_ms: 10,
+        });
+    let coordinator = RemoteCoordinator::new(pool);
     let (merged, stats) = coordinator.run_plan(&plan).expect("survives the kill");
     assert_eq!(merged, serial);
     assert_eq!(stats.hosts_lost.len(), 1);
     assert!(stats.retries > 0, "mid-stream EOFs are transient: retried");
-    assert!(stats.waves >= 2, "the kill forces a re-shard wave");
+    assert!(stats.reissues >= 1, "the kill forces a lease re-issue");
 }
