@@ -42,6 +42,7 @@
 use seo_bench::json::Json;
 use seo_bench::report::{pct, runs_from_env, Table};
 use seo_core::batch::{BatchRunner, ScenarioSpec};
+use seo_core::falsify;
 use seo_core::plan::{ExecMode, SweepPlan};
 use seo_core::prelude::*;
 use seo_core::runtime::RuntimeLoop;
@@ -272,6 +273,9 @@ enum Mode {
     /// Run the effective plan (loaded from `--plan`, or desugared from
     /// `--workers` / `--hosts`).
     Plan,
+    /// Falsification: search the plan's grid for violating episodes per its
+    /// `falsify` section, streaming counterexamples as NDJSON.
+    Falsify,
 }
 
 struct Cli {
@@ -287,6 +291,8 @@ struct Cli {
     kernel: KernelBackend,
     scenarios: usize,
     base_seed: u64,
+    /// Where `--falsify` writes counterexample replay plans.
+    falsify_dir: String,
 }
 
 /// The CLI grammar template, printed with exit code 0 on `--help` and exit
@@ -304,9 +310,15 @@ const USAGE_TEMPLATE: &str = "usage: sweep [MODE] [OPTIONS]\n\
     (JSON: {\"v\":1,\"hosts\":[{\"addr\":\"host:port\",\"capacity\":N},...]})\n  \
     --worker START..END     run one shard; the range is half-open, decimal,\n                          \
     START < END (e.g. --worker 0..15)\n\
+    --plan FILE --falsify   adversarial search for violating episodes per the\n                          \
+    plan's falsify section; counterexamples stream as NDJSON\n                          \
+    and replay plans land in --falsify-dir (see\n                          \
+    docs/falsification.md)\n\
     options:\n  \
     --check                 validate and summarize the plan, run nothing (exit 0\n                          \
     when valid, 2 with every problem named otherwise)\n  \
+    --falsify-dir DIR       where --falsify writes cx-N.json replay plans and\n                          \
+    cx-N.expected.ndjson wire lines (default: counterexamples)\n  \
     --scenarios N           paper-grid size for flag modes (default 60, or\n                          \
     SEO_SWEEP_SCENARIOS; ignored with --plan)\n  \
     --seed S                paper-grid base seed for flag modes (default 2023)\n  \
@@ -340,6 +352,8 @@ fn parse_cli() -> Result<CliOutcome, String> {
     let mut mode_flag = ModeFlag::None;
     let mut verify = false;
     let mut check = false;
+    let mut falsify_flag = false;
+    let mut falsify_dir = "counterexamples".to_owned();
     let mut plan_path: Option<String> = None;
     let mut timeout_flag: Option<f64> = None;
     let mut kernel_flag: Option<KernelBackend> = None;
@@ -360,6 +374,8 @@ fn parse_cli() -> Result<CliOutcome, String> {
             "--help" | "-h" => return Ok(CliOutcome::Help),
             "--plan" => plan_path = Some(value("--plan")?),
             "--check" => check = true,
+            "--falsify" => falsify_flag = true,
+            "--falsify-dir" => falsify_dir = value("--falsify-dir")?,
             "--workers" => {
                 let n = value("--workers")?
                     .parse::<usize>()
@@ -424,10 +440,25 @@ fn parse_cli() -> Result<CliOutcome, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("--plan {path}: {e}"))?;
         let plan = SweepPlan::parse(&text).map_err(|e| format!("--plan {path}: {e}"))?;
         let mode = match mode_flag {
+            ModeFlag::Worker(_) if falsify_flag => {
+                return Err("--falsify runs the search in-process; drop --worker".to_owned());
+            }
             ModeFlag::Worker(shard) => Mode::Worker(shard),
+            _ if falsify_flag => {
+                if plan.falsify.is_none() {
+                    return Err(format!(
+                        "--falsify: plan {path} has no falsify section (see docs/falsification.md)"
+                    ));
+                }
+                Mode::Falsify
+            }
             _ => Mode::Plan,
         };
         (plan, mode)
+    } else if falsify_flag {
+        return Err(
+            "--falsify requires --plan FILE (the falsify section lives in the plan)".to_owned(),
+        );
     } else {
         let paper = SweepPlan::paper(scenarios, base_seed).with_kernel(env_kernel()?);
         match mode_flag {
@@ -467,6 +498,7 @@ fn parse_cli() -> Result<CliOutcome, String> {
         kernel,
         scenarios,
         base_seed,
+        falsify_dir,
     })))
 }
 
@@ -505,8 +537,20 @@ fn check_mode(cli: &Cli) {
         plan.n_specs(),
         plan.cells().len()
     );
+    // Per-axis cardinalities, so a grid blow-up is visible at a glance
+    // before the resolved schedule scrolls past.
+    let cardinalities: Vec<String> = plan
+        .axes
+        .cardinalities()
+        .iter()
+        .map(|(name, n)| format!("{name} x{n}"))
+        .collect();
+    println!("  axes: {}", cardinalities.join(", "));
     for (cell, range) in plan.cells() {
         println!("    [{}..{}) {cell}", range.start, range.end);
+    }
+    if let Some(falsify) = &plan.falsify {
+        println!("  falsify: {falsify}");
     }
     println!(
         "  exec: {}, kernel '{}', timeout {} s, verify {}",
@@ -611,7 +655,7 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             // same object recorded there as provenance.
             let stats_json = stats.to_json();
             eprintln!("sweep: remote stats {}", stats_json.render());
-            if let Err(e) = record_remote_stats(&stats_json) {
+            if let Err(e) = record_bench_field("remote_stats", &stats_json) {
                 eprintln!("sweep: could not record remote stats in BENCH_sweep.json: {e}");
             }
             format!(
@@ -642,11 +686,65 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Patches the fleet's [`RemoteRunStats`] JSON into `BENCH_sweep.json` as
-/// a `"remote_stats"` field — provenance for the rows a harness run left
-/// behind. No dump in the working directory, no patch: hosts-mode runs
-/// outside a bench workflow stay side-effect free.
-fn record_remote_stats(stats: &Json) -> Result<(), Box<dyn std::error::Error>> {
+/// `--falsify`: run the deterministic search over the plan's grid,
+/// streaming one NDJSON counterexample line to stdout per (deduplicated)
+/// violation, and writing each shrunk replay plan plus its expected wire
+/// line into `--falsify-dir` (`cx-N.json` / `cx-N.expected.ndjson`).
+/// `--verify` replays every emitted plan in-process and fails unless the
+/// replay is bit-identical to the recorded episode. Search provenance is
+/// patched into `BENCH_sweep.json` when a harness run left one behind.
+fn run_falsify_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let plan = &cli.plan;
+    let start = Instant::now();
+    let outcome = falsify::falsify(plan)?;
+    let stdout = std::io::stdout();
+    std::fs::create_dir_all(&cli.falsify_dir)
+        .map_err(|e| format!("--falsify-dir {}: {e}", cli.falsify_dir))?;
+    for (i, cx) in outcome.counterexamples.iter().enumerate() {
+        writeln!(&stdout, "{}", cx.line(i))?;
+        let plan_path = format!("{}/cx-{i}.json", cli.falsify_dir);
+        let expected_path = format!("{}/cx-{i}.expected.ndjson", cli.falsify_dir);
+        std::fs::write(&plan_path, cx.plan.to_json().render_pretty())?;
+        std::fs::write(&expected_path, format!("{}\n", cx.expected_line()))?;
+        if cli.verify {
+            let replay = cx.plan.run_serial()?;
+            if replay.len() != 1 || shard::report_line(0, &replay[0]) != cx.expected_line() {
+                return Err(format!(
+                    "counterexample {i}: replay of {plan_path} is NOT bit-identical \
+                     to the recorded episode"
+                )
+                .into());
+            }
+        }
+    }
+    if cli.verify {
+        eprintln!(
+            "verify: {} counterexample replay(s) bit-identical",
+            outcome.counterexamples.len()
+        );
+    }
+    let spec = plan.falsify.expect("falsify mode requires the section");
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "falsify: {} counterexample(s) from {} evaluation(s) \
+         ({} restart(s), {} shrink step(s)) in {elapsed:.2} s — {spec}",
+        outcome.counterexamples.len(),
+        outcome.stats.evaluations,
+        outcome.stats.restarts,
+        outcome.stats.shrink_steps,
+    );
+    if let Err(e) = record_bench_field("falsify_stats", &outcome.stats.to_json()) {
+        eprintln!("sweep: could not record falsify stats in BENCH_sweep.json: {e}");
+    }
+    Ok(())
+}
+
+/// Patches provenance JSON (the fleet's [`RemoteRunStats`], a falsification
+/// run's search stats) into `BENCH_sweep.json` under `field` — upserting,
+/// so reruns replace rather than accumulate. No dump in the working
+/// directory, no patch: runs outside a bench workflow stay side-effect
+/// free.
+fn record_bench_field(field: &str, stats: &Json) -> Result<(), Box<dyn std::error::Error>> {
     const PATH: &str = "BENCH_sweep.json";
     let text = match std::fs::read_to_string(PATH) {
         Ok(text) => text,
@@ -657,10 +755,10 @@ fn record_remote_stats(stats: &Json) -> Result<(), Box<dyn std::error::Error>> {
     let Json::Obj(mut pairs) = json else {
         return Err(format!("{PATH}: expected a JSON object").into());
     };
-    pairs.retain(|(key, _)| key != "remote_stats");
-    pairs.push(("remote_stats".to_owned(), stats.clone()));
+    pairs.retain(|(key, _)| key != field);
+    pairs.push((field.to_owned(), stats.clone()));
     std::fs::write(PATH, Json::Obj(pairs).render_pretty())?;
-    eprintln!("sweep: remote stats recorded in {PATH}");
+    eprintln!("sweep: {field} recorded in {PATH}");
     Ok(())
 }
 
@@ -773,6 +871,7 @@ fn main() {
         Mode::Harness => run_harness(cli.scenarios, cli.base_seed, cli.kernel),
         Mode::Worker(shard) => worker_mode(&cli, shard),
         Mode::Plan => run_plan_mode(&cli),
+        Mode::Falsify => run_falsify_mode(&cli),
     };
     if let Err(e) = result {
         eprintln!("sweep: {e}");

@@ -177,15 +177,48 @@ impl BatchRunner {
         self.threads
     }
 
+    /// The default episode body: generate the spec's static world and run
+    /// it through the runtime. [`Self::run`] and [`Self::run_serial`] are
+    /// exactly the generic loops applied to this function.
+    fn static_episode(
+        runtime: &RuntimeLoop,
+        spec: &ScenarioSpec,
+        scratch: &mut EpisodeScratch,
+    ) -> EpisodeReport {
+        let world = spec.world();
+        runtime.run_with(WorldSource::Static(&world), spec.seed, scratch)
+    }
+
     /// Runs every spec and returns reports **in spec order**, fanned out
     /// over the worker pool. Work is distributed dynamically (an atomic
     /// cursor), so stragglers never idle the pool, while per-spec seeding
     /// keeps the output independent of which worker ran what.
     #[must_use]
     pub fn run(&self, specs: &[ScenarioSpec]) -> Vec<EpisodeReport> {
+        self.run_with_episode(specs, Self::static_episode)
+    }
+
+    /// Reference serial loop over the same specs — one scratch, one thread.
+    /// [`Self::run`] must (and does) produce bit-identical output.
+    #[must_use]
+    pub fn run_serial(&self, specs: &[ScenarioSpec]) -> Vec<EpisodeReport> {
+        self.run_serial_with_episode(specs, Self::static_episode)
+    }
+
+    /// [`Self::run`] with a caller-supplied episode body — how the plan
+    /// layer fans out cells whose episodes are not plain static worlds
+    /// (e.g. a `traffic` axis value that lifts each world into a
+    /// [`seo_sim::dynamics::DynamicWorld`]). The determinism contract is
+    /// unchanged *provided* `episode` is a pure function of
+    /// `(runtime, spec)` — the scratch must never influence results.
+    #[must_use]
+    pub fn run_with_episode<F>(&self, specs: &[ScenarioSpec], episode: F) -> Vec<EpisodeReport>
+    where
+        F: Fn(&RuntimeLoop, &ScenarioSpec, &mut EpisodeScratch) -> EpisodeReport + Sync,
+    {
         let workers = self.threads.min(specs.len()).max(1);
         if workers == 1 {
-            return self.run_serial(specs);
+            return self.run_serial_with_episode(specs, episode);
         }
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<EpisodeReport>> = Vec::new();
@@ -195,16 +228,14 @@ impl BatchRunner {
             for _ in 0..workers {
                 let cursor = &cursor;
                 let runtime = &self.runtime;
+                let episode = &episode;
                 handles.push(scope.spawn(move || {
                     let mut scratch = EpisodeScratch::new();
                     let mut local: Vec<(usize, EpisodeReport)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(spec) = specs.get(i) else { break };
-                        let world = spec.world();
-                        let report =
-                            runtime.run_with(WorldSource::Static(&world), spec.seed, &mut scratch);
-                        local.push((i, report));
+                        local.push((i, episode(runtime, spec, &mut scratch)));
                     }
                     local
                 }));
@@ -221,18 +252,20 @@ impl BatchRunner {
             .collect()
     }
 
-    /// Reference serial loop over the same specs — one scratch, one thread.
-    /// [`Self::run`] must (and does) produce bit-identical output.
+    /// [`Self::run_serial`] with a caller-supplied episode body.
     #[must_use]
-    pub fn run_serial(&self, specs: &[ScenarioSpec]) -> Vec<EpisodeReport> {
+    pub fn run_serial_with_episode<F>(
+        &self,
+        specs: &[ScenarioSpec],
+        episode: F,
+    ) -> Vec<EpisodeReport>
+    where
+        F: Fn(&RuntimeLoop, &ScenarioSpec, &mut EpisodeScratch) -> EpisodeReport,
+    {
         let mut scratch = EpisodeScratch::new();
         specs
             .iter()
-            .map(|spec| {
-                let world = spec.world();
-                self.runtime
-                    .run_with(WorldSource::Static(&world), spec.seed, &mut scratch)
-            })
+            .map(|spec| episode(&self.runtime, spec, &mut scratch))
             .collect()
     }
 }

@@ -535,7 +535,7 @@ mod tests {
 
     #[test]
     fn from_cell_mirrors_the_grid_cell() {
-        use crate::plan::{CellConfig, ControllerKind};
+        use crate::plan::{CellConfig, ChannelKind, ControllerKind, TrafficKind};
         use seo_platform::units::Seconds;
         let cell = CellConfig {
             tau_ms: 25.0,
@@ -543,6 +543,8 @@ mod tests {
             control_mode: ControlMode::Unfiltered,
             optimizer: OptimizerKind::ModelGating,
             controller: ControllerKind::TightMargin,
+            channel: ChannelKind::Clean,
+            traffic: TrafficKind::Static,
         };
         let config = ExperimentConfig::from_cell(&cell).expect("valid cell");
         assert_eq!(config.seo.tau, Seconds::from_millis(25.0));

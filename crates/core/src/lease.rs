@@ -267,3 +267,120 @@ impl LeaseQueue {
         state.pending.iter().map(|l| l.shard.len()).sum()
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_larger_than_the_grid_yields_one_full_lease() {
+        // `exec.hosts.chunk` may legitimately exceed the spec count (tiny
+        // smoke grid, generous chunk): the whole range becomes one lease.
+        let queue = LeaseQueue::new(Shard::new(0, 3), 10);
+        assert_eq!(queue.initial_leases(), 1);
+        let lease = queue.pop().expect("the single lease");
+        assert_eq!((lease.shard.start, lease.shard.end), (0, 3));
+        assert_eq!(lease.reissued_from, None);
+        queue.complete();
+        assert!(queue.is_finished());
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn auto_policy_never_resolves_to_an_empty_chunk() {
+        // Fewer specs than 4x hosts would truncate to zero; the clamp keeps
+        // every lease at least one spec wide.
+        assert_eq!(ChunkPolicy::Auto.resolve(3, 8), 1);
+        assert_eq!(ChunkPolicy::Auto.resolve(0, 2), 1);
+        assert_eq!(ChunkPolicy::Fixed(0).resolve(100, 2), 1);
+        // And a zero-host fleet must not divide by zero.
+        assert_eq!(ChunkPolicy::Auto.resolve(24, 0), 6);
+    }
+
+    #[test]
+    fn single_host_fleet_drains_every_lease_in_grid_order() {
+        // One host, auto chunking: 8 specs / (4x1 hosts) = chunks of 2. The
+        // lone host pulls leases back-to-back and sees the grid in order —
+        // no steals, no blocking, `pop` returns `None` exactly at the end.
+        let chunk = ChunkPolicy::Auto.resolve(8, 1);
+        assert_eq!(chunk, 2);
+        let queue = LeaseQueue::new(Shard::new(0, 8), chunk);
+        assert_eq!(queue.initial_leases(), 4);
+        let mut covered = Vec::new();
+        while let Some(lease) = queue.pop() {
+            assert_eq!(lease.reissued_from, None, "nothing to steal from");
+            covered.extend(lease.shard.start..lease.shard.end);
+            queue.complete();
+        }
+        assert_eq!(covered, (0..8).collect::<Vec<_>>());
+        assert!(queue.is_finished());
+        assert_eq!(queue.remaining_specs(), 0);
+    }
+
+    #[test]
+    fn every_host_quarantined_then_readmitted_finishes_the_grid() {
+        // Both hosts of a 2-host fleet fail mid-lease (the coordinator
+        // quarantines them and re-queues their unreported remainders); after
+        // re-admission they pull the stranded ranges back and finish. The
+        // queue must attribute each re-issue to the host that dropped it and
+        // end with zero stranded specs.
+        let queue = LeaseQueue::new(Shard::new(0, 8), 4);
+        assert_eq!(queue.initial_leases(), 2);
+
+        // First connections: host 0 takes [0,4), host 1 takes [4,8).
+        let first = queue.pop().expect("lease for host 0");
+        let second = queue.pop().expect("lease for host 1");
+        assert_eq!((first.shard.start, first.shard.end), (0, 4));
+        assert_eq!((second.shard.start, second.shard.end), (4, 8));
+
+        // Host 0 dies after reporting 1 spec, host 1 after 2 — the whole
+        // fleet is now quarantined with both remainders queued for re-issue
+        // (most recent failure at the front).
+        queue.requeue(Shard::new(1, 4), 0);
+        queue.requeue(Shard::new(6, 8), 1);
+        assert!(!queue.is_finished());
+        assert_eq!(queue.remaining_specs(), 5);
+
+        // Re-admission: the recovered hosts pull the stranded work back.
+        // Each re-issued lease names the host whose failure stranded it.
+        let retry_a = queue.pop().expect("re-issued remainder");
+        let retry_b = queue.pop().expect("re-issued remainder");
+        assert_eq!((retry_a.shard.start, retry_a.shard.end), (6, 8));
+        assert_eq!(retry_a.reissued_from, Some(1));
+        assert_eq!((retry_b.shard.start, retry_b.shard.end), (1, 4));
+        assert_eq!(retry_b.reissued_from, Some(0));
+        queue.complete();
+        queue.complete();
+        assert!(queue.is_finished());
+        assert_eq!(queue.remaining_specs(), 0);
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn blocked_pop_inherits_work_requeued_by_a_dying_holder() {
+        // The empty-queue-but-outstanding case: an idle popper must block —
+        // not give up — while another host still holds a lease, because
+        // that holder may die and strand stealable work.
+        let queue = std::sync::Arc::new(LeaseQueue::new(Shard::new(0, 4), 4));
+        let holder = queue.pop().expect("the single lease");
+        assert_eq!((holder.shard.start, holder.shard.end), (0, 4));
+
+        let stealer = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the stealer time to reach the blocking wait, then fail the
+        // outstanding lease with half the range unreported.
+        std::thread::sleep(Duration::from_millis(20));
+        queue.requeue(Shard::new(2, 4), 0);
+
+        let stolen = stealer
+            .join()
+            .expect("stealer thread")
+            .expect("re-queued remainder must wake the blocked pop");
+        assert_eq!((stolen.shard.start, stolen.shard.end), (2, 4));
+        assert_eq!(stolen.reissued_from, Some(0));
+        queue.complete();
+        assert!(queue.is_finished());
+    }
+}

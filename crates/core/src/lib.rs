@@ -84,6 +84,7 @@ pub mod daemon;
 pub mod discretize;
 pub mod error;
 pub mod experiment;
+pub mod falsify;
 pub mod fault;
 pub mod json;
 pub mod lease;
@@ -107,13 +108,15 @@ pub mod prelude {
     pub use crate::discretize::{discretize_deadline, discretize_period};
     pub use crate::error::SeoError;
     pub use crate::experiment::{ExperimentConfig, ExperimentResult};
+    pub use crate::falsify::{falsify, Counterexample, FalsifyOutcome, FalsifySpec, Objective};
     pub use crate::fault::{FaultAction, FaultInjector, FaultPlan};
     pub use crate::lease::{ChunkPolicy, Lease, LeaseQueue};
     pub use crate::metrics::{DeltaMaxHistogram, EpisodeReport, ModelEnergyReport};
     pub use crate::model::{Criticality, ModelId, ModelSet, PipelineModel};
     pub use crate::optimizer::OptimizerKind;
     pub use crate::plan::{
-        CellConfig, ControllerKind, ExecMode, GridAxes, GridPoint, PlanError, SeedRange, SweepPlan,
+        CellConfig, ChannelKind, ControllerKind, ExecMode, GridAxes, GridPoint, PlanError,
+        SeedRange, SweepPlan, TrafficKind,
     };
     pub use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};

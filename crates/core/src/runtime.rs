@@ -284,6 +284,10 @@ impl RuntimeLoop {
         scratch: &mut EpisodeScratch,
     ) -> EpisodeReport {
         let mut rng = StdRng::seed_from_u64(seed);
+        // The link is copied per episode: a bursty channel's Markov state
+        // advances per transmission, and starting every episode from the
+        // same state is what keeps reports a pure function of (world, seed).
+        let mut link = self.link;
         let tau = self.config.tau;
         let cap = self.config.delta_max_cap();
         let episode_config = EpisodeConfig::default().with_dt(tau);
@@ -307,7 +311,7 @@ impl RuntimeLoop {
                 optimized_slots: 0,
                 offload: OffloadState {
                     inflight: None,
-                    estimator: ResponseEstimator::from_models(&self.link, &self.server),
+                    estimator: ResponseEstimator::from_models(&link, &self.server),
                     issued: 0,
                     successes: 0,
                     fallbacks: 0,
@@ -424,6 +428,7 @@ impl RuntimeLoop {
                             self.offload_slot(
                                 model_state,
                                 model,
+                                &mut link,
                                 now,
                                 interval_start_step,
                                 plan.delta_max,
@@ -493,6 +498,7 @@ impl RuntimeLoop {
         &self,
         model_state: &mut ModelState,
         model: &crate::model::PipelineModel,
+        link: &mut WirelessLink,
         now: Seconds,
         interval_start_step: u64,
         delta_max: u32,
@@ -516,7 +522,7 @@ impl RuntimeLoop {
         // Resolve any already-completed transaction first (its result
         // served a previous period; account its timing for the estimator).
         let _ = Self::resolve_offload(&mut model_state.offload, now);
-        let tx = OffloadTransaction::issue(&self.link, &self.server, now, rng);
+        let tx = OffloadTransaction::issue(link, &self.server, now, rng);
         model_state
             .optimized
             .record(EnergyCategory::Transmission, tx.radio_energy());

@@ -440,7 +440,7 @@ impl ShardPlanner {
 /// Encodes a float for the wire: finite values go through the exact
 /// shortest-round-trip number path, the non-finite sentinels a report can
 /// carry become strings.
-fn f64_to_wire(v: f64) -> Json {
+pub(crate) fn f64_to_wire(v: f64) -> Json {
     if v.is_finite() {
         Json::Num(v)
     } else if v.is_nan() {

@@ -1872,9 +1872,7 @@ fn serve_plan_shard(
             }
         }
         let (_, cell_runtime) = cell.as_ref().expect("cell runtime just built");
-        let world = point.spec.world();
-        let report =
-            cell_runtime.run_with(WorldSource::Static(&world), point.spec.seed, &mut scratch);
+        let report = point.cell.run_spec(cell_runtime, point.spec, &mut scratch);
         let line = injector.garble(shard::report_line(i, &report).into_bytes());
         write_frame(stream, &line)?;
         injector.after_report();

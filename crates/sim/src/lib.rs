@@ -41,6 +41,7 @@ pub mod episode;
 pub mod error;
 pub mod scenario;
 pub mod sensing;
+pub mod traffic;
 pub mod vehicle;
 pub mod world;
 

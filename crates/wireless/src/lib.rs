@@ -28,6 +28,6 @@ pub mod server;
 pub use bursty::GilbertElliottChannel;
 pub use channel::RayleighChannel;
 pub use error::WirelessError;
-pub use link::WirelessLink;
+pub use link::{FadingChannel, WirelessLink};
 pub use offload::{OffloadOutcome, OffloadTransaction, ResponseEstimator};
 pub use server::EdgeServer;

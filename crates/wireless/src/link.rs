@@ -3,10 +3,59 @@
 //! Offload energy in eq. (7) is `E_Ω = T_tx * P_tx`. Transmission latency
 //! follows from the payload size and the sampled effective data rate.
 
+use crate::bursty::GilbertElliottChannel;
 use crate::channel::RayleighChannel;
 use crate::error::WirelessError;
 use rand::Rng;
-use seo_platform::units::{Bits, Joules, Seconds, Watts};
+use seo_platform::units::{Bits, BitsPerSecond, Joules, Seconds, Watts};
+
+/// The link's fading model: the paper's memoryless Rayleigh channel or the
+/// Gilbert–Elliott **bursty** extension ([`crate::bursty`]).
+///
+/// Sampling is stateful in the bursty case (the Markov chain advances one
+/// step per draw), which is why [`WirelessLink::transmit`] takes `&mut
+/// self`. Episode engines copy the link at episode start (`WirelessLink` is
+/// `Copy`), so every episode begins from the same channel state and reports
+/// stay a pure function of `(world, seed)`.
+///
+/// # Example
+///
+/// ```
+/// use seo_wireless::link::FadingChannel;
+/// use seo_wireless::channel::RayleighChannel;
+///
+/// let clean = FadingChannel::Rayleigh(RayleighChannel::paper_default()?);
+/// assert!(clean.mean_rate().as_mbps() > 20.0); // sigma * sqrt(pi/2)
+/// # Ok::<(), seo_wireless::WirelessError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FadingChannel {
+    /// Memoryless Rayleigh fading (the paper's Section VI-A model).
+    Rayleigh(RayleighChannel),
+    /// Two-state Markov-modulated Rayleigh fading (deep-fade bursts).
+    Bursty(GilbertElliottChannel),
+}
+
+impl FadingChannel {
+    /// Long-run mean data rate (the bursty form weighs both states by the
+    /// chain's stationary distribution).
+    #[must_use]
+    pub fn mean_rate(&self) -> BitsPerSecond {
+        match self {
+            Self::Rayleigh(c) => c.mean_rate(),
+            Self::Bursty(c) => c.mean_rate(),
+        }
+    }
+
+    /// Draws one effective data rate, advancing the Markov chain in the
+    /// bursty case.
+    pub fn sample_rate<R: Rng>(&mut self, rng: &mut R) -> BitsPerSecond {
+        match self {
+            Self::Rayleigh(c) => c.sample_rate(rng),
+            Self::Bursty(c) => c.sample_rate(rng),
+        }
+    }
+}
 
 /// A Wi-Fi uplink with a fading channel and a fixed radio power draw.
 ///
@@ -17,7 +66,7 @@ use seo_platform::units::{Bits, Joules, Seconds, Watts};
 /// use rand::rngs::StdRng;
 /// use rand::SeedableRng;
 ///
-/// let link = WirelessLink::paper_default()?;
+/// let mut link = WirelessLink::paper_default()?;
 /// let mut rng = StdRng::seed_from_u64(3);
 /// let tx = link.transmit(&mut rng);
 /// assert!(tx.latency.as_secs() > 0.0);
@@ -26,7 +75,7 @@ use seo_platform::units::{Bits, Joules, Seconds, Watts};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WirelessLink {
-    channel: RayleighChannel,
+    channel: FadingChannel,
     /// Offload payload per inference (compressed frame / feature tensor).
     payload: Bits,
     /// Radio transmission power `P_tx`.
@@ -77,7 +126,7 @@ impl WirelessLink {
             });
         }
         Ok(Self {
-            channel,
+            channel: FadingChannel::Rayleigh(channel),
             payload,
             tx_power,
             protocol_overhead,
@@ -102,9 +151,31 @@ impl WirelessLink {
         )
     }
 
+    /// The paper-scale link over the **bursty** Gilbert–Elliott channel
+    /// ([`GilbertElliottChannel::vehicular_default`]): same payload, radio
+    /// power, and overhead as [`Self::paper_default`], but the effective
+    /// rate now fades in correlated bursts. This is the link the plan
+    /// layer's `channel: bursty` axis value builds.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for API uniformity.
+    pub fn bursty_default() -> Result<Self, WirelessError> {
+        Ok(Self::paper_default()?.with_channel(FadingChannel::Bursty(
+            GilbertElliottChannel::vehicular_default()?,
+        )))
+    }
+
+    /// Returns a copy with a different fading channel (builder style).
+    #[must_use]
+    pub fn with_channel(mut self, channel: FadingChannel) -> Self {
+        self.channel = channel;
+        self
+    }
+
     /// The fading channel.
     #[must_use]
-    pub fn channel(&self) -> &RayleighChannel {
+    pub fn channel(&self) -> &FadingChannel {
         &self.channel
     }
 
@@ -126,7 +197,13 @@ impl WirelessLink {
     ///
     /// Returns [`WirelessError::InvalidConfig`] for an invalid payload.
     pub fn with_payload(self, payload: Bits) -> Result<Self, WirelessError> {
-        Self::new(self.channel, payload, self.tx_power, self.protocol_overhead)
+        if !(payload.is_valid() && payload.as_bits() > 0.0) {
+            return Err(WirelessError::InvalidConfig {
+                field: "payload",
+                constraint: "be finite and positive",
+            });
+        }
+        Ok(Self { payload, ..self })
     }
 
     /// Expected transmission latency at the channel's mean rate.
@@ -135,8 +212,11 @@ impl WirelessLink {
         self.payload / self.channel.mean_rate() + self.protocol_overhead
     }
 
-    /// Samples one transmission (latency and radio energy).
-    pub fn transmit<R: Rng>(&self, rng: &mut R) -> Transmission {
+    /// Samples one transmission (latency and radio energy). `&mut self`
+    /// because a bursty channel's Markov state advances per draw; callers
+    /// that need episode purity copy the link first (`WirelessLink` is
+    /// `Copy`).
+    pub fn transmit<R: Rng>(&mut self, rng: &mut R) -> Transmission {
         let rate = self.channel.sample_rate(rng);
         let latency = self.payload / rate + self.protocol_overhead;
         Transmission {
@@ -164,7 +244,7 @@ mod tests {
 
     #[test]
     fn transmission_energy_is_latency_times_power() {
-        let link = WirelessLink::paper_default().expect("valid");
+        let mut link = WirelessLink::paper_default().expect("valid");
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let tx = link.transmit(&mut rng);
@@ -187,7 +267,7 @@ mod tests {
         // The core premise of the offloading optimization: radio energy per
         // offload (~0.013 J at the mean rate) is roughly a tenth of the
         // local ResNet-152 inference energy (0.119 J).
-        let link = WirelessLink::paper_default().expect("valid");
+        let mut link = WirelessLink::paper_default().expect("valid");
         let mut rng = StdRng::seed_from_u64(2);
         let n = 10_000;
         let mean_energy: f64 = (0..n)

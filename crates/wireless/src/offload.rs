@@ -28,9 +28,11 @@ pub struct OffloadTransaction {
 impl OffloadTransaction {
     /// Issues an offload at absolute time `now`: samples the uplink
     /// transmission and the server latency, and records when the response
-    /// will arrive.
+    /// will arrive. The link is `&mut` because bursty channels advance
+    /// their Markov state per transmission (see
+    /// [`WirelessLink::transmit`]).
     pub fn issue<R: Rng>(
-        link: &WirelessLink,
+        link: &mut WirelessLink,
         server: &EdgeServer,
         now: Seconds,
         rng: &mut R,
@@ -182,9 +184,9 @@ mod tests {
 
     #[test]
     fn transaction_timeline_is_consistent() {
-        let (link, server) = models();
+        let (mut link, server) = models();
         let mut rng = StdRng::seed_from_u64(1);
-        let t = OffloadTransaction::issue(&link, &server, Seconds::new(1.0), &mut rng);
+        let t = OffloadTransaction::issue(&mut link, &server, Seconds::new(1.0), &mut rng);
         assert!(t.completes_at() > t.issued_at());
         assert!(t.response_duration().as_secs() > 0.0);
         assert!(!t.is_complete(Seconds::new(1.0)));
@@ -197,12 +199,12 @@ mod tests {
     fn most_offloads_fit_one_interval_at_paper_settings() {
         // With mean uplink ~10 ms and server ~5.5 ms, a large majority of
         // responses should arrive within 60 ms (3 base periods).
-        let (link, server) = models();
+        let (mut link, server) = models();
         let mut rng = StdRng::seed_from_u64(2);
         let n = 5000;
         let on_time = (0..n)
             .filter(|_| {
-                let t = OffloadTransaction::issue(&link, &server, Seconds::ZERO, &mut rng);
+                let t = OffloadTransaction::issue(&mut link, &server, Seconds::ZERO, &mut rng);
                 t.response_duration().as_millis() <= 60.0
             })
             .count();

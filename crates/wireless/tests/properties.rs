@@ -33,11 +33,11 @@ fn transmission_latency_scales_with_payload() {
         let kb = case_rng.gen_range(1.0..500.0);
         let factor = case_rng.gen_range(1.1..5.0);
         let seed = case_rng.gen_range(0u64..100);
-        let small = WirelessLink::paper_default()
+        let mut small = WirelessLink::paper_default()
             .expect("valid")
             .with_payload(Bits::from_kilobytes(kb))
             .expect("valid payload");
-        let large = small
+        let mut large = small
             .with_payload(Bits::from_kilobytes(kb * factor))
             .expect("valid");
         // Same channel draw order: compare with identical seeds.
@@ -53,13 +53,13 @@ fn transmission_latency_scales_with_payload() {
 #[test]
 fn transaction_completion_is_monotone_in_time() {
     let mut case_rng = StdRng::seed_from_u64(42);
-    let link = WirelessLink::paper_default().expect("valid");
+    let mut link = WirelessLink::paper_default().expect("valid");
     let server = EdgeServer::paper_default().expect("valid");
     for _ in 0..CASES {
         let seed = case_rng.gen_range(0u64..200);
         let issue_at = case_rng.gen_range(0.0..100.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let tx = OffloadTransaction::issue(&link, &server, Seconds::new(issue_at), &mut rng);
+        let tx = OffloadTransaction::issue(&mut link, &server, Seconds::new(issue_at), &mut rng);
         assert!(!tx.is_complete(tx.issued_at()));
         assert!(tx.is_complete(tx.completes_at()));
         assert!(tx.is_complete(tx.completes_at() + Seconds::new(1.0)));
@@ -135,14 +135,14 @@ fn tx_power_scales_energy_linearly() {
         let seed = case_rng.gen_range(0u64..100);
         let power = case_rng.gen_range(0.1..10.0);
         let channel = RayleighChannel::paper_default().expect("valid");
-        let base = WirelessLink::new(
+        let mut base = WirelessLink::new(
             channel,
             Bits::from_kilobytes(25.0),
             Watts::new(power),
             Seconds::from_millis(1.0),
         )
         .expect("valid");
-        let double = WirelessLink::new(
+        let mut double = WirelessLink::new(
             channel,
             Bits::from_kilobytes(25.0),
             Watts::new(power * 2.0),
@@ -155,4 +155,93 @@ fn tx_power_scales_energy_linearly() {
         let b = double.transmit(&mut rng_b);
         assert!((b.energy.as_joules() - 2.0 * a.energy.as_joules()).abs() < 1e-12);
     }
+}
+
+#[test]
+fn gilbert_elliott_streams_are_deterministic_per_seed() {
+    let mut case_rng = StdRng::seed_from_u64(46);
+    for _ in 0..CASES {
+        let seed = case_rng.gen_range(0u64..10_000);
+        let mut a = GilbertElliottChannel::vehicular_default().expect("valid");
+        let mut b = GilbertElliottChannel::vehicular_default().expect("valid");
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let ra = a.sample_rate(&mut rng_a);
+            let rb = b.sample_rate(&mut rng_b);
+            assert_eq!(ra.as_bits_per_second(), rb.as_bits_per_second());
+            assert_eq!(a.state(), b.state());
+        }
+    }
+}
+
+#[test]
+fn gilbert_elliott_copies_restart_from_the_same_state() {
+    // The plan layer copies the link (and thus the channel) per episode;
+    // purity of episode reports rests on a copy restarting the chain from
+    // the original state rather than sharing it.
+    let mut case_rng = StdRng::seed_from_u64(47);
+    for _ in 0..CASES {
+        let seed = case_rng.gen_range(0u64..10_000);
+        let pristine = GilbertElliottChannel::vehicular_default().expect("valid");
+        let mut advanced = pristine;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            advanced.sample_rate(&mut rng);
+        }
+        // A fresh copy of the pristine channel replays the original stream.
+        let mut replay = pristine;
+        let mut rng_replay = StdRng::seed_from_u64(seed);
+        let mut original = pristine;
+        let mut rng_original = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            assert_eq!(
+                replay.sample_rate(&mut rng_replay).as_bits_per_second(),
+                original.sample_rate(&mut rng_original).as_bits_per_second()
+            );
+        }
+    }
+}
+
+#[test]
+fn gilbert_elliott_burst_lengths_match_the_chain_geometry() {
+    // Bad-state dwell times are geometric with mean 1/p_bg (10 for the
+    // vehicular default); good-state dwells with mean 1/p_gb (100). A long
+    // seeded walk must reproduce both within a loose statistical margin.
+    let mut channel = GilbertElliottChannel::vehicular_default().expect("valid");
+    let mut rng = StdRng::seed_from_u64(48);
+    let mut bad_bursts: Vec<usize> = Vec::new();
+    let mut good_bursts: Vec<usize> = Vec::new();
+    let mut current = channel.state();
+    let mut dwell = 0usize;
+    for _ in 0..400_000 {
+        channel.sample_rate(&mut rng);
+        if channel.state() == current {
+            dwell += 1;
+        } else {
+            match current {
+                seo_wireless::bursty::ChannelState::Bad => bad_bursts.push(dwell),
+                seo_wireless::bursty::ChannelState::Good => good_bursts.push(dwell),
+            }
+            current = channel.state();
+            dwell = 1;
+        }
+    }
+    assert!(
+        bad_bursts.len() > 100 && good_bursts.len() > 100,
+        "the walk must visit both states many times ({} bad, {} good bursts)",
+        bad_bursts.len(),
+        good_bursts.len()
+    );
+    let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+    let mean_bad = mean(&bad_bursts);
+    let mean_good = mean(&good_bursts);
+    assert!(
+        (mean_bad - 10.0).abs() < 1.5,
+        "mean bad burst {mean_bad} (expected ~10)"
+    );
+    assert!(
+        (mean_good - 100.0).abs() < 15.0,
+        "mean good burst {mean_good} (expected ~100)"
+    );
 }
