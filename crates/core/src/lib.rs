@@ -26,7 +26,12 @@
 //!   plus the always-local baseline.
 //! * [`runtime`] — the closed control loop tying simulator, controller,
 //!   safety filter, deadline table, scheduler, and energy accounting
-//!   together.
+//!   together, split at the offload transaction into the resumable
+//!   [`runtime::EpisodeTask`] state machine.
+//! * [`reactor`] — the deterministic poll-loop executor (`exec.offload`):
+//!   many episodes in flight per core, parked at offload await points and
+//!   resumed in `(virtual_completion_time, spec_index)` order, so
+//!   scheduling stays a pure function of the seed.
 //! * [`metrics`] — per-episode and per-experiment reports (energy gains,
 //!   δmax histograms, safety evidence).
 //! * [`experiment`] — paper-experiment harness: builds the exact setups of
@@ -92,6 +97,7 @@ pub mod metrics;
 pub mod model;
 pub mod optimizer;
 pub mod plan;
+pub mod reactor;
 pub mod runtime;
 pub mod scheduler;
 pub mod shard;
@@ -118,7 +124,10 @@ pub mod prelude {
         CellConfig, ChannelKind, ControllerKind, ExecMode, GridAxes, GridPoint, PlanError,
         SeedRange, SweepPlan, TrafficKind,
     };
-    pub use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
+    pub use crate::reactor::{NoPacer, OffloadExec, Pacer, Reactor, WallClockPacer};
+    pub use crate::runtime::{
+        EpisodeScratch, EpisodeTask, RuntimeLoop, TaskPoll, TaskSource, WorldSource,
+    };
     pub use crate::scheduler::{SafeScheduler, SlotKind, StepPlan};
     pub use crate::shard::{Shard, ShardError, ShardPlan, ShardPlanner, StreamingMerge};
     pub use crate::transport::{

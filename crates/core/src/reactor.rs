@@ -1,0 +1,448 @@
+//! The deterministic episode reactor: overlapped offload I/O with a
+//! seed-pure completion order.
+//!
+//! Every engine used to run episodes strictly one at a time, blocking for
+//! the full (simulated) offload latency at each transmission — exactly when
+//! the bursty Gilbert–Elliott channels make I/O slowest. The reactor keeps
+//! a **window** of episodes in flight per core instead: each episode is an
+//! [`EpisodeTask`] state machine that parks at its offload await point, and
+//! the reactor resumes whichever parked episode's response arrives first.
+//!
+//! # The determinism argument
+//!
+//! Concurrency usually trades determinism for throughput; the reactor
+//! refuses the trade by never consulting a wall clock:
+//!
+//! 1. **Tasks are isolated.** An [`EpisodeTask`] owns its RNG, link copy,
+//!    scratch, and in-flight transaction; no state is shared between
+//!    episodes, so interleaving their poll segments cannot change what any
+//!    of them computes.
+//! 2. **The ready-queue is virtually timed.** Parked tasks are ordered by
+//!    `(virtual_completion_time, spec_index)` — the episode-clock arrival
+//!    time recorded when the transmission was *issued* (a pure function of
+//!    the seed), with the stable spec index as the tiebreak. Wall-clock
+//!    arrival never participates.
+//! 3. **Delivery is reordered.** Completed reports are buffered and handed
+//!    to the sink in ascending submission order, so downstream NDJSON
+//!    streams are byte-identical to the serial blocking run.
+//!
+//! Scheduling is therefore a pure function of the seed: `in_flight: 1` and
+//! `in_flight: 64` produce the same bytes, which is what lets every engine
+//! — serial, threads, worker processes, hosts — adopt the async path
+//! without renegotiating the bit-identical-merge invariant. See
+//! `docs/async.md` for the lifecycle diagram and measured overlap numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use seo_core::prelude::*;
+//!
+//! let plan = SweepPlan::paper(3, 2023);
+//! let serial = plan.run_serial()?;
+//! let (cell, shard) = plan.cells().remove(0);
+//! let runtime = cell.runtime(KernelBackend::Scalar)?;
+//! let mut reports = Vec::new();
+//! let finished = Reactor::new(4).run(
+//!     shard.indices(),
+//!     |i| cell.spawn_task(&runtime, plan.point_at(i).expect("in grid").spec),
+//!     |_, report| {
+//!         reports.push(report);
+//!         true
+//!     },
+//! );
+//! assert!(finished);
+//! assert_eq!(reports, serial); // overlap never changes a byte
+//! # Ok::<(), seo_core::SeoError>(())
+//! ```
+
+use crate::metrics::EpisodeReport;
+use crate::runtime::{EpisodeTask, TaskPoll};
+use seo_platform::units::Seconds;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How episodes treat offload I/O — the plan's `exec.offload` knob.
+///
+/// Either way the output bytes are identical; async changes only *when*
+/// episode segments execute (and therefore the wall-clock once responses
+/// take real time). Defaults to [`Self::Blocking`], so existing plans are
+/// untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffloadExec {
+    /// Each episode is polled straight through its await points — the
+    /// serial reference behavior.
+    #[default]
+    Blocking,
+    /// A [`Reactor`] keeps up to `in_flight` episodes in flight per worker,
+    /// parking each at its offload await point.
+    Async {
+        /// Window size: how many episodes may be parked or running at once
+        /// on one worker (validated ≥ 1 by the plan layer).
+        in_flight: usize,
+    },
+}
+
+impl OffloadExec {
+    /// The resolved window size: `1` for blocking, `in_flight` otherwise —
+    /// the number `sweep --plan --check` prints.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        match self {
+            Self::Blocking => 1,
+            Self::Async { in_flight } => (*in_flight).max(1),
+        }
+    }
+
+    /// Whether this is the async variant.
+    #[must_use]
+    pub fn is_async(&self) -> bool {
+        matches!(self, Self::Async { .. })
+    }
+}
+
+impl fmt::Display for OffloadExec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Blocking => f.write_str("blocking"),
+            Self::Async { in_flight } => write!(f, "async (in_flight {in_flight})"),
+        }
+    }
+}
+
+/// Ready-queue key: virtual completion time, spec index as the tiebreak.
+/// Total order via `f64::total_cmp` (virtual times are finite, but a heap
+/// must not be able to panic on a comparison).
+#[derive(Debug, Clone, Copy)]
+struct ReadyKey {
+    wake: Seconds,
+    index: usize,
+}
+
+impl ReadyKey {
+    fn order(&self, other: &Self) -> Ordering {
+        self.wake
+            .as_secs()
+            .total_cmp(&other.wake.as_secs())
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ReadyKey {}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order(other)
+    }
+}
+
+/// Maps a task's virtual park/resume points onto wall-clock effects.
+///
+/// The sweep engines use [`NoPacer`] (offload latency is simulated, so
+/// there is nothing to wait for); the bench harness uses
+/// [`WallClockPacer`] to re-introduce real response time and measure the
+/// overlap win honestly. Pacing **never** affects scheduling order — the
+/// ready-queue is popped before the pacer runs.
+pub trait Pacer {
+    /// Called when `index` parks for a response `wait` away in virtual
+    /// time.
+    fn on_park(&mut self, index: usize, wait: Seconds);
+    /// Called immediately before `index` is resumed.
+    fn before_resume(&mut self, index: usize);
+}
+
+/// The no-op pacer: virtual waits cost zero wall-clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPacer;
+
+impl Pacer for NoPacer {
+    fn on_park(&mut self, _index: usize, _wait: Seconds) {}
+    fn before_resume(&mut self, _index: usize) {}
+}
+
+/// A pacer that sleeps `scale` wall-seconds per virtual second of offload
+/// wait, emulating a real server round trip. With a window of 1 every wait
+/// is serialized (the blocking cost model); with a wide window the reactor
+/// overlaps waits across episodes — the `throughput.async` BENCH cell
+/// measures exactly this ratio.
+///
+/// The wall deadline is pinned at park time, so time an episode spends
+/// waiting behind others counts toward its own response window, just as a
+/// real in-flight response keeps traveling while the CPU is busy.
+#[derive(Debug, Clone)]
+pub struct WallClockPacer {
+    scale: f64,
+    deadlines: HashMap<usize, Instant>,
+}
+
+impl WallClockPacer {
+    /// A pacer sleeping `scale` wall-seconds per virtual second (clamped
+    /// non-negative).
+    #[must_use]
+    pub fn new(scale: f64) -> Self {
+        Self {
+            scale: if scale.is_finite() {
+                scale.max(0.0)
+            } else {
+                0.0
+            },
+            deadlines: HashMap::new(),
+        }
+    }
+}
+
+impl Pacer for WallClockPacer {
+    fn on_park(&mut self, index: usize, wait: Seconds) {
+        let secs = wait.as_secs() * self.scale;
+        if secs.is_finite() && secs > 0.0 {
+            self.deadlines
+                .insert(index, Instant::now() + Duration::from_secs_f64(secs));
+        }
+    }
+
+    fn before_resume(&mut self, index: usize) {
+        if let Some(deadline) = self.deadlines.remove(&index) {
+            let now = Instant::now();
+            if deadline > now {
+                std::thread::sleep(deadline - now);
+            }
+        }
+    }
+}
+
+/// The hand-rolled, dependency-free poll-loop executor (see the [module
+/// docs](self) for the determinism argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reactor {
+    window: usize,
+}
+
+impl Reactor {
+    /// A reactor keeping up to `in_flight` episodes in flight (clamped to
+    /// at least 1; a window of 1 *is* the blocking loop).
+    #[must_use]
+    pub fn new(in_flight: usize) -> Self {
+        Self {
+            window: in_flight.max(1),
+        }
+    }
+
+    /// The window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// [`Self::run_paced`] with the no-op pacer — what every sweep engine
+    /// calls.
+    pub fn run<'rt>(
+        &self,
+        indices: impl Iterator<Item = usize>,
+        spawn: impl FnMut(usize) -> EpisodeTask<'rt>,
+        sink: impl FnMut(usize, EpisodeReport) -> bool,
+    ) -> bool {
+        self.run_paced(indices, spawn, &mut NoPacer, sink)
+    }
+
+    /// Drives every spec index through the executor: spawn tasks up to the
+    /// window, park each at its offload await points, resume in
+    /// `(virtual_completion_time, spec_index)` order, and deliver
+    /// `(index, report)` pairs to `sink` in ascending submission order.
+    ///
+    /// `indices` must be ascending (engines hand in contiguous ranges);
+    /// `spawn` builds the task for one index; the sink's return value is a
+    /// stop signal exactly as in `SweepPlan::run_range` — returning `false`
+    /// abandons the remaining episodes and makes this method return
+    /// `false` too.
+    pub fn run_paced<'rt, P: Pacer>(
+        &self,
+        mut indices: impl Iterator<Item = usize>,
+        mut spawn: impl FnMut(usize) -> EpisodeTask<'rt>,
+        pacer: &mut P,
+        mut sink: impl FnMut(usize, EpisodeReport) -> bool,
+    ) -> bool {
+        // Parked tasks, keyed by spec index; every entry has exactly one
+        // heap key.
+        let mut parked: HashMap<usize, EpisodeTask<'rt>> = HashMap::with_capacity(self.window);
+        let mut ready: BinaryHeap<Reverse<ReadyKey>> = BinaryHeap::with_capacity(self.window);
+        // Completed-but-undelivered reports (the reorder buffer) and the
+        // submission order delivery must follow. A buffered report keeps
+        // holding its window slot until delivered, which bounds the buffer
+        // at the window size.
+        let mut completed: BTreeMap<usize, EpisodeReport> = BTreeMap::new();
+        let mut order: VecDeque<usize> = VecDeque::new();
+        loop {
+            // 1. Deliver every report that is next in submission order.
+            while let Some(&front) = order.front() {
+                let Some(report) = completed.remove(&front) else {
+                    break;
+                };
+                order.pop_front();
+                if !sink(front, report) {
+                    return false;
+                }
+            }
+            // 2. Refill the window, polling each fresh task to its first
+            //    park point.
+            while parked.len() + completed.len() < self.window {
+                let Some(index) = indices.next() else { break };
+                order.push_back(index);
+                let mut task = spawn(index);
+                match task.poll() {
+                    TaskPoll::Parked { wake, wait } => {
+                        pacer.on_park(index, wait);
+                        ready.push(Reverse(ReadyKey { wake, index }));
+                        parked.insert(index, task);
+                    }
+                    TaskPoll::Complete(report) => {
+                        completed.insert(index, report);
+                    }
+                }
+            }
+            // 3. Resume the episode whose response arrives first in
+            //    virtual time.
+            let Some(Reverse(key)) = ready.pop() else {
+                if parked.is_empty() && completed.is_empty() && order.is_empty() {
+                    return true;
+                }
+                // Only buffered completions left: loop back to deliver and
+                // refill.
+                continue;
+            };
+            pacer.before_resume(key.index);
+            let task = parked
+                .get_mut(&key.index)
+                .expect("every heap key has a parked task");
+            match task.poll() {
+                TaskPoll::Parked { wake, wait } => {
+                    pacer.on_park(key.index, wait);
+                    ready.push(Reverse(ReadyKey {
+                        wake,
+                        index: key.index,
+                    }));
+                }
+                TaskPoll::Complete(report) => {
+                    parked.remove(&key.index);
+                    completed.insert(key.index, report);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SweepPlan;
+    use seo_nn::kernel::KernelBackend;
+
+    fn run_with_window(plan: &SweepPlan, window: usize) -> Vec<EpisodeReport> {
+        let mut reports = Vec::with_capacity(plan.n_specs());
+        for (cell, shard) in plan.cells() {
+            let runtime = cell.runtime(KernelBackend::Scalar).expect("valid cell");
+            let finished = Reactor::new(window).run(
+                shard.indices(),
+                |i| cell.spawn_task(&runtime, plan.point_at(i).expect("in grid").spec),
+                |_, report| {
+                    reports.push(report);
+                    true
+                },
+            );
+            assert!(finished);
+        }
+        reports
+    }
+
+    #[test]
+    fn any_window_reproduces_the_serial_stream() {
+        let plan = SweepPlan::paper(4, 2023);
+        let serial = plan.run_serial().expect("serial runs");
+        for window in [1, 2, 7, 64] {
+            assert_eq!(
+                run_with_window(&plan, window),
+                serial,
+                "window {window} diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_propagates() {
+        let plan = SweepPlan::paper(3, 11);
+        let (cell, shard) = plan.cells().remove(0);
+        let runtime = cell.runtime(KernelBackend::Scalar).expect("valid cell");
+        let mut delivered = 0usize;
+        let finished = Reactor::new(2).run(
+            shard.indices(),
+            |i| cell.spawn_task(&runtime, plan.point_at(i).expect("in grid").spec),
+            |_, _| {
+                delivered += 1;
+                false
+            },
+        );
+        assert!(!finished, "a refusing sink must stop the reactor");
+        assert_eq!(delivered, 1);
+    }
+
+    #[test]
+    fn ready_key_orders_by_time_then_index() {
+        let a = ReadyKey {
+            wake: Seconds::new(1.0),
+            index: 5,
+        };
+        let b = ReadyKey {
+            wake: Seconds::new(2.0),
+            index: 0,
+        };
+        let c = ReadyKey {
+            wake: Seconds::new(1.0),
+            index: 9,
+        };
+        assert!(a < b, "earlier wake wins");
+        assert!(a < c, "index breaks ties");
+        assert_eq!(a, a);
+    }
+
+    #[test]
+    fn offload_exec_resolves_windows() {
+        assert_eq!(OffloadExec::default(), OffloadExec::Blocking);
+        assert_eq!(OffloadExec::Blocking.window(), 1);
+        assert!(!OffloadExec::Blocking.is_async());
+        let async_exec = OffloadExec::Async { in_flight: 16 };
+        assert_eq!(async_exec.window(), 16);
+        assert!(async_exec.is_async());
+        assert_eq!(async_exec.to_string(), "async (in_flight 16)");
+        assert_eq!(OffloadExec::Blocking.to_string(), "blocking");
+    }
+
+    #[test]
+    fn wall_clock_pacer_serializes_versus_overlaps() {
+        // Two parked "episodes" with 20 ms scaled waits: resuming them
+        // back-to-back after both parked at t=0 must take well under the
+        // 40 ms a serialized pacer would need.
+        let mut pacer = WallClockPacer::new(1.0);
+        let start = Instant::now();
+        pacer.on_park(0, Seconds::from_millis(20.0));
+        pacer.on_park(1, Seconds::from_millis(20.0));
+        pacer.before_resume(0);
+        pacer.before_resume(1);
+        let overlapped = start.elapsed();
+        assert!(
+            overlapped < Duration::from_millis(35),
+            "concurrent parks must overlap, took {overlapped:?}"
+        );
+    }
+}

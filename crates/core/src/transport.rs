@@ -70,6 +70,7 @@ use crate::json::Json;
 use crate::lease::{ChunkPolicy, Lease, LeaseQueue};
 use crate::metrics::EpisodeReport;
 use crate::plan::{CellConfig, SweepPlan};
+use crate::reactor::{OffloadExec, Reactor};
 use crate::runtime::{EpisodeScratch, RuntimeLoop, WorldSource};
 use crate::shard::{self, Shard, ShardError, StreamingMerge};
 use std::fmt;
@@ -1843,8 +1844,11 @@ fn serve_paper_shard(
 /// The plan-job episode loop: a runtime is rebuilt at each cell boundary
 /// the shard crosses (same serial scratch loop as [`SweepPlan::run_range`]),
 /// on **this daemon's** kernel backend — backends are bit-identical, so a
-/// mixed fleet still merges correctly. Returns `Ok(None)` when the fault
-/// injector killed the connection.
+/// mixed fleet still merges correctly. With async offload the inner loop
+/// is a [`Reactor`] per cell segment instead; the reactor delivers reports
+/// in index order, so the fault-injector hook sequence per emitted report
+/// is exactly the blocking one. Returns `Ok(None)` when the fault injector
+/// killed the connection.
 fn serve_plan_shard(
     stream: &mut TcpStream,
     plan: &SweepPlan,
@@ -1853,14 +1857,17 @@ fn serve_plan_shard(
     injector: &mut FaultInjector<'_>,
 ) -> Result<Option<usize>, TransportError> {
     let points = plan.expand();
+    let reactor = match plan.offload {
+        OffloadExec::Blocking => None,
+        OffloadExec::Async { in_flight } => Some(Reactor::new(in_flight)),
+    };
     let mut scratch = EpisodeScratch::new();
     let mut cell: Option<(CellConfig, RuntimeLoop)> = None;
     let mut emitted = 0usize;
-    for i in shard.indices() {
-        if injector.before_report() == FaultAction::Drop {
-            return Ok(None);
-        }
-        let point = &points[i];
+    let mut next = shard.indices().start;
+    let end = shard.indices().end;
+    while next < end {
+        let point = &points[next];
         if cell.as_ref().is_none_or(|(c, _)| *c != point.cell) {
             match point.cell.runtime(runtime.kernel()) {
                 Ok(built) => cell = Some((point.cell, built)),
@@ -1871,12 +1878,53 @@ fn serve_plan_shard(
                 }
             }
         }
-        let (_, cell_runtime) = cell.as_ref().expect("cell runtime just built");
-        let report = point.cell.run_spec(cell_runtime, point.spec, &mut scratch);
-        let line = injector.garble(shard::report_line(i, &report).into_bytes());
-        write_frame(stream, &line)?;
-        injector.after_report();
-        emitted += 1;
+        let (cell_config, cell_runtime) = cell.as_ref().expect("cell runtime just built");
+        // The contiguous run of indices sharing this cell.
+        let mut seg_end = next + 1;
+        while seg_end < end && points[seg_end].cell == *cell_config {
+            seg_end += 1;
+        }
+        match &reactor {
+            None => {
+                for (i, point) in points.iter().enumerate().take(seg_end).skip(next) {
+                    if injector.before_report() == FaultAction::Drop {
+                        return Ok(None);
+                    }
+                    let report = cell_config.run_spec(cell_runtime, point.spec, &mut scratch);
+                    let line = injector.garble(shard::report_line(i, &report).into_bytes());
+                    write_frame(stream, &line)?;
+                    injector.after_report();
+                    emitted += 1;
+                }
+            }
+            Some(reactor) => {
+                let mut outcome: Result<(), TransportError> = Ok(());
+                let mut dropped = false;
+                let finished = reactor.run(
+                    next..seg_end,
+                    |i| cell_config.spawn_task(cell_runtime, points[i].spec),
+                    |i, report| {
+                        if injector.before_report() == FaultAction::Drop {
+                            dropped = true;
+                            return false;
+                        }
+                        let line = injector.garble(shard::report_line(i, &report).into_bytes());
+                        if let Err(e) = write_frame(stream, &line) {
+                            outcome = Err(e);
+                            return false;
+                        }
+                        injector.after_report();
+                        emitted += 1;
+                        true
+                    },
+                );
+                outcome?;
+                if dropped || !finished {
+                    return Ok(None);
+                }
+            }
+        }
+        next = seg_end;
     }
     if injector.before_report() == FaultAction::Drop {
         return Ok(None);

@@ -1,2 +1,119 @@
-//! Integration-test host crate: the actual tests live in the workspace-level `tests/` directory.
+//! Integration-test host crate: the actual tests live in the workspace-level
+//! `tests/` directory. The crate itself exports the cross-suite assertion
+//! helpers those tests share — most importantly
+//! [`assert_all_engines_bit_identical`], the statement of the repo's
+//! determinism invariant as one importable function.
 #![forbid(unsafe_code)]
+
+use seo_core::prelude::*;
+use seo_core::reactor::OffloadExec;
+use seo_core::shard::{parse_report_line, report_line, ShardPlanner, StreamingMerge};
+use seo_core::transport::{HostPool, HostSpec, RemoteCoordinator, WorkerServer};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Starts an in-process `seo-sweepd`-style worker on an OS-assigned
+/// loopback port and returns its address. Plan jobs ship the plan inline,
+/// so the legacy runtime handed to `serve` is never consulted by them.
+///
+/// # Panics
+///
+/// Panics when the loopback socket cannot be bound or the paper runtime
+/// cannot be built — both unconditional test-environment failures.
+#[must_use]
+pub fn spawn_loopback_worker() -> SocketAddr {
+    let server = WorkerServer::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let config = SeoConfig::paper_defaults();
+    let models = ModelSet::paper_setup(config.tau).expect("paper models");
+    let runtime =
+        Arc::new(RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("runtime"));
+    std::thread::spawn(move || {
+        let _ = server.serve(runtime, None);
+    });
+    addr
+}
+
+/// The determinism invariant as one assertion: the plan's merged NDJSON is
+/// byte-identical to the **blocking serial** run in all four engines —
+/// serial, in-process threads, the sharded worker/merge composition (the
+/// process engine's core, with shards merged in worst-case reversed
+/// order), and loopback TCP hosts. The plan is run exactly as given (in
+/// particular with its `exec.offload` setting), while the baseline is the
+/// same grid forced to `OffloadExec::Blocking` — so calling this with an
+/// async plan asserts the reactor changes nothing but the overlap.
+///
+/// Returns the baseline reports so callers can chain further assertions.
+///
+/// # Panics
+///
+/// Panics when any engine fails to run or any engine's wire bytes diverge
+/// from the blocking serial baseline.
+pub fn assert_all_engines_bit_identical(plan: &SweepPlan) -> Vec<EpisodeReport> {
+    let wire = |reports: &[EpisodeReport]| -> Vec<String> {
+        reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| report_line(i, r))
+            .collect()
+    };
+    let baseline = plan
+        .clone()
+        .with_offload(OffloadExec::Blocking)
+        .run_serial()
+        .expect("blocking serial baseline");
+    assert_eq!(baseline.len(), plan.n_specs());
+    let expected = wire(&baseline);
+
+    // Engine 1: the serial loop (a reactor when the plan is async).
+    let serial = plan.run_serial().expect("serial engine");
+    assert_eq!(wire(&serial), expected, "serial vs blocking baseline");
+
+    // Engine 2: the in-process thread pool.
+    let threads = plan.run_threads(3).expect("threads engine");
+    assert_eq!(wire(&threads), expected, "threads vs blocking baseline");
+
+    // Engine 3: the sharded worker path — every shard rendered to wire
+    // lines, fed to the streaming merge in worst-case (reversed) order.
+    let n = plan.n_specs();
+    let shard_plan = ShardPlanner::new(3).plan_clamped(n).expect("shard plan");
+    let mut merge = StreamingMerge::new(n);
+    let mut drained = Vec::new();
+    for &shard in shard_plan.shards().iter().rev() {
+        let mut lines = Vec::new();
+        plan.run_range(shard, plan.kernel, |i, report| {
+            lines.push(report_line(i, &report));
+            true
+        })
+        .expect("worker shard runs");
+        for line in &lines {
+            let (index, report) = parse_report_line(line).expect("valid wire line");
+            merge.accept(index, report).expect("accepted");
+            drained.extend(merge.drain_ready());
+        }
+    }
+    drained.extend(merge.finish().expect("merge completes"));
+    assert_eq!(
+        wire(&drained),
+        expected,
+        "worker merge vs blocking baseline"
+    );
+
+    // Engine 4: loopback TCP hosts pulling plan-inline jobs.
+    let pool = HostPool::new(
+        (0..2)
+            .map(|_| HostSpec {
+                addr: spawn_loopback_worker().to_string(),
+                capacity: 1,
+            })
+            .collect(),
+    )
+    .expect("valid pool");
+    let (merged, stats) = RemoteCoordinator::new(pool)
+        .run_plan(plan)
+        .expect("hosts engine");
+    assert!(stats.hosts_lost.is_empty(), "no host losses expected");
+    assert_eq!(wire(&merged), expected, "hosts vs blocking baseline");
+
+    baseline
+}

@@ -1,0 +1,47 @@
+//! Workspace properties of the async episode engine: for in-flight windows
+//! {1, 4, 64} × {clean, bursty} channels × all four execution engines, the
+//! merged NDJSON stream is byte-identical to the serial **blocking** run.
+//! The invariant itself lives in
+//! [`seo_integration::assert_all_engines_bit_identical`] so other suites
+//! (chaos, falsify) can import the identical statement.
+
+use seo_core::prelude::*;
+use seo_integration::assert_all_engines_bit_identical;
+
+/// The property grid: two obstacle counts over one channel kind, small
+/// enough that the full four-engine matrix stays cheap, rich enough that
+/// episodes genuinely offload (the paper preset's offloading optimizer).
+fn grid(channel: ChannelKind) -> SweepPlan {
+    SweepPlan::paper(2, 2023)
+        .with_obstacles(vec![0, 2])
+        .with_channels(vec![channel])
+}
+
+/// Every window is a scheduling choice, never a semantic one. Window 1
+/// pins the degenerate reactor to the blocking stream; window 64 exceeds
+/// the grid, so the whole sweep is in flight at once.
+#[test]
+fn async_windows_match_blocking_serial_on_the_clean_channel() {
+    for in_flight in [1usize, 4, 64] {
+        let plan = grid(ChannelKind::Clean).with_offload(OffloadExec::Async { in_flight });
+        assert_all_engines_bit_identical(&plan);
+    }
+}
+
+/// The motivating case: the bursty Gilbert–Elliott channel stretches
+/// offload waits in correlated bursts — exactly when overlap pays — and
+/// the completion order must still be a pure function of the seed.
+#[test]
+fn async_windows_match_blocking_serial_on_the_bursty_channel() {
+    for in_flight in [1usize, 4, 64] {
+        let plan = grid(ChannelKind::Bursty).with_offload(OffloadExec::Async { in_flight });
+        assert_all_engines_bit_identical(&plan);
+    }
+}
+
+/// The helper also accepts a blocking plan: all four engines against the
+/// plain serial loop, the pre-reactor statement of the invariant.
+#[test]
+fn blocking_plans_still_satisfy_the_engine_invariant() {
+    assert_all_engines_bit_identical(&grid(ChannelKind::Bursty));
+}

@@ -363,6 +363,75 @@ fn garbled_report_is_fatal_and_never_retried() {
     assert!(stats.reissues >= 1, "the stranded remnant needs a re-issue");
 }
 
+/// The async executor under the chaos layer: a plan with
+/// `exec.offload.async` served by daemons injecting connection stalls and
+/// mid-job drops still merges bit-identically to the blocking serial run,
+/// and every loss stays inside the existing transient taxonomy — no new
+/// failure class leaks from the reactor.
+#[test]
+fn async_plan_survives_stalls_and_drops_with_a_bit_identical_merge() {
+    let plan = SweepPlan::paper(SCENARIOS, SEED)
+        .with_channels(vec![ChannelKind::Bursty])
+        .with_offload(OffloadExec::Async { in_flight: 4 });
+    let serial = plan
+        .clone()
+        .with_offload(OffloadExec::Blocking)
+        .run_serial()
+        .expect("blocking serial baseline");
+
+    // One host stalls every report, one drops each job after its first
+    // report (stranding remnants for re-issue), one behaves. Leases are
+    // pinned to 2 specs so the dropper genuinely strands work.
+    let stalling = spawn_daemon(faulty("stall-ms=100"));
+    let dropping = spawn_daemon(faulty("drop-after=1"));
+    let healthy = spawn_daemon(DaemonConfig::default());
+    let pool = pool_of(
+        &[(stalling.addr, 1), (dropping.addr, 1), (healthy.addr, 1)],
+        RetryPolicy::default(),
+    )
+    .with_chunk(ChunkPolicy::Fixed(2));
+    let (merged, stats) = RemoteCoordinator::new(pool)
+        .run_plan(&plan)
+        .expect("survivable chaos");
+    assert_eq!(merged, serial, "chaos merge must reproduce serial");
+    for lost in &stats.hosts_lost {
+        assert_eq!(
+            lost.class,
+            FaultClass::Transient,
+            "drops and stalls are transient, never a new class: {lost:?}"
+        );
+    }
+}
+
+/// A garbled frame under the async executor is exactly as fatal as under
+/// the blocking loop: the host dies unretried, the remnant is re-issued,
+/// and the merged stream still reproduces the blocking serial bytes.
+#[test]
+fn async_plan_garble_stays_fatal_and_the_survivor_completes_the_merge() {
+    let plan = SweepPlan::paper(SCENARIOS, SEED).with_offload(OffloadExec::Async { in_flight: 4 });
+    let serial = plan
+        .clone()
+        .with_offload(OffloadExec::Blocking)
+        .run_serial()
+        .expect("blocking serial baseline");
+
+    let corrupt = spawn_daemon(faulty("garble=1,seed=7"));
+    let healthy = spawn_daemon(DaemonConfig::default());
+    let pool = pool_of(
+        &[(corrupt.addr, 2), (healthy.addr, 1)],
+        RetryPolicy::default(),
+    )
+    .with_chunk(ChunkPolicy::Fixed(2));
+    let (merged, stats) = RemoteCoordinator::new(pool)
+        .run_plan(&plan)
+        .expect("survives the garble");
+    assert_eq!(merged, serial);
+    assert_eq!(stats.hosts_lost.len(), 1);
+    assert_eq!(stats.hosts_lost[0].class, FaultClass::Fatal);
+    assert_eq!(stats.retries, 0, "fatal faults must never be retried");
+    assert!(stats.reissues >= 1, "the stranded remnant needs a re-issue");
+}
+
 /// Wire compatibility: the daemon serves a hand-assembled v1 (legacy
 /// paper-grid) job frame and a v2 (plan-bearing) frame, answering each
 /// with report payloads byte-for-byte identical to the serial wire lines.

@@ -153,6 +153,44 @@ fn committed_counterexample_corpus_replays_to_the_recorded_bytes() {
     }
 }
 
+/// Async offload must not perturb the falsification search: the same
+/// violations fall out in the same order with a byte-identical evaluation
+/// trace, and every emitted replay plan inherits the async exec section so
+/// its regression replay exercises the reactor path.
+#[test]
+fn falsify_search_is_identical_with_async_offload_on_and_off() {
+    let blocking = demo_plan(12, 7);
+    let with_async = blocking
+        .clone()
+        .with_offload(OffloadExec::Async { in_flight: 8 });
+    let off = falsify(&blocking).expect("blocking search");
+    let on = falsify(&with_async).expect("async search");
+
+    assert_eq!(
+        off.stats.to_json().render(),
+        on.stats.to_json().render(),
+        "async offload must not steer the search"
+    );
+    assert!(!off.counterexamples.is_empty(), "preset exposes violations");
+    assert_eq!(off.counterexamples.len(), on.counterexamples.len());
+    for (a, b) in off.counterexamples.iter().zip(&on.counterexamples) {
+        assert_eq!(a.expected_line(), b.expected_line(), "violating episode");
+        assert_eq!(a.value.to_bits(), b.value.to_bits(), "objective value");
+        assert_eq!((a.obstacles, a.seed), (b.obstacles, b.seed), "scenario");
+        assert_eq!(
+            b.plan.offload,
+            OffloadExec::Async { in_flight: 8 },
+            "replay plan must inherit the async exec"
+        );
+        let replayed = b.plan.run_serial().expect("async replay runs");
+        assert_eq!(
+            report_line(0, &replayed[0]),
+            b.expected_line(),
+            "async replay must be bit-identical"
+        );
+    }
+}
+
 /// The four-engine property with the new axes in play: a grid over the
 /// bursty Gilbert–Elliott channel and moving-obstacle traffic merges
 /// bit-identically — field-wise and on the wire — through the serial loop,
