@@ -14,7 +14,9 @@
 //! two dumps used the same thread count (otherwise it is informational —
 //! comparing a 1-thread baseline to a 4-thread run measures the machine,
 //! not the code). Speedups (fresh faster than baseline) always pass; the
-//! gate is one-sided.
+//! gate is one-sided. Unknown top-level keys in a dump (provenance blocks
+//! from newer sweeps, e.g. `report_stats`) are skipped with a warning —
+//! never a failure — so the gate stays forward-compatible.
 
 use seo_bench::json::Json;
 use seo_bench::report::Table;
@@ -25,6 +27,18 @@ struct Throughput {
     parallel_ns_per_step: f64,
 }
 
+/// Top-level `BENCH_sweep.json` keys this gate understands. Provenance
+/// blocks later sweeps patch in (`remote_stats`, `falsify_stats`,
+/// `report_stats`, …) ride along in the dump; an unknown key is a newer
+/// producer, not a broken one — warn and keep gating on what we know.
+const KNOWN_KEYS: [&str; 5] = [
+    "schema",
+    "throughput",
+    "remote_stats",
+    "falsify_stats",
+    "report_stats",
+];
+
 fn load(path: &str) -> Result<Throughput, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -34,6 +48,17 @@ fn load(path: &str) -> Result<Throughput, String> {
         .ok_or_else(|| format!("{path}: missing schema"))?;
     if schema != "seo-bench-sweep/v1" {
         return Err(format!("{path}: unexpected schema '{schema}'"));
+    }
+    if let Json::Obj(pairs) = &json {
+        for (key, _) in pairs {
+            if !KNOWN_KEYS.contains(&key.as_str()) {
+                eprintln!(
+                    "note: {path}: skipping unknown top-level key '{key}' \
+                     (newer producer; the gate only reads: {})",
+                    KNOWN_KEYS.join(", ")
+                );
+            }
+        }
     }
     let throughput = json
         .get("throughput")

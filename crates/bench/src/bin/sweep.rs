@@ -6,8 +6,14 @@
 //! (obstacles × τ × gating × control mode × optimizer × controller × seeds)
 //! and the execution machinery (serial / threads / worker processes / TCP
 //! hosts), runs it, and streams the merged NDJSON report lines to stdout.
-//! `--check` validates and summarizes a plan without running anything.
-//! Committed presets live in `examples/plans/`.
+//! A plan with a `report` section additionally folds exactly-associative
+//! per-cell sketches (`seo_core::agg`): mode `summary` replaces the
+//! episode stream with per-cell summary NDJSON (byte-identical across all
+//! four engines — no per-episode line crosses a process or host
+//! boundary), `both` appends it after the episode stream, and
+//! `report.book` upserts a named-run row into the committed results book
+//! (see `docs/reporting.md`). `--check` validates and summarizes a plan
+//! without running anything. Committed presets live in `examples/plans/`.
 //!
 //! **Legacy flags desugar into plans**: `--workers N` / `--hosts FILE` /
 //! `--worker START..END` with `--scenarios`/`--seed` build the paper-preset
@@ -377,7 +383,9 @@ const USAGE_TEMPLATE: &str = "usage: sweep [MODE] [OPTIONS]\n\
     modes:\n  \
     (none)                  throughput + sensitivity harness, writes BENCH_sweep.json\n  \
     --plan FILE             run the sweep plan in FILE (serial / threads / processes /\n                          \
-    hosts per its exec section); see docs/plans.md and\n                          \
+    hosts per its exec section); a report section switches\n                          \
+    stdout to per-cell summary NDJSON and can name a results\n                          \
+    book (docs/reporting.md); see docs/plans.md and\n                          \
     examples/plans/\n  \
     --workers N [--verify]  multi-process coordinator over N local worker processes\n  \
     --hosts FILE [--verify] multi-host coordinator over the seo-sweepd pool in FILE\n                          \
@@ -580,9 +588,24 @@ fn parse_cli() -> Result<CliOutcome, String> {
 /// through the same serial scratch loop every mode uses, streaming one wire
 /// line per episode. Stdout carries **only** protocol lines; anything human
 /// goes to stderr.
+///
+/// When the plan's report mode is pure `summary`, the shard folds locally
+/// and stdout carries exactly **one** [`shard::summary_line`] — per-episode
+/// NDJSON never crosses the process boundary (the coordinator rejects a
+/// summary-mode worker that prints more than one line).
 fn worker_mode(cli: &Cli, shard: Shard) -> Result<(), Box<dyn std::error::Error>> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+    if !cli.plan.emits_episodes() {
+        let mut summary = cli.plan.run_summary();
+        cli.plan.run_range(shard, cli.kernel, |i, report| {
+            summary.record(i, &report);
+            true
+        })?;
+        writeln!(out, "{}", shard::summary_line(shard, &summary.fragment()))?;
+        out.flush()?;
+        return Ok(());
+    }
     let mut write_error: Option<std::io::Error> = None;
     // A failed write (e.g. the coordinator died and the pipe broke) stops
     // the shard immediately — no point computing episodes nobody reads.
@@ -626,6 +649,9 @@ fn check_mode(cli: &Cli) {
     if let Some(falsify) = &plan.falsify {
         println!("  falsify: {falsify}");
     }
+    if let Some(report) = &plan.report {
+        println!("  report: {report}");
+    }
     println!(
         "  exec: {}, kernel '{}', timeout {} s, verify {}",
         plan.mode, plan.kernel, plan.timeout_secs, plan.verify
@@ -650,13 +676,85 @@ fn check_mode(cli: &Cli) {
     }
 }
 
+/// The argv that re-invokes this binary as a worker process for the
+/// effective plan: a file-loaded plan travels by path (workers reload the
+/// identical grid — and with it the report section), the desugared paper
+/// plan as the legacy grid flags it came from. Either way the effective
+/// kernel is forwarded so workers run the backend the operator chose.
+fn worker_invocation(cli: &Cli) -> std::io::Result<(std::path::PathBuf, Vec<String>)> {
+    let program = std::env::current_exe()?;
+    let mut args: Vec<String> = match &cli.plan_path {
+        Some(path) => vec!["--plan".to_owned(), path.clone()],
+        None => vec![
+            "--scenarios".to_owned(),
+            cli.scenarios.to_string(),
+            "--seed".to_owned(),
+            cli.base_seed.to_string(),
+        ],
+    };
+    args.extend(["--kernel".to_owned(), cli.plan.kernel.name().to_owned()]);
+    Ok((program, args))
+}
+
+/// Prints the fleet's loss record and structured stats to stderr, records
+/// them in `BENCH_sweep.json` when a harness run left one behind, and
+/// returns the human label for the closing summary line.
+fn report_fleet(pool: &HostPool, stats: &RemoteRunStats) -> String {
+    for loss in &stats.hosts_lost {
+        eprintln!(
+            "sweep: host {} lost to a {} fault ({}); {} spec(s) re-queued for re-issue",
+            loss.addr, loss.class, loss.message, loss.reassigned
+        );
+    }
+    // Structured fleet summary: one machine-readable stderr line, and —
+    // when a harness run left BENCH_sweep.json behind — the same object
+    // recorded there as provenance.
+    let stats_json = stats.to_json();
+    eprintln!("sweep: remote stats {}", stats_json.render());
+    if let Err(e) = record_bench_field("remote_stats", &stats_json) {
+        eprintln!("sweep: could not record remote stats in BENCH_sweep.json: {e}");
+    }
+    format!(
+        "over {} host(s) (chunk {}, {} lease(s), {} re-issue(s), \
+         {} steal(s), {} retry(ies), {} quarantine(s), {} readmission(s))",
+        pool.hosts().len(),
+        stats.chunk,
+        stats.leases,
+        stats.reissues,
+        stats.steals,
+        stats.retries,
+        stats.quarantines,
+        stats.readmissions
+    )
+}
+
+/// The engine leg of a book row's run id.
+fn engine_name(mode: &ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Serial => "serial",
+        ExecMode::Threads(_) => "threads",
+        ExecMode::Processes(_) => "processes",
+        ExecMode::Hosts(_) => "hosts",
+    }
+}
+
 /// Runs the effective plan per its execution mode, streaming merged wire
 /// lines to stdout, then verifies against the in-process serial rerun when
 /// asked. One function, four engines — the tentpole of the plan API.
+///
+/// Report routing: pure `summary` mode diverts to
+/// [`run_summary_plan_mode`] (no episode line is ever written, and the
+/// distributed engines ship sketches instead of episodes); `both` keeps
+/// the episode stream and folds a [`RunSummary`] from it locally, emitting
+/// the per-cell summary lines after the episode stream ends.
 fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let plan = &cli.plan;
+    if !plan.emits_episodes() {
+        return run_summary_plan_mode(cli);
+    }
     let start = Instant::now();
     let stdout = std::io::stdout();
+    let mut fold = plan.emits_summary().then(|| plan.run_summary());
     let mut merged: Vec<EpisodeReport> =
         Vec::with_capacity(if cli.verify { plan.n_specs() } else { 0 });
     let mut streamed = 0usize;
@@ -674,6 +772,9 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         streamed += 1;
+        if let Some(summary) = fold.as_mut() {
+            summary.record(i, &report);
+        }
         if cli.verify {
             merged.push(report);
         }
@@ -694,24 +795,9 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             format!("over {threads} thread(s)")
         }
         ExecMode::Processes(workers) => {
-            // Re-invoke this binary as worker processes. A file-loaded plan
-            // is passed by path (workers reload and expand the identical
-            // grid); the desugared paper plan travels as the legacy grid
-            // flags it came from. Either way the coordinator forwards the
-            // effective kernel so workers run the backend the operator
-            // chose.
+            // Re-invoke this binary as worker processes.
             let shard_plan = ShardPlanner::new(*workers).plan(plan.n_specs())?;
-            let program = std::env::current_exe()?;
-            let mut args: Vec<String> = match &cli.plan_path {
-                Some(path) => vec!["--plan".to_owned(), path.clone()],
-                None => vec![
-                    "--scenarios".to_owned(),
-                    cli.scenarios.to_string(),
-                    "--seed".to_owned(),
-                    cli.base_seed.to_string(),
-                ],
-            };
-            args.extend(["--kernel".to_owned(), plan.kernel.name().to_owned()]);
+            let (program, args) = worker_invocation(cli)?;
             let coordinator = Coordinator::new(program).with_args(args);
             coordinator.run_streaming(&shard_plan, |i, report| {
                 sink(i, report);
@@ -724,32 +810,7 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             let stats = coordinator.run_plan_streaming(plan, |i, report| {
                 sink(i, report);
             })?;
-            let n_hosts = pool.hosts().len();
-            for loss in &stats.hosts_lost {
-                eprintln!(
-                    "sweep: host {} lost to a {} fault ({}); {} spec(s) re-queued for re-issue",
-                    loss.addr, loss.class, loss.message, loss.reassigned
-                );
-            }
-            // Structured fleet summary: one machine-readable stderr line,
-            // and — when a harness run left BENCH_sweep.json behind — the
-            // same object recorded there as provenance.
-            let stats_json = stats.to_json();
-            eprintln!("sweep: remote stats {}", stats_json.render());
-            if let Err(e) = record_bench_field("remote_stats", &stats_json) {
-                eprintln!("sweep: could not record remote stats in BENCH_sweep.json: {e}");
-            }
-            format!(
-                "over {n_hosts} host(s) (chunk {}, {} lease(s), {} re-issue(s), \
-                 {} steal(s), {} retry(ies), {} quarantine(s), {} readmission(s))",
-                stats.chunk,
-                stats.leases,
-                stats.reissues,
-                stats.steals,
-                stats.retries,
-                stats.quarantines,
-                stats.readmissions
-            )
+            report_fleet(pool, &stats)
         }
     };
     if let Some(e) = write_error {
@@ -764,6 +825,158 @@ fn run_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if cli.verify {
         verify_against_plan_serial(plan, &merged)?;
     }
+    if let Some(summary) = &fold {
+        emit_summary(cli, summary, elapsed)?;
+    }
+    Ok(())
+}
+
+/// Pure `summary` report mode: no per-episode NDJSON leaves any engine.
+/// Serial and threads fold in-process; worker processes each print exactly
+/// one [`shard::summary_line`] for their shard
+/// ([`Coordinator::run_summaries`] rejects anything more); hosts ship one
+/// all-or-nothing summary wire frame per lease
+/// ([`RemoteCoordinator::run_plan_summary`]). Stdout carries only the
+/// folded per-cell summary lines — byte-identical across all four engines
+/// because every sketch operation is exactly associative and fragments
+/// fold in spec-index order (see `docs/reporting.md`).
+fn run_summary_plan_mode(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let plan = &cli.plan;
+    let start = Instant::now();
+    let mut summary = plan.run_summary();
+    let label: String = match &plan.mode {
+        ExecMode::Serial => {
+            plan.run_range(Shard::new(0, plan.n_specs()), plan.kernel, |i, report| {
+                summary.record(i, &report);
+                true
+            })?;
+            "serially".to_owned()
+        }
+        ExecMode::Threads(threads) => {
+            for (i, report) in plan.run_threads(*threads)?.into_iter().enumerate() {
+                summary.record(i, &report);
+            }
+            format!("over {threads} thread(s)")
+        }
+        ExecMode::Processes(workers) => {
+            let shard_plan = ShardPlanner::new(*workers).plan(plan.n_specs())?;
+            let (program, args) = worker_invocation(cli)?;
+            let coordinator = Coordinator::new(program).with_args(args);
+            summary.fold_fragments(coordinator.run_summaries(&shard_plan)?)?;
+            format!("over {} worker process(es)", shard_plan.shards().len())
+        }
+        ExecMode::Hosts(pool) => {
+            let coordinator = RemoteCoordinator::new(pool.clone())
+                .with_timeout(std::time::Duration::from_secs_f64(plan.timeout_secs));
+            let (folded, stats) = coordinator.run_plan_summary(plan)?;
+            summary = folded;
+            report_fleet(pool, &stats)
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let episodes = summary.episodes();
+    eprintln!(
+        "plan sweep: {episodes} scenario(s) {label} in {elapsed:.2} s ({:.1}/s), \
+         summary mode ({} cell line(s), no episode stream)",
+        episodes as f64 / elapsed.max(1e-12),
+        summary.cells().len(),
+    );
+    if cli.verify {
+        verify_against_serial_summary(plan, &summary)?;
+    }
+    emit_summary(cli, &summary, elapsed)
+}
+
+/// Writes the folded per-cell summary NDJSON to stdout, upserts the
+/// results-book row when the report section names a book, and records
+/// `report_stats` provenance in `BENCH_sweep.json` when a harness dump is
+/// present. Timing feeds only the book and provenance — never the
+/// byte-compared summary stream.
+fn emit_summary(
+    cli: &Cli,
+    summary: &RunSummary,
+    elapsed_secs: f64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let report = cli
+        .plan
+        .report
+        .as_ref()
+        .expect("summary emission requires a report section");
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in summary.lines(&report.quantiles) {
+        writeln!(out, "{line}")?;
+    }
+    out.flush()?;
+    drop(out);
+    let engine = engine_name(&cli.plan.mode);
+    let scenarios_per_sec = summary.episodes() as f64 / elapsed_secs.max(1e-12);
+    if let Some(book) = &report.book {
+        let overall = summary.overall();
+        let stem = cli.plan_path.as_deref().map_or("paper", |p| {
+            std::path::Path::new(p)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("plan")
+        });
+        let row = seo_bench::book::BookRow {
+            run_id: format!("{stem}/{engine}/{}", cli.plan.kernel.name()),
+            timestamp_secs: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            grid: format!(
+                "{} specs / {} cells",
+                cli.plan.n_specs(),
+                cli.plan.cells().len()
+            ),
+            scenarios_per_sec,
+            energy_gain_mean: overall.energy_gain.mean(),
+            delta_max_p50: overall.delta_max.quantile(0.5),
+            delta_max_p99: overall.delta_max.quantile(0.99),
+        };
+        seo_bench::book::upsert(book, &row).map_err(|e| format!("report.book {book}: {e}"))?;
+        eprintln!("sweep: book row '{}' upserted in {book}", row.run_id);
+    }
+    let stats = Json::obj(vec![
+        ("mode", report.mode.name().into()),
+        (
+            "quantiles",
+            Json::Arr(report.quantiles.iter().map(|q| (*q).into()).collect()),
+        ),
+        ("engine", engine.into()),
+        ("cells", summary.cells().len().into()),
+        ("episodes", summary.episodes().into()),
+        ("scenarios_per_sec", scenarios_per_sec.into()),
+        (
+            "book",
+            report.book.as_deref().map_or(Json::Null, Json::from),
+        ),
+    ]);
+    if let Err(e) = record_bench_field("report_stats", &stats) {
+        eprintln!("sweep: could not record report stats in BENCH_sweep.json: {e}");
+    }
+    Ok(())
+}
+
+/// Reruns the grid serially in-process, folds it, and fails unless the
+/// rendered summary lines are **byte-identical** to the merged fold.
+fn verify_against_serial_summary(
+    plan: &SweepPlan,
+    merged: &RunSummary,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let report = plan
+        .report
+        .as_ref()
+        .expect("summary mode requires a report section");
+    let mut serial = plan.run_summary();
+    for (i, r) in plan.run_serial()?.into_iter().enumerate() {
+        serial.record(i, &r);
+    }
+    if serial.lines(&report.quantiles) != merged.lines(&report.quantiles) {
+        return Err("merged summary is NOT bit-identical to the serial fold".into());
+    }
+    eprintln!("verify: merged summary is bit-identical to the serial fold");
     Ok(())
 }
 

@@ -14,7 +14,10 @@
 //! `seo-sweepd` worker daemon serves plan-bearing jobs over
 //! `seo_core::transport` (see `ARCHITECTURE.md` at the repository root,
 //! `docs/plans.md` for the plan schema, and `docs/benchmarks.md` for the
-//! `BENCH_sweep.json` schema and CI perf gate).
+//! `BENCH_sweep.json` schema and CI perf gate). Sweeps whose plan carries
+//! a `report` section additionally fold per-cell sketches and upsert a
+//! named-run row into the committed results book via [`book`] (see
+//! `docs/reporting.md`).
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod book;
 pub mod cells;
 pub mod json;
 pub mod report;

@@ -26,7 +26,12 @@
 //! v1/v2 job frames from pre-daemon clients are served unchanged — the
 //! first frame of a connection is dispatched by
 //! [`crate::transport::parse_daemon_request`], and anything that is not a
-//! `health`/`shutdown` verb takes the classic job path.
+//! `health`/`shutdown` verb takes the classic job path. A plan job whose
+//! report mode is pure `summary` flows through the same path but ships a
+//! single [`crate::transport::summary_frame`] sketch payload instead of
+//! per-episode frames ([`crate::agg`]); the `episodes_emitted` counter
+//! still advances by the episodes *run*, so health accounting is
+//! identical across report modes.
 //!
 //! The full lifecycle, frame grammar, and operational notes live in
 //! `docs/sweepd.md`.

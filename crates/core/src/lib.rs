@@ -34,6 +34,11 @@
 //!   scheduling stays a pure function of the seed.
 //! * [`metrics`] — per-episode and per-experiment reports (energy gains,
 //!   δmax histograms, safety evidence).
+//! * [`agg`] — streaming aggregation: exactly-associative per-cell
+//!   sketches ([`agg::CellSketch`]) and the spec-index-ordered
+//!   [`agg::RunSummary`] fold, configured by the `report` plan section —
+//!   merged summary output is bit-identical regardless of which engine,
+//!   shard, or lease produced each fragment.
 //! * [`experiment`] — paper-experiment harness: builds the exact setups of
 //!   Figures 1/5/6 and Tables I/II/III.
 //! * [`plan`] — the unified [`plan::SweepPlan`]: one declarative, validated,
@@ -82,6 +87,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod batch;
 pub mod config;
 pub mod controller;
@@ -107,6 +113,9 @@ pub use error::SeoError;
 
 /// Convenient re-exports of the most used framework types.
 pub mod prelude {
+    pub use crate::agg::{
+        CellSketch, QuantileSketch, ReportMode, ReportSpec, RunSummary, StatSketch,
+    };
     pub use crate::batch::{BatchRunner, ScenarioSpec};
     pub use crate::config::{ControlMode, EnergyAccounting, OffloadFallback, SeoConfig};
     pub use crate::controller::Controller;

@@ -107,7 +107,38 @@ impl DeltaMaxHistogram {
             .map(|(v, &c)| (v as u32, c))
     }
 
-    /// Merges another histogram into this one.
+    /// The q-th quantile of the sampled δmax values (`None` when empty),
+    /// using the ceiling-rank convention: `quantile(0.0)` is the minimum
+    /// sampled value, `quantile(1.0)` the maximum. Exact — the histogram
+    /// holds the full integer distribution, so unlike a float sketch this
+    /// is the true order statistic.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        if self.total == 0 {
+            return None;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q * self.total as f64).ceil() as usize).clamp(1, self.total);
+        let mut cumulative = 0usize;
+        for (v, c) in self.iter() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(v);
+            }
+        }
+        self.iter().last().map(|(v, _)| v)
+    }
+
+    /// Merges another histogram into this one: dense count-array addition,
+    /// preserving the nonzero-tail invariant (only bins `other` actually
+    /// populated are touched). Pure integer addition, so merging is exactly
+    /// associative and commutative — the property [`crate::agg`] relies on
+    /// to keep merged summary output bit-identical regardless of how the
+    /// grid was fragmented across shards, leases, or hosts.
     pub fn merge(&mut self, other: &Self) {
         for (v, c) in other.iter() {
             let idx = v.min(Self::SATURATION) as usize;
@@ -427,6 +458,98 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(4), 2);
         assert_eq!(a.count(2), 1);
+    }
+
+    /// Deterministic pseudo-random histogram for the merge properties
+    /// below (an inline LCG keeps the test dependency-free).
+    fn arbitrary_histogram(seed: u64) -> DeltaMaxHistogram {
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        let mut h = DeltaMaxHistogram::new();
+        for _ in 0..(next() % 20) {
+            // Mostly small δmax values, occasionally a saturating one.
+            let v = match next() % 10 {
+                9 => u32::MAX,
+                _ => (next() % 6) as u32,
+            };
+            h.record_n(v, (next() % 4) as usize);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_property_commutative_and_associative() {
+        for seed in 0..50 {
+            let a = arbitrary_histogram(seed * 3);
+            let b = arbitrary_histogram(seed * 3 + 1);
+            let c = arbitrary_histogram(seed * 3 + 2);
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative (seed {seed})");
+            let mut ab_c = ab.clone();
+            ab_c.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut a_bc = a.clone();
+            a_bc.merge(&bc);
+            assert_eq!(ab_c, a_bc, "merge must be associative (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn merge_property_matches_record_replay() {
+        // Merging must equal replaying every (value, count) pair of both
+        // operands into a fresh histogram — i.e. merge adds distributions.
+        for seed in 0..50 {
+            let a = arbitrary_histogram(seed * 2);
+            let b = arbitrary_histogram(seed * 2 + 1);
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let mut replayed = DeltaMaxHistogram::new();
+            for (v, c) in a.iter().chain(b.iter()) {
+                replayed.record_n(v, c);
+            }
+            assert_eq!(merged, replayed, "seed {seed}");
+            assert_eq!(merged.total(), a.total() + b.total());
+        }
+    }
+
+    #[test]
+    fn merge_property_preserves_nonzero_tail() {
+        // The dense backing's invariant: the last element, when present,
+        // is nonzero. Merging an empty or shorter histogram must never
+        // grow a zero tail (that would break derived equality).
+        for seed in 0..50 {
+            let mut a = arbitrary_histogram(seed);
+            let before = a.clone();
+            a.merge(&DeltaMaxHistogram::new());
+            assert_eq!(a, before, "merging empty is the identity (seed {seed})");
+            let b = arbitrary_histogram(seed + 1000);
+            a.merge(&b);
+            if let Some(&last) = a.counts.last() {
+                assert!(last > 0, "nonzero-tail invariant broken (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_is_the_exact_order_statistic() {
+        let mut h = DeltaMaxHistogram::new();
+        for v in [1, 1, 2, 3, 3, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3)); // rank ceil(3.5)=4 -> value 3
+        assert_eq!(h.quantile(0.99), Some(4));
+        assert_eq!(h.quantile(1.0), Some(4));
+        assert_eq!(DeltaMaxHistogram::new().quantile(0.5), None);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::agg::{ReportSpec, RunSummary};
 use crate::batch::{BatchRunner, ScenarioSpec};
 use crate::config::{ControlMode, SeoConfig};
 use crate::controller::Controller;
@@ -719,6 +720,11 @@ pub struct SweepPlan {
     /// --falsify` searches this grid for violating episodes instead of
     /// enumerating it (see [`crate::falsify`]).
     pub falsify: Option<FalsifySpec>,
+    /// Optional report section: what the sweep emits (per-episode stream,
+    /// per-cell summary sketches, or both) and where the results-book row
+    /// goes (see [`crate::agg`]). Absent means the classic episodes-only
+    /// behavior.
+    pub report: Option<ReportSpec>,
 }
 
 impl SweepPlan {
@@ -734,6 +740,7 @@ impl SweepPlan {
             offload: OffloadExec::default(),
             verify: false,
             falsify: None,
+            report: None,
         }
     }
 
@@ -849,6 +856,40 @@ impl SweepPlan {
     pub fn with_falsify(mut self, falsify: FalsifySpec) -> Self {
         self.falsify = Some(falsify);
         self
+    }
+
+    /// Sets the report section (builder style).
+    #[must_use]
+    pub fn with_report(mut self, report: ReportSpec) -> Self {
+        self.report = Some(report);
+        self
+    }
+
+    /// Whether this plan emits the per-episode NDJSON stream (true for
+    /// plans without a `report` section).
+    #[must_use]
+    pub fn emits_episodes(&self) -> bool {
+        self.report
+            .as_ref()
+            .is_none_or(|r| r.mode.includes_episodes())
+    }
+
+    /// Whether this plan emits the per-cell summary block. In pure
+    /// `summary` mode (`emits_episodes()` false) workers and daemons fold
+    /// sketches locally and no per-episode line crosses a process or host
+    /// boundary.
+    #[must_use]
+    pub fn emits_summary(&self) -> bool {
+        self.report
+            .as_ref()
+            .is_some_and(|r| r.mode.includes_summary())
+    }
+
+    /// An empty [`RunSummary`] shaped for this plan's grid (one sketch per
+    /// cell, cell-major spec indexing).
+    #[must_use]
+    pub fn run_summary(&self) -> RunSummary {
+        RunSummary::new(self.axes.n_cells(), self.axes.specs_per_cell())
     }
 
     // -- shape ---------------------------------------------------------------
@@ -1056,6 +1097,9 @@ impl SweepPlan {
         if let Some(falsify) = &self.falsify {
             falsify.check(&mut |field, message| problems.push(field, message));
         }
+        if let Some(report) = &self.report {
+            report.check(&mut |field, message| problems.push(field, message));
+        }
         // try_from_secs_f64 also rules out values a Duration cannot
         // represent, which would otherwise panic at the point of use.
         if self.timeout_secs <= 0.0
@@ -1153,6 +1197,9 @@ impl SweepPlan {
         if let Some(falsify) = &self.falsify {
             pairs.push(("falsify", falsify.to_json()));
         }
+        if let Some(report) = &self.report {
+            pairs.push(("report", report.to_json()));
+        }
         Json::obj(pairs)
     }
 
@@ -1190,8 +1237,11 @@ impl SweepPlan {
             return problems.into_result(plan);
         };
         for (key, _) in pairs {
-            if !matches!(key.as_str(), "v" | "axes" | "exec" | "falsify") {
-                problems.push(key, "unknown field (expected: v, axes, exec, falsify)");
+            if !matches!(key.as_str(), "v" | "axes" | "exec" | "falsify" | "report") {
+                problems.push(
+                    key,
+                    "unknown field (expected: v, axes, exec, falsify, report)",
+                );
             }
         }
         match json.get("v").and_then(Json::as_i64) {
@@ -1208,6 +1258,11 @@ impl SweepPlan {
         }
         if let Some(falsify) = json.get("falsify") {
             plan.falsify = FalsifySpec::parse_into(falsify, &mut |field, message| {
+                problems.push(field, message);
+            });
+        }
+        if let Some(report) = json.get("report") {
+            plan.report = ReportSpec::parse_into(report, &mut |field, message| {
                 problems.push(field, message);
             });
         }

@@ -452,7 +452,7 @@ pub(crate) fn f64_to_wire(v: f64) -> Json {
     }
 }
 
-fn f64_from_wire(v: &Json, field: &str) -> Result<f64, ShardError> {
+pub(crate) fn f64_from_wire(v: &Json, field: &str) -> Result<f64, ShardError> {
     match v {
         Json::Str(s) => match s.as_str() {
             "inf" => Ok(f64::INFINITY),
@@ -650,7 +650,7 @@ fn model_from_json(json: &Json) -> Result<ModelEnergyReport, ShardError> {
     })
 }
 
-fn histogram_to_json(histogram: &DeltaMaxHistogram) -> Json {
+pub(crate) fn histogram_to_json(histogram: &DeltaMaxHistogram) -> Json {
     Json::Arr(
         histogram
             .iter()
@@ -659,7 +659,7 @@ fn histogram_to_json(histogram: &DeltaMaxHistogram) -> Json {
     )
 }
 
-fn histogram_from_json(json: &Json) -> Result<DeltaMaxHistogram, ShardError> {
+pub(crate) fn histogram_from_json(json: &Json) -> Result<DeltaMaxHistogram, ShardError> {
     let pairs = json
         .as_arr()
         .ok_or_else(|| wire_err("histogram: expected an array"))?;
@@ -760,6 +760,45 @@ pub fn parse_report_line(line: &str) -> Result<(usize, EpisodeReport), ShardErro
         get_usize(&json, "index")?,
         report_from_json(get(&json, "report")?)?,
     ))
+}
+
+/// One summary-mode worker-output line: the sketch fragment a worker
+/// folded its whole shard into, stamped with
+/// [`crate::agg::SUMMARY_VERSION`]. In `report.mode = "summary"` this is
+/// the **only** stdout a worker produces — no per-episode line crosses
+/// the process boundary.
+#[must_use]
+pub fn summary_line(shard: Shard, cells: &[crate::agg::CellSketch]) -> String {
+    Json::obj(vec![
+        ("v", crate::agg::SUMMARY_VERSION.into()),
+        ("shard", shard.to_string().into()),
+        ("cells", crate::agg::cells_to_json(cells)),
+    ])
+    .render()
+}
+
+/// Parses one summary wire line into `(shard, fragment)`.
+///
+/// # Errors
+///
+/// [`ShardError::Wire`] on malformed JSON, a version mismatch, or invalid
+/// sketch fields.
+pub fn parse_summary_line(line: &str) -> Result<(Shard, Vec<crate::agg::CellSketch>), ShardError> {
+    let json = Json::parse(line).map_err(|e| wire_err(e.to_string()))?;
+    let version = get(&json, "v")?
+        .as_i64()
+        .ok_or_else(|| wire_err("v: expected an integer"))?;
+    if version != i64::try_from(crate::agg::SUMMARY_VERSION).unwrap_or(i64::MAX) {
+        return Err(wire_err(format!(
+            "summary version {version} (this build speaks {})",
+            crate::agg::SUMMARY_VERSION
+        )));
+    }
+    let shard = get(&json, "shard")?
+        .as_str()
+        .ok_or_else(|| wire_err("shard: expected a string"))?
+        .parse::<Shard>()?;
+    Ok((shard, crate::agg::cells_from_json(get(&json, "cells")?)?))
 }
 
 // ---------------------------------------------------------------------------
@@ -1043,6 +1082,106 @@ impl Coordinator {
             .finish()?;
         debug_assert!(leftovers.is_empty(), "streamed merge cannot hold a tail");
         Ok(())
+    }
+
+    /// Summary-mode counterpart of [`Self::run_streaming`]: spawns every
+    /// worker and collects the **one** summary wire line each must emit
+    /// (its shard's sketch fragment), instead of per-episode report lines.
+    /// No per-episode NDJSON crosses the process boundary — a worker that
+    /// emits an episode line in this mode fails the run as a protocol
+    /// violation. Fragments come back in shard order (spec-index order),
+    /// ready for [`crate::agg::RunSummary::fold_fragments`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::WorkerFailed`] naming the offending shard when a
+    /// worker cannot be spawned, crashes, emits malformed output, emits a
+    /// summary for the wrong shard, or emits anything but exactly one
+    /// summary line.
+    pub fn run_summaries(
+        &self,
+        plan: &ShardPlan,
+    ) -> Result<Vec<(Shard, Vec<crate::agg::CellSketch>)>, ShardError> {
+        ShardPlan::from_shards(plan.shards().to_vec(), plan.n_specs())?;
+        let mut failures: Vec<ShardError> = Vec::new();
+        let mut fragments: Vec<Option<(Shard, Vec<crate::agg::CellSketch>)>> =
+            (0..plan.shards().len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(plan.shards().len());
+            for (shard_index, &shard) in plan.shards().iter().enumerate() {
+                handles.push(scope.spawn(move || self.drive_summary_worker(shard_index, shard)));
+            }
+            for (slot, handle) in fragments.iter_mut().zip(handles) {
+                match handle.join().expect("coordinator worker thread panicked") {
+                    Ok(fragment) => *slot = Some(fragment),
+                    Err(e) => failures.push(e),
+                }
+            }
+        });
+        if let Some(first) = failures.into_iter().next() {
+            return Err(first);
+        }
+        Ok(fragments
+            .into_iter()
+            .map(|slot| slot.expect("no failure implies every slot is filled"))
+            .collect())
+    }
+
+    /// Spawns one summary-mode worker and collects its single summary line.
+    fn drive_summary_worker(
+        &self,
+        shard_index: usize,
+        shard: Shard,
+    ) -> Result<(Shard, Vec<crate::agg::CellSketch>), ShardError> {
+        let fail = |message: String| ShardError::WorkerFailed {
+            shard_index,
+            shard,
+            message,
+        };
+        let output = Command::new(&self.program)
+            .args(&self.common_args)
+            .arg("--worker")
+            .arg(shard.to_string())
+            .stdin(Stdio::null())
+            .output()
+            .map_err(|e| fail(format!("spawn failed: {e}")))?;
+        let stderr_note = || {
+            let tail = String::from_utf8_lossy(&output.stderr);
+            let trimmed = tail.trim();
+            if trimmed.is_empty() {
+                String::new()
+            } else {
+                let tail_start = trimmed.char_indices().rev().nth(399).map_or(0, |(i, _)| i);
+                format!("; stderr: {}", &trimmed[tail_start..])
+            }
+        };
+        if !output.status.success() {
+            return Err(fail(format!(
+                "exited with {}{}",
+                output.status,
+                stderr_note()
+            )));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let mut lines = stdout.lines().filter(|l| !l.trim().is_empty());
+        let line = lines
+            .next()
+            .ok_or_else(|| fail(format!("emitted no summary line{}", stderr_note())))?;
+        if lines.next().is_some() {
+            return Err(fail(
+                "emitted more than one line in summary mode (per-episode output must not \
+                 cross the process boundary)"
+                    .to_owned(),
+            ));
+        }
+        let (reported_shard, cells) =
+            parse_summary_line(line).map_err(|e| fail(format!("protocol violation: {e}")))?;
+        if reported_shard != shard {
+            return Err(fail(format!(
+                "summary covers shard {reported_shard}, expected {shard}"
+            )));
+        }
+        Ok((shard, cells))
     }
 
     /// Spawns and fully consumes one worker. Runs on its own coordinator

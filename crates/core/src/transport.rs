@@ -14,7 +14,10 @@
 //!    [`crate::shard::report_line`] NDJSON the process-level protocol
 //!    already speaks; TCP merely carries them. Control frames (`job`,
 //!    `done`, `error`, `busy`, `health`, `shutdown`) are JSON objects
-//!    distinguished by a `"type"` field.
+//!    distinguished by a `"type"` field, as is the `summary` frame — the
+//!    one whole-shard sketch payload a job ships instead of episode
+//!    frames when its plan's report mode is pure `summary`
+//!    ([`crate::agg`]).
 //! 2. **[`HostPool`]** — the `--hosts hosts.json` configuration, parsed and
 //!    validated by [`crate::json`]: duplicate addresses, zero capacities,
 //!    blank addresses, and empty pools are rejected **before** any
@@ -64,6 +67,7 @@
 //! # Ok::<(), seo_core::transport::TransportError>(())
 //! ```
 
+use crate::agg::{CellSketch, RunSummary};
 use crate::batch::ScenarioSpec;
 use crate::fault::{FaultAction, FaultInjector, FaultPlan};
 use crate::json::Json;
@@ -425,6 +429,18 @@ pub enum WorkerMsg {
         /// The daemon's concurrent-job cap (0 while draining).
         cap: usize,
     },
+    /// The whole job shard folded into per-cell sketches — the one frame a
+    /// worker sends (before `done`) when the job's plan runs in pure
+    /// `summary` report mode. All-or-nothing per connection attempt: a
+    /// worker that dies mid-shard has shipped *nothing*, so the
+    /// coordinator re-issues the full remainder and each episode is folded
+    /// exactly once.
+    Summary {
+        /// The exact shard the fragment covers.
+        shard: Shard,
+        /// Non-empty per-cell sketch fragments for that shard.
+        cells: Vec<CellSketch>,
+    },
 }
 
 /// Encodes the `done` control frame.
@@ -434,6 +450,23 @@ pub fn done_frame(count: usize) -> Vec<u8> {
         ("v", shard::WIRE_VERSION.into()),
         ("type", "done".into()),
         ("count", count.into()),
+    ])
+    .render()
+    .into_bytes()
+}
+
+/// Encodes the `summary` frame: one worker's whole-shard sketch fragment,
+/// the only payload (besides `done`) that crosses the wire in pure
+/// `summary` report mode. The `cells` array is byte-for-byte
+/// [`crate::agg::cells_to_json`], so folding at the coordinator is
+/// independent of which host produced the fragment.
+#[must_use]
+pub fn summary_frame(shard: Shard, cells: &[CellSketch]) -> Vec<u8> {
+    Json::obj(vec![
+        ("v", shard::WIRE_VERSION.into()),
+        ("type", "summary".into()),
+        ("shard", shard.to_string().into()),
+        ("cells", crate::agg::cells_to_json(cells)),
     ])
     .render()
     .into_bytes()
@@ -657,6 +690,16 @@ pub fn parse_worker_frame(payload: &[u8]) -> Result<WorkerMsg, TransportError> {
             active: get_usize(&json, "active")?,
             cap: get_usize(&json, "cap")?,
         }),
+        "summary" => {
+            let shard = get(&json, "shard")?
+                .as_str()
+                .ok_or_else(|| frame_err("shard: expected a string"))?
+                .parse::<Shard>()
+                .map_err(|e| frame_err(e.to_string()))?;
+            let cells = crate::agg::cells_from_json(get(&json, "cells")?)
+                .map_err(|e| frame_err(e.to_string()))?;
+            Ok(WorkerMsg::Summary { shard, cells })
+        }
         other => Err(frame_err(format!("unknown frame type '{other}'"))),
     }
 }
@@ -1106,6 +1149,10 @@ impl RemoteRunStats {
     }
 }
 
+/// Per-lease sketch fragments collected in pure `summary` report mode, in
+/// arrival order.
+type SummaryFragments = Vec<(Shard, Vec<CellSketch>)>;
+
 /// Shared merge state: the merge plus the streaming sink it feeds, under
 /// one lock so reports are sunk in exactly merge order (the same discipline
 /// as the process-level coordinator). `accepted`/`by_host` feed the
@@ -1115,6 +1162,12 @@ struct MergeState<'a> {
     sink: &'a mut (dyn FnMut(usize, EpisodeReport) + Send),
     accepted: usize,
     by_host: Vec<usize>,
+    /// Sketch fragments in pure `summary` report mode (arrival order —
+    /// [`RunSummary::fold_fragments`] re-sorts by shard start, so the fold
+    /// is independent of lease scheduling). `accepted` still advances by
+    /// the fragment's episode count, keeping the quarantine-readmission
+    /// progress rule engine-agnostic.
+    summaries: SummaryFragments,
 }
 
 /// A lease-level failure: what remains of the lease's shard, why, and how
@@ -1289,7 +1342,55 @@ impl RemoteCoordinator {
                 shard,
             },
             sink,
+            false,
         )
+        .map(|(stats, _)| stats)
+    }
+
+    /// Runs a pure-`summary` plan across the pool: each lease comes back
+    /// as one all-or-nothing [`summary_frame`] sketch fragment — no
+    /// per-episode NDJSON crosses the host boundary — and the fragments
+    /// are folded into the plan's [`RunSummary`] in spec-index order. The
+    /// folded state is bit-identical to folding [`SweepPlan::run_serial`]
+    /// locally, host count, lease schedule, and mid-lease host deaths
+    /// included: a worker that dies before its frame has shipped nothing
+    /// (the full remainder re-queues), and a worker whose frame arrived
+    /// but whose `done` handshake was lost leaves an empty remainder, so
+    /// every episode is folded exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Config`] when the plan's report mode still
+    /// streams episodes (fold a [`Self::run_plan_streaming`] sink
+    /// instead); otherwise the same as [`Self::run`].
+    pub fn run_plan_summary(
+        &self,
+        plan: &SweepPlan,
+    ) -> Result<(RunSummary, RemoteRunStats), TransportError> {
+        if plan.emits_episodes() {
+            return Err(TransportError::Config {
+                message: "run_plan_summary needs report mode 'summary'; this plan still \
+                          streams episodes — fold a run_plan_streaming sink instead"
+                    .to_owned(),
+            });
+        }
+        let n_specs = plan.n_specs();
+        let (stats, fragments) = self.stream_grid(
+            n_specs,
+            &|shard| JobRequest {
+                scenarios: n_specs,
+                seed: plan.axes.seeds.base,
+                plan: Some(plan.clone()),
+                shard,
+            },
+            |_, _| {},
+            true,
+        )?;
+        let mut summary = plan.run_summary();
+        summary
+            .fold_fragments(fragments)
+            .map_err(TransportError::Merge)?;
+        Ok((summary, stats))
     }
 
     /// Like [`Self::run`], but delivers each report to `sink` while hosts
@@ -1316,19 +1417,25 @@ impl RemoteCoordinator {
                 shard,
             },
             sink,
+            false,
         )
+        .map(|(stats, _)| stats)
     }
 
     /// The shared dispatch loop: carves `n_specs` grid indices into
     /// chunk-sized leases and runs one pull loop per host, building each
     /// lease's request through `make_request` (which fixes the grid
-    /// encoding — legacy paper-grid parameters or an inline plan).
+    /// encoding — legacy paper-grid parameters or an inline plan). With
+    /// `expect_summary` the streamed merge is bypassed: hosts ship one
+    /// sketch fragment per lease instead of episode frames, and the
+    /// collected fragments are returned for the caller to fold.
     fn stream_grid(
         &self,
         n_specs: usize,
         make_request: &(dyn Fn(Shard) -> JobRequest + Sync),
         mut sink: impl FnMut(usize, EpisodeReport) + Send,
-    ) -> Result<RemoteRunStats, TransportError> {
+        expect_summary: bool,
+    ) -> Result<(RemoteRunStats, SummaryFragments), TransportError> {
         let n_hosts = self.pool.hosts().len();
         let chunk = self.pool.chunk().resolve(n_specs, n_hosts);
         let addr_counts = || {
@@ -1345,7 +1452,7 @@ impl RemoteCoordinator {
             ..RemoteRunStats::default()
         };
         if n_specs == 0 {
-            return Ok(stats);
+            return Ok((stats, Vec::new()));
         }
         let queue = LeaseQueue::new(Shard::new(0, n_specs), chunk);
         stats.leases = queue.initial_leases();
@@ -1354,6 +1461,7 @@ impl RemoteCoordinator {
             sink: &mut sink,
             accepted: 0,
             by_host: vec![0; n_hosts],
+            summaries: Vec::new(),
         });
         let shared = SchedulerShared {
             jobs: AtomicUsize::new(0),
@@ -1403,9 +1511,19 @@ impl RemoteCoordinator {
         for (slot, count) in stats.episodes_by_host.iter_mut().zip(&final_state.by_host) {
             slot.1 = *count;
         }
+        if expect_summary {
+            // No episode ever entered the merge; coverage is structural —
+            // the queue only finishes once every lease completed, and a
+            // lease completes only after its full-shard fragment arrived.
+            debug_assert_eq!(
+                final_state.accepted, n_specs,
+                "a finished lease queue covers the grid"
+            );
+            return Ok((stats, final_state.summaries));
+        }
         let leftovers = final_state.merge.finish()?;
         debug_assert!(leftovers.is_empty(), "streamed merge cannot hold a tail");
-        Ok(stats)
+        Ok((stats, final_state.summaries))
     }
 
     /// One host's pull loop: pull a lease, run it, repeat until the queue
@@ -1596,6 +1714,10 @@ impl RemoteCoordinator {
             .map_err(|e| DriveError::transient(format!("socket setup for {}: {e}", host.addr)))?;
         write_frame(&mut stream, &request.to_frame())
             .map_err(|e| DriveError::from_transport(&e))?;
+        // In pure `summary` report mode the worker folds the whole job
+        // shard locally and ships one sketch frame; any per-episode report
+        // frame on the wire is a protocol violation (and vice versa).
+        let summary_only = request.plan.as_ref().is_some_and(|p| !p.emits_episodes());
         loop {
             let payload = read_frame(&mut stream)
                 .map_err(|e| DriveError::from_transport(&e))?
@@ -1608,6 +1730,12 @@ impl RemoteCoordinator {
                 })?;
             match parse_worker_frame(&payload).map_err(|e| DriveError::from_transport(&e))? {
                 WorkerMsg::Report { index, report } => {
+                    if summary_only {
+                        return Err(DriveError::fatal(format!(
+                            "episode report frame for index {index} in summary mode \
+                             (per-episode NDJSON must not cross the host boundary)"
+                        )));
+                    }
                     if *next >= request.shard.end {
                         return Err(DriveError::fatal(format!(
                             "report {index} after shard {} completed",
@@ -1626,6 +1754,7 @@ impl RemoteCoordinator {
                         sink,
                         accepted,
                         by_host,
+                        ..
                     } = &mut *guard;
                     merge
                         .accept(index, report)
@@ -1655,6 +1784,27 @@ impl RemoteCoordinator {
                         )));
                     }
                     return Ok(());
+                }
+                WorkerMsg::Summary { shard, cells } => {
+                    if !summary_only {
+                        return Err(DriveError::fatal(format!(
+                            "summary frame for shard {shard} on a job that streams episodes"
+                        )));
+                    }
+                    let expected = Shard::new(*next, request.shard.end);
+                    if shard != expected {
+                        return Err(DriveError::fatal(format!(
+                            "summary frame covers shard {shard}, expected the full job \
+                             shard {expected} (summary fragments are all-or-nothing per \
+                             connection)"
+                        )));
+                    }
+                    let mut guard = state.lock().expect("merge mutex poisoned");
+                    guard.accepted += shard.len();
+                    guard.by_host[host_index] += shard.len();
+                    guard.summaries.push((shard, cells));
+                    drop(guard);
+                    *next = shard.end;
                 }
                 WorkerMsg::Error { message } => {
                     // The worker looked at the job and rejected it — a
@@ -1849,6 +1999,14 @@ fn serve_paper_shard(
 /// in index order, so the fault-injector hook sequence per emitted report
 /// is exactly the blocking one. Returns `Ok(None)` when the fault injector
 /// killed the connection.
+///
+/// When the plan's report mode is pure `summary`, no episode frame is
+/// written at all: every report folds into a local [`RunSummary`] and the
+/// shard ships as **one** [`summary_frame`] right before `done`. The
+/// per-episode fault-injector hook sequence is unchanged (the chaos
+/// schedule stays engine-agnostic), and an injected drop at any point
+/// means the connection dies with *nothing* shipped — all-or-nothing, so
+/// a re-issued lease folds each episode exactly once.
 fn serve_plan_shard(
     stream: &mut TcpStream,
     plan: &SweepPlan,
@@ -1861,6 +2019,7 @@ fn serve_plan_shard(
         OffloadExec::Blocking => None,
         OffloadExec::Async { in_flight } => Some(Reactor::new(in_flight)),
     };
+    let mut summary = (!plan.emits_episodes()).then(|| plan.run_summary());
     let mut scratch = EpisodeScratch::new();
     let mut cell: Option<(CellConfig, RuntimeLoop)> = None;
     let mut emitted = 0usize;
@@ -1891,8 +2050,13 @@ fn serve_plan_shard(
                         return Ok(None);
                     }
                     let report = cell_config.run_spec(cell_runtime, point.spec, &mut scratch);
-                    let line = injector.garble(shard::report_line(i, &report).into_bytes());
-                    write_frame(stream, &line)?;
+                    match summary.as_mut() {
+                        Some(fold) => fold.record(i, &report),
+                        None => {
+                            let line = injector.garble(shard::report_line(i, &report).into_bytes());
+                            write_frame(stream, &line)?;
+                        }
+                    }
                     injector.after_report();
                     emitted += 1;
                 }
@@ -1908,10 +2072,16 @@ fn serve_plan_shard(
                             dropped = true;
                             return false;
                         }
-                        let line = injector.garble(shard::report_line(i, &report).into_bytes());
-                        if let Err(e) = write_frame(stream, &line) {
-                            outcome = Err(e);
-                            return false;
+                        match summary.as_mut() {
+                            Some(fold) => fold.record(i, &report),
+                            None => {
+                                let line =
+                                    injector.garble(shard::report_line(i, &report).into_bytes());
+                                if let Err(e) = write_frame(stream, &line) {
+                                    outcome = Err(e);
+                                    return false;
+                                }
+                            }
                         }
                         injector.after_report();
                         emitted += 1;
@@ -1928,6 +2098,10 @@ fn serve_plan_shard(
     }
     if injector.before_report() == FaultAction::Drop {
         return Ok(None);
+    }
+    if let Some(fold) = &summary {
+        let frame = injector.garble(summary_frame(shard, &fold.fragment()));
+        write_frame(stream, &frame)?;
     }
     Ok(Some(emitted))
 }

@@ -7,7 +7,9 @@
 
 use seo_core::prelude::*;
 use seo_core::reactor::OffloadExec;
-use seo_core::shard::{parse_report_line, report_line, ShardPlanner, StreamingMerge};
+use seo_core::shard::{
+    parse_report_line, parse_summary_line, report_line, summary_line, ShardPlanner, StreamingMerge,
+};
 use seo_core::transport::{HostPool, HostSpec, RemoteCoordinator, WorkerServer};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -22,6 +24,23 @@ use std::sync::Arc;
 /// cannot be built — both unconditional test-environment failures.
 #[must_use]
 pub fn spawn_loopback_worker() -> SocketAddr {
+    spawn_loopback_worker_with(None)
+}
+
+/// Like [`spawn_loopback_worker`], but every connection the worker serves
+/// dies after `fail_after` fault-injector hooks — a host that reliably
+/// drops mid-shard, for exercising lease re-issue and the summary-mode
+/// all-or-nothing contract.
+///
+/// # Panics
+///
+/// Same conditions as [`spawn_loopback_worker`].
+#[must_use]
+pub fn spawn_failing_loopback_worker(fail_after: usize) -> SocketAddr {
+    spawn_loopback_worker_with(Some(fail_after))
+}
+
+fn spawn_loopback_worker_with(fail_after: Option<usize>) -> SocketAddr {
     let server = WorkerServer::bind("127.0.0.1:0").expect("bind loopback");
     let addr = server.local_addr().expect("local addr");
     let config = SeoConfig::paper_defaults();
@@ -29,7 +48,7 @@ pub fn spawn_loopback_worker() -> SocketAddr {
     let runtime =
         Arc::new(RuntimeLoop::new(config, models, OptimizerKind::Offloading).expect("runtime"));
     std::thread::spawn(move || {
-        let _ = server.serve(runtime, None);
+        let _ = server.serve(runtime, fail_after);
     });
     addr
 }
@@ -116,4 +135,119 @@ pub fn assert_all_engines_bit_identical(plan: &SweepPlan) -> Vec<EpisodeReport> 
     assert_eq!(wire(&merged), expected, "hosts vs blocking baseline");
 
     baseline
+}
+
+/// The summary-mode sibling of [`assert_all_engines_bit_identical`]: folds
+/// the plan's grid through all four engine compositions — serial fold,
+/// threads fold, the process-engine wire composition (per-shard fragments
+/// rendered to [`summary_line`] bytes, parsed back, folded in worst-case
+/// reversed arrival order), and loopback TCP hosts — and asserts the
+/// rendered per-cell summary lines are **byte-identical** throughout.
+///
+/// The hosts leg runs with one healthy worker and one that dies mid-lease
+/// on *every* connection, so it also asserts the exactly-once contract: a
+/// dying worker's partial fold never reaches the coordinator (summary
+/// fragments are all-or-nothing per connection), and every episode of the
+/// re-issued leases is folded exactly once.
+///
+/// Returns the serial fold's rendered lines so callers can chain further
+/// assertions.
+///
+/// # Panics
+///
+/// Panics when the plan does not carry a pure-`summary` report section,
+/// when any engine fails to run, or when any fold's bytes diverge.
+pub fn assert_summary_bit_identical(plan: &SweepPlan) -> Vec<String> {
+    let report = plan
+        .report
+        .as_ref()
+        .expect("plan must carry a report section");
+    assert!(
+        !plan.emits_episodes(),
+        "summary bit-identity needs pure summary report mode"
+    );
+    let quantiles = report.quantiles.clone();
+    let render = |summary: &RunSummary| summary.lines(&quantiles);
+
+    // Baseline: the in-process serial fold.
+    let mut serial = plan.run_summary();
+    plan.run_range(Shard::new(0, plan.n_specs()), plan.kernel, |i, report| {
+        serial.record(i, &report);
+        true
+    })
+    .expect("serial fold");
+    assert_eq!(serial.episodes(), plan.n_specs() as u64);
+    let expected = render(&serial);
+
+    // Engine 2: the in-process thread pool, folded from its merged output.
+    let mut threads = plan.run_summary();
+    for (i, report) in plan
+        .run_threads(3)
+        .expect("threads engine")
+        .into_iter()
+        .enumerate()
+    {
+        threads.record(i, &report);
+    }
+    assert_eq!(render(&threads), expected, "threads fold vs serial fold");
+
+    // Engine 3: the process-engine composition — each shard's fragment
+    // crosses the summary wire line and the fragments fold in worst-case
+    // (reversed) arrival order; fold_fragments re-sorts by spec index.
+    let n = plan.n_specs();
+    let shard_plan = ShardPlanner::new(3).plan_clamped(n).expect("shard plan");
+    let mut fragments = Vec::new();
+    for &shard in shard_plan.shards().iter().rev() {
+        let mut fold = plan.run_summary();
+        plan.run_range(shard, plan.kernel, |i, report| {
+            fold.record(i, &report);
+            true
+        })
+        .expect("worker shard runs");
+        let line = summary_line(shard, &fold.fragment());
+        let (parsed_shard, cells) = parse_summary_line(&line).expect("valid summary line");
+        assert_eq!(parsed_shard, shard, "summary line round-trips its shard");
+        fragments.push((parsed_shard, cells));
+    }
+    let mut processes = plan.run_summary();
+    processes.fold_fragments(fragments).expect("fragments fold");
+    assert_eq!(
+        render(&processes),
+        expected,
+        "process fragments vs serial fold"
+    );
+
+    // Engine 4: loopback hosts — one healthy, one killed mid-lease on
+    // every connection (the drop always lands before its summary frame,
+    // so the dying worker's partial local fold must never surface).
+    let pool = HostPool::new(vec![
+        HostSpec {
+            addr: spawn_failing_loopback_worker(1).to_string(),
+            capacity: 1,
+        },
+        HostSpec {
+            addr: spawn_loopback_worker().to_string(),
+            capacity: 1,
+        },
+    ])
+    .expect("valid pool");
+    let (hosts, stats) = RemoteCoordinator::new(pool)
+        .run_plan_summary(plan)
+        .expect("hosts engine");
+    assert_eq!(
+        hosts.episodes(),
+        plan.n_specs() as u64,
+        "every episode folded exactly once despite the mid-lease kill"
+    );
+    assert_eq!(render(&hosts), expected, "hosts folds vs serial fold");
+    assert!(
+        stats
+            .hosts_lost
+            .iter()
+            .all(|l| l.class == FaultClass::Transient),
+        "a mid-lease kill is a transient loss, never a protocol violation: {:?}",
+        stats.hosts_lost
+    );
+
+    expected
 }
